@@ -1,0 +1,96 @@
+// Ablation: design choices DESIGN.md calls out.
+//  (a) Evidence formula: geometric (Eq. 7.3) vs exponential (Eq. 7.4) —
+//      the paper reports "no substantial differences"; verify.
+//  (b) Zero-evidence floor: the coverage-preserving floor vs the literal
+//      empty-sum-0 reading of Eq. 7.3 (which erases indirect pairs).
+//  (c) Engine choice: dense vs pruned-sparse score agreement.
+#include <cstdio>
+
+#include "core/dense_engine.h"
+#include "core/sample_graphs.h"
+#include "core/sparse_engine.h"
+#include "experiment_common.h"
+#include "rewrite/rewriter.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace simrankpp;
+
+int main() {
+  ExperimentOutcome outcome = bench::RunCanonicalExperiment();
+  const BipartiteGraph& dataset = outcome.dataset;
+
+  // --- (a)+(b): evidence formula and floor, measured as rewrite overlap
+  // against the canonical configuration.
+  SimRankOptions base = bench::CanonicalConfig().simrank;
+  base.variant = SimRankVariant::kEvidence;
+
+  struct Config {
+    const char* name;
+    EvidenceFormula formula;
+    double floor;
+  };
+  const Config configs[] = {
+      {"geometric, floor 0.25 (canonical)", EvidenceFormula::kGeometric,
+       0.25},
+      {"exponential, floor 0.25", EvidenceFormula::kExponential, 0.25},
+      {"geometric, literal (floor 0)", EvidenceFormula::kGeometric, 0.0},
+  };
+
+  TablePrinter table("Ablation: evidence formula and zero-evidence floor");
+  table.SetHeader({"Configuration", "Coverage", "Mean depth",
+                   "Stored query pairs"});
+  for (const Config& config : configs) {
+    SimRankOptions options = base;
+    options.evidence_formula = config.formula;
+    options.zero_evidence_floor = config.floor;
+    SparseSimRankEngine engine(options);
+    if (!engine.Run(dataset).ok()) return 1;
+    SimilarityMatrix scores = engine.ExportQueryScores(1e-5);
+    size_t pairs = scores.num_pairs();
+    QueryRewriter rewriter("ablation", &dataset, std::move(scores), nullptr,
+                           RewritePipelineOptions{});
+    size_t covered = 0;
+    size_t depth_total = 0;
+    for (const std::string& query : outcome.eval_queries) {
+      auto rewrites = rewriter.RewritesFor(query);
+      if (!rewrites.ok()) continue;
+      if (!rewrites->empty()) ++covered;
+      depth_total += rewrites->size();
+    }
+    table.AddRow(
+        {config.name,
+         StringPrintf("%.0f%%", 100.0 * covered /
+                                    static_cast<double>(
+                                        outcome.eval_queries.size())),
+         StringPrintf("%.2f", static_cast<double>(depth_total) /
+                                  static_cast<double>(
+                                      outcome.eval_queries.size())),
+         FormatWithCommas(pairs)});
+  }
+  table.Print();
+
+  // --- (c): engine agreement on an exactly-solvable graph.
+  BipartiteGraph figure3 = MakeFigure3Graph();
+  SimRankOptions exact;
+  exact.iterations = 10;
+  exact.prune_threshold = 0.0;
+  exact.max_partners_per_node = 0;
+  DenseSimRankEngine dense(exact);
+  SparseSimRankEngine sparse(exact);
+  if (!dense.Run(figure3).ok() || !sparse.Run(figure3).ok()) return 1;
+  double max_diff =
+      dense.ExportQueryScores(0.0).MaxAbsDifference(
+          sparse.ExportQueryScores(0.0));
+  std::printf(
+      "\nEngine agreement (Figure 3 graph, 10 iterations, no pruning): "
+      "max |dense - sparse| = %.3e\n",
+      max_diff);
+
+  std::printf(
+      "\nExpected: the two evidence formulas behave near-identically "
+      "(paper, Section 7);\nthe literal floor-0 reading erases all "
+      "pairs without common ads and collapses\ncoverage/depth — the "
+      "documented reason this library defaults to a small floor.\n");
+  return 0;
+}

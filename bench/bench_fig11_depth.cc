@@ -1,0 +1,37 @@
+// Regenerates Figure 11: rewriting depth — the percentage of evaluation
+// queries for which each method yields >= 5, 4-5, 3-5, 2-5 and 1-5
+// rewrites after filtering.
+// Paper: weighted/evidence give five rewrites for ~89/85%+ of queries,
+// Simrank 79%, Pearson far lower across all buckets.
+#include <cstdio>
+
+#include "experiment_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace simrankpp;
+
+int main() {
+  ExperimentOutcome outcome = bench::RunCanonicalExperiment();
+
+  TablePrinter table(
+      "Figure 11: rewriting depth (percentage of sample queries with at "
+      "least d rewrites)");
+  table.SetHeader({"Method", "5", "4-5", "3-5", "2-5", "1-5"});
+  for (const MethodEvaluation& eval : outcome.evaluations) {
+    std::vector<std::string> row = {eval.method};
+    for (size_t d = 5; d >= 1; --d) {
+      row.push_back(
+          StringPrintf("%.0f%%", 100.0 * eval.DepthAtLeast(d)));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper (Figure 11): enhanced schemes provide the full 5 rewrites "
+      "for over 85%%\nof queries (Simrank 79%%); Pearson trails badly at "
+      "every depth. More rewrites\ngive the ad back-end more chances to "
+      "find active bids.\n");
+  return 0;
+}

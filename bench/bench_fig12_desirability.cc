@@ -1,0 +1,62 @@
+// Regenerates Figure 12: the edge-removal desirability-prediction
+// experiment of Section 9.3. For 50 sampled (q1, q2, q3) triples, remove
+// all direct evidence connecting q1 to the candidates and test whether
+// each SimRank variant still predicts the rewrite the desirability scores
+// prefer.
+// Paper: Simrank 54%, evidence-based 54%, weighted 92%. Pearson is
+// excluded (it cannot score pairs without common ads). See EXPERIMENTS.md
+// for the reproduction notes on this figure.
+#include <cstdio>
+
+#include "eval/desirability_experiment.h"
+#include "experiment_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace simrankpp;
+
+int main() {
+  ExperimentOutcome outcome = bench::RunCanonicalExperiment();
+
+  DesirabilityExperimentOptions options;
+  options.num_trials = 50;
+  options.seed = 123;
+  options.simrank = bench::CanonicalConfig().simrank;
+  options.simrank.iterations = 5;
+  options.simrank.prune_threshold = 1e-7;
+  options.simrank.max_partners_per_node = 0;
+  options.max_path_hops = 2 * options.simrank.iterations;
+
+  Result<std::vector<DesirabilityResult>> results =
+      RunDesirabilityExperiment(outcome.dataset, options);
+  if (!results.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table(
+      "Figure 12: correct desirability-order predictions after removing "
+      "direct evidence");
+  table.SetHeader({"Method", "Correct", "Accuracy", "Paper"});
+  const char* paper[] = {"54%", "54%", "92%"};
+  for (size_t i = 0; i < results->size(); ++i) {
+    const DesirabilityResult& result = (*results)[i];
+    table.AddRow({result.method,
+                  StringPrintf("%zu / %zu", result.correct, result.trials),
+                  StringPrintf("%.0f%%", 100.0 * result.Accuracy()),
+                  paper[i]});
+  }
+  table.Print();
+
+  std::printf(
+      "\nReproduction note: plain and evidence-based Simrank land near "
+      "the paper's\ncoin-flip 54%% — they ignore weights entirely. The "
+      "weighted variant's large\npaper margin (92%%) depends on "
+      "neighborhood heterogeneity of the real Yahoo!\nclick graph that "
+      "the topically-clustered synthetic generator lacks: its\n"
+      "normalized transition weights are scale-invariant per node, so "
+      "candidates\ninside one topic cluster present nearly identical "
+      "weighted structure. See\nEXPERIMENTS.md for the full analysis.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Regenerates Figure 8: query coverage of Pearson and the three SimRank
+// variants — the percentage of evaluation queries for which each method
+// yields at least one rewrite after dedup + bid filtering.
+// Paper values: Pearson 41%, Simrank 98%, evidence-based 99%, weighted
+// 99%. The shape to match: Pearson far below, the enhanced variants at
+// least matching plain Simrank.
+#include <cstdio>
+
+#include "experiment_common.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace simrankpp;
+
+int main() {
+  ExperimentOutcome outcome = bench::RunCanonicalExperiment();
+
+  TablePrinter table("Figure 8: query coverage");
+  table.SetHeader({"Method", "Coverage", "Covered queries", "Paper"});
+  const char* paper[] = {"41%", "98%", "99%", "99%"};
+  for (size_t i = 0; i < outcome.evaluations.size(); ++i) {
+    const MethodEvaluation& eval = outcome.evaluations[i];
+    table.AddRow({eval.method,
+                  StringPrintf("%.0f%%", 100.0 * eval.Coverage()),
+                  StringPrintf("%zu / %zu", eval.queries_covered,
+                               eval.queries_total),
+                  i < 4 ? paper[i] : ""});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: Pearson can only score query pairs sharing an ad "
+      "(and degenerates\non degree-1 queries), so its coverage sits far "
+      "below the SimRank family, which\npropagates similarity through "
+      "the whole graph structure.\n");
+  return 0;
+}

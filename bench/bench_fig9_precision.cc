@@ -1,0 +1,68 @@
+// Regenerates Figure 9: 11-point interpolated precision/recall curves and
+// precision after X = 1..5 rewrites, positive class = editorial grades
+// {1, 2}.
+// Paper values (P@X, top to bottom at X=5): weighted 86%, evidence 80%,
+// Simrank 75%, Pearson ~45%; P@1 weighted 96%, evidence 81%, Simrank 80%,
+// Pearson 70%. Shape: weighted > evidence >= Simrank at every X.
+#include <cstdio>
+
+#include "experiment_common.h"
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace simrankpp;
+
+int main() {
+  ExperimentOutcome outcome = bench::RunCanonicalExperiment();
+
+  TablePrinter pr(
+      "Figure 9 (top): 11-point interpolated precision-recall, positive "
+      "class = grades {1,2}");
+  std::vector<std::string> header = {"Method"};
+  for (int level = 0; level <= 10; ++level) {
+    header.push_back(StringPrintf("r=%.1f", level / 10.0));
+  }
+  pr.SetHeader(header);
+  for (const MethodEvaluation& eval : outcome.evaluations) {
+    std::vector<std::string> row = {eval.method};
+    for (double p : eval.eleven_point) row.push_back(FormatDouble(p, 3));
+    pr.AddRow(row);
+  }
+  pr.Print();
+
+  TablePrinter pax(
+      "\nFigure 9 (bottom): precision after X query rewrites (P@X), "
+      "positive class = grades {1,2}");
+  pax.SetHeader({"Method", "P@1", "P@2", "P@3", "P@4", "P@5"});
+  for (const MethodEvaluation& eval : outcome.evaluations) {
+    std::vector<std::string> row = {eval.method};
+    for (double p : eval.precision_at_x) row.push_back(FormatDouble(p, 3));
+    pax.AddRow(row);
+  }
+  pax.Print();
+
+  // Machine-readable series for replotting.
+  CsvWriter csv;
+  csv.SetHeader({"method", "metric", "x", "value"});
+  for (const MethodEvaluation& eval : outcome.evaluations) {
+    for (size_t i = 0; i < eval.eleven_point.size(); ++i) {
+      csv.AddRow({eval.method, "pr11", FormatDouble(i / 10.0, 1),
+                  FormatDouble(eval.eleven_point[i], 5)});
+    }
+    for (size_t x = 0; x < eval.precision_at_x.size(); ++x) {
+      csv.AddRow({eval.method, "p_at_x", std::to_string(x + 1),
+                  FormatDouble(eval.precision_at_x[x], 5)});
+    }
+  }
+  if (Status status = csv.WriteToFile("fig9_series.csv"); status.ok()) {
+    std::printf("\nSeries written to fig9_series.csv\n");
+  }
+
+  std::printf(
+      "\nPaper (Figure 9): weighted > evidence >= Simrank > Pearson in "
+      "P@X; weighted\nP@1 96%% / P@5 86%%, Simrank P@1 80%% / P@5 75%%. "
+      "The ordering is the reproduced\nshape; see EXPERIMENTS.md for "
+      "measured-vs-paper notes.\n");
+  return 0;
+}

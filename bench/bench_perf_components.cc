@@ -1,0 +1,102 @@
+// google-benchmark microbenchmarks for the supporting substrates: graph
+// construction, PPR push, Pearson, Porter stemming, and the click-graph
+// generator itself.
+#include <benchmark/benchmark.h>
+
+#include "core/pearson.h"
+#include "graph/graph_builder.h"
+#include "partition/ppr.h"
+#include "synth/click_graph_generator.h"
+#include "text/porter_stemmer.h"
+#include "util/logging.h"
+
+namespace simrankpp {
+namespace {
+
+const BipartiteGraph& SharedGraph() {
+  static BipartiteGraph graph = [] {
+    GeneratorOptions options;
+    options.num_queries = 8000;
+    options.num_ads = 2500;
+    options.taxonomy.num_categories = 24;
+    options.taxonomy.subtopics_per_category = 12;
+    options.mean_impressions_per_query = 25.0;
+    options.seed = 77;
+    auto world = GenerateClickGraph(options);
+    SRPP_CHECK(world.ok());
+    return std::move(world)->graph;
+  }();
+  return graph;
+}
+
+void BM_ClickGraphGeneration(benchmark::State& state) {
+  GeneratorOptions options;
+  options.num_queries = static_cast<size_t>(state.range(0));
+  options.num_ads = options.num_queries / 3;
+  options.taxonomy.num_categories = 16;
+  options.taxonomy.subtopics_per_category = 10;
+  options.seed = 5;
+  for (auto _ : state) {
+    auto world = GenerateClickGraph(options);
+    benchmark::DoNotOptimize(world);
+  }
+}
+BENCHMARK(BM_ClickGraphGeneration)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GraphRebuild(benchmark::State& state) {
+  const BipartiteGraph& graph = SharedGraph();
+  for (auto _ : state) {
+    GraphBuilder builder;
+    benchmark::DoNotOptimize(builder.AddGraph(graph));
+    auto rebuilt = builder.Build();
+    benchmark::DoNotOptimize(rebuilt);
+  }
+  state.counters["edges"] = static_cast<double>(graph.num_edges());
+}
+BENCHMARK(BM_GraphRebuild)->Unit(benchmark::kMillisecond);
+
+void BM_ApproximatePpr(benchmark::State& state) {
+  const BipartiteGraph& graph = SharedGraph();
+  PprOptions options;
+  options.epsilon = 1.0 / static_cast<double>(state.range(0));
+  uint32_t seed_node = 0;
+  size_t support = 0;
+  for (auto _ : state) {
+    auto ppr = ApproximatePersonalizedPageRank(graph, seed_node, options);
+    support = ppr.size();
+    benchmark::DoNotOptimize(ppr);
+  }
+  state.counters["support"] = static_cast<double>(support);
+}
+BENCHMARK(BM_ApproximatePpr)
+    ->Arg(100000)    // epsilon 1e-5
+    ->Arg(10000000)  // epsilon 1e-7
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PearsonAllPairs(benchmark::State& state) {
+  const BipartiteGraph& graph = SharedGraph();
+  for (auto _ : state) {
+    SimilarityMatrix matrix = ComputePearsonSimilarities(graph);
+    benchmark::DoNotOptimize(matrix);
+  }
+}
+BENCHMARK(BM_PearsonAllPairs)->Unit(benchmark::kMillisecond);
+
+void BM_PorterStemmer(benchmark::State& state) {
+  const char* words[] = {"cameras",     "relational",   "vietnamization",
+                         "adjustable",  "hopefulness",  "batteries",
+                         "controlling", "conflated",    "sensibilities",
+                         "photography", "troubleshoot", "electricity"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PorterStem(words[i % 12]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PorterStemmer);
+
+}  // namespace
+}  // namespace simrankpp

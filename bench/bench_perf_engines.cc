@@ -1,0 +1,98 @@
+// google-benchmark microbenchmarks of the SimRank engines: dense vs
+// sparse across graph sizes and variants, and the effect of pruning.
+#include <benchmark/benchmark.h>
+
+#include "core/dense_engine.h"
+#include "core/sparse_engine.h"
+#include "synth/click_graph_generator.h"
+#include "util/logging.h"
+
+namespace simrankpp {
+namespace {
+
+BipartiteGraph BenchGraph(size_t num_queries) {
+  GeneratorOptions options;
+  options.num_queries = num_queries;
+  options.num_ads = num_queries / 3;
+  options.taxonomy.num_categories = 16;
+  options.taxonomy.subtopics_per_category = 10;
+  options.mean_impressions_per_query = 25.0;
+  options.seed = 99;
+  auto world = GenerateClickGraph(options);
+  SRPP_CHECK(world.ok());
+  return std::move(world)->graph;
+}
+
+SimRankOptions BenchOptions(SimRankVariant variant) {
+  SimRankOptions options;
+  options.variant = variant;
+  options.iterations = 5;
+  options.prune_threshold = 1e-4;
+  options.max_partners_per_node = 200;
+  return options;
+}
+
+void BM_DenseEngine(benchmark::State& state) {
+  BipartiteGraph graph = BenchGraph(static_cast<size_t>(state.range(0)));
+  SimRankOptions options = BenchOptions(SimRankVariant::kSimRank);
+  for (auto _ : state) {
+    DenseSimRankEngine engine(options);
+    benchmark::DoNotOptimize(engine.Run(graph));
+  }
+  state.SetLabel(std::to_string(graph.num_queries()) + "q/" +
+                 std::to_string(graph.num_edges()) + "e");
+}
+BENCHMARK(BM_DenseEngine)->Arg(500)->Arg(1500)->Unit(benchmark::kMillisecond);
+
+void BM_SparseEngine(benchmark::State& state) {
+  BipartiteGraph graph = BenchGraph(static_cast<size_t>(state.range(0)));
+  SimRankOptions options = BenchOptions(SimRankVariant::kSimRank);
+  for (auto _ : state) {
+    SparseSimRankEngine engine(options);
+    benchmark::DoNotOptimize(engine.Run(graph));
+  }
+  state.SetLabel(std::to_string(graph.num_queries()) + "q/" +
+                 std::to_string(graph.num_edges()) + "e");
+}
+BENCHMARK(BM_SparseEngine)
+    ->Arg(500)
+    ->Arg(1500)
+    ->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SparseEngineVariants(benchmark::State& state) {
+  BipartiteGraph graph = BenchGraph(1500);
+  SimRankOptions options =
+      BenchOptions(static_cast<SimRankVariant>(state.range(0)));
+  for (auto _ : state) {
+    SparseSimRankEngine engine(options);
+    benchmark::DoNotOptimize(engine.Run(graph));
+  }
+  state.SetLabel(SimRankVariantName(options.variant));
+}
+BENCHMARK(BM_SparseEngineVariants)
+    ->Arg(static_cast<int>(SimRankVariant::kSimRank))
+    ->Arg(static_cast<int>(SimRankVariant::kEvidence))
+    ->Arg(static_cast<int>(SimRankVariant::kWeighted))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SparsePruningSweep(benchmark::State& state) {
+  BipartiteGraph graph = BenchGraph(1500);
+  SimRankOptions options = BenchOptions(SimRankVariant::kSimRank);
+  options.prune_threshold = 1.0 / static_cast<double>(state.range(0));
+  size_t pairs = 0;
+  for (auto _ : state) {
+    SparseSimRankEngine engine(options);
+    benchmark::DoNotOptimize(engine.Run(graph));
+    pairs = engine.stats().query_pairs;
+  }
+  state.counters["query_pairs"] = static_cast<double>(pairs);
+}
+BENCHMARK(BM_SparsePruningSweep)
+    ->Arg(100)      // threshold 1e-2
+    ->Arg(10000)    // threshold 1e-4
+    ->Arg(1000000)  // threshold 1e-6
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace simrankpp

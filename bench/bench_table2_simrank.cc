@@ -1,0 +1,52 @@
+// Regenerates Table 2: converged bipartite SimRank scores (C1 = C2 = 0.8)
+// on the Figure 3 sample click graph.
+// Paper values: 0.619 for all connected non-trivial pairs except
+// pc-tv = 0.437 and every flower pair = 0.
+#include <cstdio>
+
+#include "core/dense_engine.h"
+#include "core/sample_graphs.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace simrankpp;
+
+int main() {
+  BipartiteGraph graph = MakeFigure3Graph();
+  SimRankOptions options;
+  options.c1 = options.c2 = 0.8;
+  options.iterations = 1000;
+  options.convergence_epsilon = 1e-12;
+  DenseSimRankEngine engine(options);
+  if (Status status = engine.Run(graph); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const char* queries[] = {"pc", "camera", "digital camera", "tv", "flower"};
+  TablePrinter table(
+      "Table 2: query-query Simrank scores on the Figure 3 click graph "
+      "(C1 = C2 = 0.8, converged)");
+  std::vector<std::string> header = {""};
+  for (const char* q : queries) header.push_back(q);
+  table.SetHeader(header);
+  for (const char* row_query : queries) {
+    std::vector<std::string> row = {row_query};
+    for (const char* col_query : queries) {
+      if (std::string(row_query) == col_query) {
+        row.push_back("-");
+      } else {
+        double score = engine.QueryScore(*graph.FindQuery(row_query),
+                                         *graph.FindQuery(col_query));
+        row.push_back(FormatDouble(score, 3));
+      }
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nPaper (Table 2): pc-camera 0.619, pc-tv 0.437, flower 0 "
+      "everywhere.\nConverged in %zu iterations (last delta %.2e).\n",
+      engine.stats().iterations_run, engine.stats().last_delta);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Regenerates Table 3: per-iteration SimRank scores on the Figure 4
+// complete bipartite graphs K2,2 (camera / digital camera) and K1,2
+// (pc / camera), C1 = C2 = 0.8 — the anomaly motivating evidence.
+// Paper values: K2,2 column 0.4, 0.56, 0.624, 0.6496, 0.65984, 0.663936,
+// 0.6655744; K1,2 column 0.8 constant.
+#include <cstdio>
+
+#include "core/closed_form.h"
+#include "core/dense_engine.h"
+#include "core/sample_graphs.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+using namespace simrankpp;
+
+int main() {
+  BipartiteGraph k22 = MakeFigure4K22();
+  BipartiteGraph k12 = MakeFigure4K12();
+
+  TablePrinter table(
+      "Table 3: Simrank per-iteration scores on the Figure 4 graphs "
+      "(C1 = C2 = 0.8)");
+  table.SetHeader({"Iteration", "sim(camera, digital camera)  [K2,2]",
+                   "sim(pc, camera)  [K1,2]", "closed form (Thm A.1)"});
+  for (size_t k = 1; k <= 7; ++k) {
+    SimRankOptions options;
+    options.iterations = k;
+    DenseSimRankEngine e22(options);
+    DenseSimRankEngine e12(options);
+    if (!e22.Run(k22).ok() || !e12.Run(k12).ok()) return 1;
+    double s22 = e22.QueryScore(*k22.FindQuery("camera"),
+                                *k22.FindQuery("digital camera"));
+    double s12 =
+        e12.QueryScore(*k12.FindQuery("pc"), *k12.FindQuery("camera"));
+    table.AddRow({std::to_string(k), FormatDouble(s22, 7),
+                  FormatDouble(s12, 7),
+                  FormatDouble(TheoremA1Series(k, 0.8, 0.8), 7)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper (Table 3): identical values. The K1,2 pair outranks the "
+      "K2,2 pair at\nevery finite iteration although the latter shares "
+      "twice the ads — the anomaly\nSection 6 formalizes and evidence "
+      "fixes (Table 4).\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared helper for the figure benches: every Figure 8-11 binary runs the
+// same seeded experiment so the printed series are mutually consistent,
+// exactly as the paper derives all its evaluation figures from one run.
+#ifndef SIMRANKPP_BENCH_EXPERIMENT_COMMON_H_
+#define SIMRANKPP_BENCH_EXPERIMENT_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "eval/experiment_runner.h"
+#include "util/logging.h"
+
+namespace simrankpp {
+namespace bench {
+
+/// \brief The canonical bench configuration (defaults of
+/// ExperimentConfig; roughly 1:300 of the paper's Table 5 scale).
+inline ExperimentConfig CanonicalConfig() {
+  return ExperimentConfig();
+}
+
+/// \brief Runs the experiment or dies with a message.
+inline ExperimentOutcome RunCanonicalExperiment() {
+  SetLogLevel(LogLevel::kWarning);
+  std::printf(
+      "# synthetic dataset, master seeds: generator=%llu extractor=%llu "
+      "bids=%llu workload=%llu\n",
+      static_cast<unsigned long long>(CanonicalConfig().generator.seed),
+      static_cast<unsigned long long>(CanonicalConfig().extractor.seed),
+      static_cast<unsigned long long>(CanonicalConfig().bids.seed),
+      static_cast<unsigned long long>(CanonicalConfig().workload.seed));
+  Result<ExperimentOutcome> result =
+      RunRewritingExperiment(CanonicalConfig());
+  if (!result.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("# dataset: %zu queries, %zu ads, %zu edges; evaluation "
+              "queries: %zu of %zu sampled\n",
+              result->dataset.num_queries(), result->dataset.num_ads(),
+              result->dataset.num_edges(), result->eval_queries.size(),
+              result->workload_sample_size);
+  return std::move(result).value();
+}
+
+}  // namespace bench
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_BENCH_EXPERIMENT_COMMON_H_

@@ -1,0 +1,67 @@
+// Dataset preparation demo (Section 9.2): generate a synthetic click
+// graph, inspect its component structure and power-law statistics, and
+// carve out five disjoint evaluation subgraphs with Andersen-Chung-Lang
+// local partitioning.
+//
+//   ./build/examples/subgraph_extraction
+#include <cstdio>
+
+#include "graph/graph_stats.h"
+#include "partition/subgraph_extractor.h"
+#include "synth/click_graph_generator.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+#include "util/string_util.h"
+
+using namespace simrankpp;
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+
+  GeneratorOptions generator;
+  generator.num_queries = 15000;
+  generator.num_ads = 4500;
+  generator.seed = 2024;
+  Result<SyntheticClickGraph> world = GenerateClickGraph(generator);
+  if (!world.ok()) {
+    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
+    return 1;
+  }
+
+  GraphStats stats = ComputeGraphStats(world->graph);
+  std::printf("full click graph:\n%s\n", stats.ToString().c_str());
+
+  ExtractorOptions extractor;
+  extractor.num_subgraphs = 5;
+  extractor.min_nodes_per_subgraph = 400;
+  extractor.max_nodes_per_subgraph = 4000;
+  extractor.ppr.epsilon = 5e-7;
+  extractor.seed = 7;
+  Result<std::vector<ExtractedSubgraph>> subgraphs =
+      ExtractSubgraphs(world->graph, extractor);
+  if (!subgraphs.ok()) {
+    std::fprintf(stderr, "%s\n", subgraphs.status().ToString().c_str());
+    return 1;
+  }
+
+  TablePrinter table("extracted subgraphs (largest first)");
+  table.SetHeader({"", "seed query", "queries", "ads", "edges",
+                   "conductance"});
+  size_t index = 0;
+  for (const ExtractedSubgraph& extracted : *subgraphs) {
+    table.AddRow({StringPrintf("subgraph %zu", ++index),
+                  extracted.seed_query,
+                  FormatWithCommas(extracted.graph.num_queries()),
+                  FormatWithCommas(extracted.graph.num_ads()),
+                  FormatWithCommas(extracted.graph.num_edges()),
+                  FormatDouble(extracted.conductance, 4)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nLow conductance = few edges leave the subgraph, so SimRank "
+      "scores computed\ninside it are close to what the full graph would "
+      "give — the property that\nmakes the paper's five-subgraph "
+      "evaluation sound.\n");
+  return 0;
+}

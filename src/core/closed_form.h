@@ -1,0 +1,48 @@
+// Closed-form and recurrence solutions for SimRank on complete bipartite
+// graphs K_{m,n} (paper, Appendix A / Theorem A.1). These provide exact
+// reference values the iterative engines are tested against, and power the
+// theorem property tests.
+#ifndef SIMRANKPP_CORE_CLOSED_FORM_H_
+#define SIMRANKPP_CORE_CLOSED_FORM_H_
+
+#include <cstddef>
+
+namespace simrankpp {
+
+/// \brief Per-iteration SimRank scores on K_{m,n} (m nodes in V1, n nodes
+/// in V2). By symmetry every distinct V1 pair shares one score and every
+/// distinct V2 pair shares another.
+struct CompleteBipartiteScores {
+  /// Score of any distinct pair in V1 (requires m >= 2; else 0).
+  double v1_pair = 0.0;
+  /// Score of any distinct pair in V2 (requires n >= 2; else 0).
+  double v2_pair = 0.0;
+};
+
+/// \brief Computes the exact scores after `iterations` SimRank iterations
+/// on K_{m,n} via the two-variable recurrence
+///   p_{k+1} = C1/n * (1 + (n-1) r_k),   r_{k+1} = C2/m * (1 + (m-1) p_k)
+/// with p_0 = r_0 = 0, where p is the V1-pair score and r the V2-pair
+/// score. (Every V1 node neighbors all n V2 nodes and vice versa.)
+CompleteBipartiteScores SimRankOnCompleteBipartite(size_t m, size_t n,
+                                                   size_t iterations,
+                                                   double c1, double c2);
+
+/// \brief Theorem A.1(i) series for the V2 pair of K_{2,2}:
+///   sim^(k)(A,B) = C2/2 * sum_{i=1..k} 2^-(i-1) C1^floor(i/2)
+///                                      C2^floor((i-1)/2).
+/// The paper prints the last exponent as ceil((i-1)/2), which contradicts
+/// its own expansion and Table 3; floor is what the worked iterations give.
+/// Used to cross-check the recurrence and the engines.
+double TheoremA1Series(size_t iterations, double c1, double c2);
+
+/// \brief Evidence-based score for the V2 pair of K_{m,2} after k
+/// iterations: evidence(n common neighbors = m... ) — concretely, the two
+/// V2 nodes of K_{m,2} share all m V1 nodes, so the geometric evidence is
+/// 1 - 2^-m, multiplying the plain score (Eqs. 7.5/7.6).
+double EvidenceBasedKm2Score(size_t m, size_t iterations, double c1,
+                             double c2);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_CLOSED_FORM_H_

@@ -1,0 +1,313 @@
+#include "core/dense_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/evidence.h"
+#include "core/weighted_transitions.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace simrankpp {
+
+namespace {
+
+// Upper bound on the larger score matrix: 1 GiB of doubles.
+constexpr size_t kMaxMatrixElements = (1ull << 30) / sizeof(double);
+
+}  // namespace
+
+DenseSimRankEngine::DenseSimRankEngine(SimRankOptions options)
+    : options_(std::move(options)) {}
+
+Status DenseSimRankEngine::Run(const BipartiteGraph& graph) {
+  SRPP_RETURN_NOT_OK(options_.Validate());
+  size_t nq = graph.num_queries();
+  size_t na = graph.num_ads();
+  if (nq * nq > kMaxMatrixElements || na * na > kMaxMatrixElements ||
+      nq * na > kMaxMatrixElements) {
+    return Status::FailedPrecondition(StringPrintf(
+        "graph too large for the dense engine (%zu queries, %zu ads); "
+        "use the sparse engine",
+        nq, na));
+  }
+
+  Stopwatch timer;
+  graph_ = &graph;
+  nq_ = nq;
+  na_ = na;
+
+  // Identity initialization: s_0(x, y) = [x == y].
+  query_scores_.assign(nq * nq, 0.0);
+  for (size_t q = 0; q < nq; ++q) query_scores_[q * nq + q] = 1.0;
+  ad_scores_.assign(na * na, 0.0);
+  for (size_t a = 0; a < na; ++a) ad_scores_[a * na + a] = 1.0;
+
+  if (options_.variant != SimRankVariant::kSimRank) {
+    ComputeEvidenceMatrices(graph);
+  }
+  if (options_.variant == SimRankVariant::kWeighted) {
+    WeightedTransitionModel model(graph);
+    w_query_to_ad_.resize(graph.num_edges());
+    w_ad_to_query_.resize(graph.num_edges());
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      w_query_to_ad_[e] = model.QueryToAdFactor(e);
+      w_ad_to_query_[e] = model.AdToQueryFactor(e);
+    }
+  }
+
+  stats_ = SimRankStats();
+  for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    double delta = IterateOnce(graph);
+    stats_.last_delta = delta;
+    ++stats_.iterations_run;
+    if (options_.convergence_epsilon > 0.0 &&
+        delta < options_.convergence_epsilon) {
+      break;
+    }
+  }
+
+  size_t query_pairs = 0;
+  for (size_t q = 0; q < nq; ++q) {
+    for (size_t p = q + 1; p < nq; ++p) {
+      if (query_scores_[q * nq + p] != 0.0) ++query_pairs;
+    }
+  }
+  size_t ad_pairs = 0;
+  for (size_t a = 0; a < na; ++a) {
+    for (size_t b = a + 1; b < na; ++b) {
+      if (ad_scores_[a * na + b] != 0.0) ++ad_pairs;
+    }
+  }
+  stats_.query_pairs = query_pairs;
+  stats_.ad_pairs = ad_pairs;
+  stats_.elapsed_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+void DenseSimRankEngine::ComputeEvidenceMatrices(const BipartiteGraph& graph) {
+  // Common-neighbor counts via shared-neighbor enumeration: for every ad,
+  // each pair of its queries gains one common ad (and symmetrically).
+  std::vector<uint32_t> query_common(nq_ * nq_, 0);
+  for (AdId a = 0; a < na_; ++a) {
+    auto edges = graph.AdEdges(a);
+    for (size_t i = 0; i < edges.size(); ++i) {
+      QueryId qi = graph.edge_query(edges[i]);
+      for (size_t j = i + 1; j < edges.size(); ++j) {
+        QueryId qj = graph.edge_query(edges[j]);
+        ++query_common[qi * nq_ + qj];
+        ++query_common[qj * nq_ + qi];
+      }
+    }
+  }
+  std::vector<uint32_t> ad_common(na_ * na_, 0);
+  for (QueryId q = 0; q < nq_; ++q) {
+    auto edges = graph.QueryEdges(q);
+    for (size_t i = 0; i < edges.size(); ++i) {
+      AdId ai = graph.edge_ad(edges[i]);
+      for (size_t j = i + 1; j < edges.size(); ++j) {
+        AdId aj = graph.edge_ad(edges[j]);
+        ++ad_common[ai * na_ + aj];
+        ++ad_common[aj * na_ + ai];
+      }
+    }
+  }
+
+  query_evidence_.resize(nq_ * nq_);
+  for (size_t i = 0; i < query_evidence_.size(); ++i) {
+    query_evidence_[i] =
+        EvidenceWithFloor(query_common[i], options_.evidence_formula,
+                          options_.zero_evidence_floor);
+  }
+  ad_evidence_.resize(na_ * na_);
+  for (size_t i = 0; i < ad_evidence_.size(); ++i) {
+    ad_evidence_[i] =
+        EvidenceWithFloor(ad_common[i], options_.evidence_formula,
+                          options_.zero_evidence_floor);
+  }
+}
+
+double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph) {
+  const bool weighted = options_.variant == SimRankVariant::kWeighted;
+
+  // T[q][b] = sum over ads a in E(q) of (factor) * S_a[a][b].
+  std::vector<double> t(nq_ * na_, 0.0);
+  // U[a][p] = sum over queries q in E(a) of (factor) * S_q[q][p].
+  std::vector<double> u(na_ * nq_, 0.0);
+
+  auto compute_t_rows = [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      double* trow = &t[q * na_];
+      for (EdgeId e : graph.QueryEdges(static_cast<QueryId>(q))) {
+        AdId a = graph.edge_ad(e);
+        double factor = weighted ? w_query_to_ad_[e] : 1.0;
+        const double* srow = &ad_scores_[static_cast<size_t>(a) * na_];
+        for (size_t b = 0; b < na_; ++b) trow[b] += factor * srow[b];
+      }
+    }
+  };
+  auto compute_u_rows = [&](size_t begin, size_t end) {
+    for (size_t a = begin; a < end; ++a) {
+      double* urow = &u[a * nq_];
+      for (EdgeId e : graph.AdEdges(static_cast<AdId>(a))) {
+        QueryId q = graph.edge_query(e);
+        double factor = weighted ? w_ad_to_query_[e] : 1.0;
+        const double* srow = &query_scores_[static_cast<size_t>(q) * nq_];
+        for (size_t p = 0; p < nq_; ++p) urow[p] += factor * srow[p];
+      }
+    }
+  };
+
+  std::vector<double> new_query(nq_ * nq_, 0.0);
+  std::vector<double> new_ad(na_ * na_, 0.0);
+  std::vector<double> row_delta_q(nq_, 0.0);
+  std::vector<double> row_delta_a(na_, 0.0);
+
+  auto compute_query_rows = [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      const double* trow = &t[q * na_];
+      double* out = &new_query[q * nq_];
+      double inv_nq = graph.QueryDegree(static_cast<QueryId>(q)) > 0
+                          ? 1.0 / static_cast<double>(graph.QueryDegree(
+                                static_cast<QueryId>(q)))
+                          : 0.0;
+      double local_delta = 0.0;
+      for (size_t p = 0; p < nq_; ++p) {
+        double value;
+        if (p == q) {
+          value = 1.0;
+        } else {
+          double sum = 0.0;
+          for (EdgeId e : graph.QueryEdges(static_cast<QueryId>(p))) {
+            AdId b = graph.edge_ad(e);
+            double factor = weighted ? w_query_to_ad_[e] : 1.0;
+            sum += factor * trow[b];
+          }
+          if (weighted) {
+            value = query_evidence_[q * nq_ + p] * options_.c1 * sum;
+          } else {
+            double inv_np =
+                graph.QueryDegree(static_cast<QueryId>(p)) > 0
+                    ? 1.0 / static_cast<double>(graph.QueryDegree(
+                          static_cast<QueryId>(p)))
+                    : 0.0;
+            value = options_.c1 * inv_nq * inv_np * sum;
+          }
+        }
+        local_delta =
+            std::max(local_delta, std::fabs(value - query_scores_[q * nq_ + p]));
+        out[p] = value;
+      }
+      row_delta_q[q] = local_delta;
+    }
+  };
+  auto compute_ad_rows = [&](size_t begin, size_t end) {
+    for (size_t a = begin; a < end; ++a) {
+      const double* urow = &u[a * nq_];
+      double* out = &new_ad[a * na_];
+      double inv_na = graph.AdDegree(static_cast<AdId>(a)) > 0
+                          ? 1.0 / static_cast<double>(graph.AdDegree(
+                                static_cast<AdId>(a)))
+                          : 0.0;
+      double local_delta = 0.0;
+      for (size_t b = 0; b < na_; ++b) {
+        double value;
+        if (b == a) {
+          value = 1.0;
+        } else {
+          double sum = 0.0;
+          for (EdgeId e : graph.AdEdges(static_cast<AdId>(b))) {
+            QueryId p = graph.edge_query(e);
+            double factor = weighted ? w_ad_to_query_[e] : 1.0;
+            sum += factor * urow[p];
+          }
+          if (weighted) {
+            value = ad_evidence_[a * na_ + b] * options_.c2 * sum;
+          } else {
+            double inv_nb = graph.AdDegree(static_cast<AdId>(b)) > 0
+                                ? 1.0 / static_cast<double>(graph.AdDegree(
+                                      static_cast<AdId>(b)))
+                                : 0.0;
+            value = options_.c2 * inv_na * inv_nb * sum;
+          }
+        }
+        local_delta =
+            std::max(local_delta, std::fabs(value - ad_scores_[a * na_ + b]));
+        out[b] = value;
+      }
+      row_delta_a[a] = local_delta;
+    }
+  };
+
+  if (options_.num_threads == 1) {
+    compute_t_rows(0, nq_);
+    compute_u_rows(0, na_);
+    compute_query_rows(0, nq_);
+    compute_ad_rows(0, na_);
+  } else {
+    ThreadPool pool(options_.num_threads);
+    pool.ParallelFor(nq_, compute_t_rows);
+    pool.ParallelFor(na_, compute_u_rows);
+    pool.ParallelFor(nq_, compute_query_rows);
+    pool.ParallelFor(na_, compute_ad_rows);
+  }
+
+  query_scores_ = std::move(new_query);
+  ad_scores_ = std::move(new_ad);
+
+  double delta = 0.0;
+  for (double d : row_delta_q) delta = std::max(delta, d);
+  for (double d : row_delta_a) delta = std::max(delta, d);
+  return delta;
+}
+
+double DenseSimRankEngine::RawQueryScore(QueryId q1, QueryId q2) const {
+  if (q1 == q2) return 1.0;
+  return query_scores_[static_cast<size_t>(q1) * nq_ + q2];
+}
+
+double DenseSimRankEngine::QueryScore(QueryId q1, QueryId q2) const {
+  if (q1 == q2) return 1.0;
+  double raw = query_scores_[static_cast<size_t>(q1) * nq_ + q2];
+  if (options_.variant == SimRankVariant::kEvidence) {
+    return query_evidence_[static_cast<size_t>(q1) * nq_ + q2] * raw;
+  }
+  return raw;  // kSimRank raw; kWeighted already carries evidence
+}
+
+double DenseSimRankEngine::AdScore(AdId a1, AdId a2) const {
+  if (a1 == a2) return 1.0;
+  double raw = ad_scores_[static_cast<size_t>(a1) * na_ + a2];
+  if (options_.variant == SimRankVariant::kEvidence) {
+    return ad_evidence_[static_cast<size_t>(a1) * na_ + a2] * raw;
+  }
+  return raw;
+}
+
+SimilarityMatrix DenseSimRankEngine::ExportQueryScores(
+    double min_score) const {
+  SimilarityMatrix matrix(nq_);
+  for (uint32_t q = 0; q < nq_; ++q) {
+    for (uint32_t p = q + 1; p < nq_; ++p) {
+      double score = QueryScore(q, p);
+      if (score >= min_score && score != 0.0) matrix.Set(q, p, score);
+    }
+  }
+  matrix.Finalize();
+  return matrix;
+}
+
+SimilarityMatrix DenseSimRankEngine::ExportAdScores(double min_score) const {
+  SimilarityMatrix matrix(na_);
+  for (uint32_t a = 0; a < na_; ++a) {
+    for (uint32_t b = a + 1; b < na_; ++b) {
+      double score = AdScore(a, b);
+      if (score >= min_score && score != 0.0) matrix.Set(a, b, score);
+    }
+  }
+  matrix.Finalize();
+  return matrix;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,15 @@
+#include "core/desirability.h"
+
+namespace simrankpp {
+
+double Desirability(const BipartiteGraph& graph, QueryId q1, QueryId q2) {
+  size_t degree2 = graph.QueryDegree(q2);
+  if (degree2 == 0) return 0.0;
+  double sum = 0.0;
+  for (AdId a : graph.CommonAds(q1, q2)) {
+    sum += graph.edge_weights(*graph.FindEdge(q2, a)).expected_click_rate;
+  }
+  return sum / static_cast<double>(degree2);
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,21 @@
+// The desirability score of Section 9.3:
+//   des(q1, q2) = sum over i in E(q1) ∩ E(q2) of w(q2, i) / |E(q2)|.
+// It quantifies, from the click-graph evidence alone, how good a rewrite
+// q2 is for q1; the edge-removal experiment (Figure 12) tests whether each
+// similarity method predicts the desirability ordering after the direct
+// evidence is deleted.
+#ifndef SIMRANKPP_CORE_DESIRABILITY_H_
+#define SIMRANKPP_CORE_DESIRABILITY_H_
+
+#include "graph/bipartite_graph.h"
+
+namespace simrankpp {
+
+/// \brief des(q1, q2). Asymmetric: weights and degree come from q2's side.
+/// Uses the expected click rate as w. Returns 0 when the queries share no
+/// ad or q2 has no edges.
+double Desirability(const BipartiteGraph& graph, QueryId q1, QueryId q2);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_DESIRABILITY_H_

@@ -1,0 +1,21 @@
+#include "core/dense_engine.h"
+#include "core/simrank_engine.h"
+#include "core/sparse_engine.h"
+
+namespace simrankpp {
+
+Result<std::unique_ptr<SimRankEngine>> CreateSimRankEngine(
+    EngineKind kind, const SimRankOptions& options) {
+  SRPP_RETURN_NOT_OK(options.Validate());
+  switch (kind) {
+    case EngineKind::kDense:
+      return std::unique_ptr<SimRankEngine>(
+          std::make_unique<DenseSimRankEngine>(options));
+    case EngineKind::kSparse:
+      return std::unique_ptr<SimRankEngine>(
+          std::make_unique<SparseSimRankEngine>(options));
+  }
+  return Status::InvalidArgument("unknown engine kind");
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,37 @@
+#include "core/evidence.h"
+
+#include <cmath>
+
+namespace simrankpp {
+
+double EvidenceFromCommonCount(size_t common, EvidenceFormula formula) {
+  if (common == 0) return 0.0;
+  switch (formula) {
+    case EvidenceFormula::kGeometric:
+      // sum_{i=1..n} 2^-i = 1 - 2^-n, exact in floating point for n < 64;
+      // saturates at 1 beyond that.
+      if (common >= 64) return 1.0;
+      return 1.0 - std::ldexp(1.0, -static_cast<int>(common));
+    case EvidenceFormula::kExponential:
+      return 1.0 - std::exp(-static_cast<double>(common));
+  }
+  return 0.0;
+}
+
+double EvidenceWithFloor(size_t common, EvidenceFormula formula,
+                         double zero_floor) {
+  if (common == 0) return zero_floor;
+  return EvidenceFromCommonCount(common, formula);
+}
+
+double QueryEvidence(const BipartiteGraph& graph, QueryId q1, QueryId q2,
+                     EvidenceFormula formula) {
+  return EvidenceFromCommonCount(graph.CountCommonAds(q1, q2), formula);
+}
+
+double AdEvidence(const BipartiteGraph& graph, AdId a1, AdId a2,
+                  EvidenceFormula formula) {
+  return EvidenceFromCommonCount(graph.CountCommonQueries(a1, a2), formula);
+}
+
+}  // namespace simrankpp

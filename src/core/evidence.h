@@ -1,0 +1,37 @@
+// The "evidence of similarity" metric of Section 7. Evidence grows with
+// the number of common neighbors and approaches 1, so that pairs connected
+// through many distinct ads (strong direct evidence) outrank pairs whose
+// SimRank score rests on a single shared neighbor.
+#ifndef SIMRANKPP_CORE_EVIDENCE_H_
+#define SIMRANKPP_CORE_EVIDENCE_H_
+
+#include <cstddef>
+
+#include "core/simrank_options.h"
+#include "graph/bipartite_graph.h"
+
+namespace simrankpp {
+
+/// \brief Evidence value for `common` common neighbors under the chosen
+/// formula. Geometric (Eq. 7.3): sum_{i=1..n} 2^-i = 1 - 2^-n.
+/// Exponential (Eq. 7.4): 1 - e^-n. For n = 0 both formulas give 0; callers
+/// that need the coverage-preserving floor apply it themselves (see
+/// SimRankOptions::zero_evidence_floor).
+double EvidenceFromCommonCount(size_t common, EvidenceFormula formula);
+
+/// \brief Evidence factor with the zero-common floor applied.
+double EvidenceWithFloor(size_t common, EvidenceFormula formula,
+                         double zero_floor);
+
+/// \brief evidence(q, q') for two queries of a click graph: counts
+/// |E(q) ∩ E(q')| and applies the formula (no floor).
+double QueryEvidence(const BipartiteGraph& graph, QueryId q1, QueryId q2,
+                     EvidenceFormula formula = EvidenceFormula::kGeometric);
+
+/// \brief evidence(α, α') for two ads.
+double AdEvidence(const BipartiteGraph& graph, AdId a1, AdId a2,
+                  EvidenceFormula formula = EvidenceFormula::kGeometric);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_EVIDENCE_H_

@@ -1,0 +1,37 @@
+#include "core/naive_similarity.h"
+
+#include <unordered_map>
+
+namespace simrankpp {
+
+size_t NaiveQuerySimilarity(const BipartiteGraph& graph, QueryId q1,
+                            QueryId q2) {
+  return graph.CountCommonAds(q1, q2);
+}
+
+SimilarityMatrix ComputeNaiveSimilarities(const BipartiteGraph& graph) {
+  SimilarityMatrix matrix(graph.num_queries());
+  std::unordered_map<uint64_t, uint32_t> counts;
+  for (AdId a = 0; a < graph.num_ads(); ++a) {
+    auto edges = graph.AdEdges(a);
+    for (size_t i = 0; i < edges.size(); ++i) {
+      QueryId qi = graph.edge_query(edges[i]);
+      for (size_t j = i + 1; j < edges.size(); ++j) {
+        QueryId qj = graph.edge_query(edges[j]);
+        uint64_t key = qi < qj
+                           ? (static_cast<uint64_t>(qi) << 32) | qj
+                           : (static_cast<uint64_t>(qj) << 32) | qi;
+        ++counts[key];
+      }
+    }
+  }
+  for (const auto& [key, count] : counts) {
+    matrix.Set(static_cast<uint32_t>(key >> 32),
+               static_cast<uint32_t>(key & 0xffffffffu),
+               static_cast<double>(count));
+  }
+  matrix.Finalize();
+  return matrix;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,23 @@
+// The naive similarity of Section 3 (Table 1): count the ads two queries
+// have in common. Kept as a reference point; it cannot see past direct
+// co-clicks (it scores "pc"-"tv" as 0 in Fig. 3).
+#ifndef SIMRANKPP_CORE_NAIVE_SIMILARITY_H_
+#define SIMRANKPP_CORE_NAIVE_SIMILARITY_H_
+
+#include "core/similarity_matrix.h"
+#include "graph/bipartite_graph.h"
+
+namespace simrankpp {
+
+/// \brief Number of common ads between two queries.
+size_t NaiveQuerySimilarity(const BipartiteGraph& graph, QueryId q1,
+                            QueryId q2);
+
+/// \brief All-pairs common-ad counts as a similarity matrix. Enumerates
+/// pairs through shared ads (cost sum over ads of degree^2), so only pairs
+/// with at least one common ad are materialized.
+SimilarityMatrix ComputeNaiveSimilarities(const BipartiteGraph& graph);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_NAIVE_SIMILARITY_H_

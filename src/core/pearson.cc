@@ -1,0 +1,69 @@
+#include "core/pearson.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace simrankpp {
+
+namespace {
+
+double MeanEdgeWeight(const BipartiteGraph& graph, QueryId q) {
+  auto edges = graph.QueryEdges(q);
+  if (edges.empty()) return 0.0;
+  double sum = 0.0;
+  for (EdgeId e : edges) sum += graph.edge_weights(e).expected_click_rate;
+  return sum / static_cast<double>(edges.size());
+}
+
+}  // namespace
+
+double PearsonSimilarity(const BipartiteGraph& graph, QueryId q1,
+                         QueryId q2) {
+  if (q1 == q2) return 1.0;
+  std::vector<AdId> common = graph.CommonAds(q1, q2);
+  if (common.empty()) return 0.0;
+
+  double mean1 = MeanEdgeWeight(graph, q1);
+  double mean2 = MeanEdgeWeight(graph, q2);
+
+  double numerator = 0.0;
+  double denom1 = 0.0;
+  double denom2 = 0.0;
+  for (AdId a : common) {
+    // Both edges exist by construction of `common`.
+    double w1 = graph.edge_weights(*graph.FindEdge(q1, a)).expected_click_rate;
+    double w2 = graph.edge_weights(*graph.FindEdge(q2, a)).expected_click_rate;
+    double d1 = w1 - mean1;
+    double d2 = w2 - mean2;
+    numerator += d1 * d2;
+    denom1 += d1 * d1;
+    denom2 += d2 * d2;
+  }
+  double denom = std::sqrt(denom1 * denom2);
+  if (denom == 0.0) return 0.0;
+  return numerator / denom;
+}
+
+SimilarityMatrix ComputePearsonSimilarities(const BipartiteGraph& graph) {
+  SimilarityMatrix matrix(graph.num_queries());
+  std::unordered_set<uint64_t> seen;
+  for (AdId a = 0; a < graph.num_ads(); ++a) {
+    auto edges = graph.AdEdges(a);
+    for (size_t i = 0; i < edges.size(); ++i) {
+      QueryId qi = graph.edge_query(edges[i]);
+      for (size_t j = i + 1; j < edges.size(); ++j) {
+        QueryId qj = graph.edge_query(edges[j]);
+        uint64_t key = qi < qj
+                           ? (static_cast<uint64_t>(qi) << 32) | qj
+                           : (static_cast<uint64_t>(qj) << 32) | qi;
+        if (!seen.insert(key).second) continue;
+        double score = PearsonSimilarity(graph, qi, qj);
+        if (score != 0.0) matrix.Set(qi, qj, score);
+      }
+    }
+  }
+  matrix.Finalize();
+  return matrix;
+}
+
+}  // namespace simrankpp

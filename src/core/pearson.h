@@ -1,0 +1,26 @@
+// The Pearson-correlation baseline of Section 9.1. Pearson can only score
+// query pairs that share at least one ad, which is what limits its query
+// coverage in the evaluation (Figure 8).
+#ifndef SIMRANKPP_CORE_PEARSON_H_
+#define SIMRANKPP_CORE_PEARSON_H_
+
+#include "core/similarity_matrix.h"
+#include "graph/bipartite_graph.h"
+
+namespace simrankpp {
+
+/// \brief sim_pearson(q, q') over the common ads of the two queries, using
+/// the expected click rate as the edge weight w and the mean over ALL of a
+/// query's edges as its centering term (as the paper defines w-bar).
+/// Returns 0 when the queries share no ad or when either centered vector
+/// over the common ads is identically zero.
+double PearsonSimilarity(const BipartiteGraph& graph, QueryId q1, QueryId q2);
+
+/// \brief All-pairs Pearson scores for pairs with >= 1 common ad.
+/// Scores of exactly 0 are not stored; negative correlations are kept
+/// (they are valid similarities in [-1, 1]).
+SimilarityMatrix ComputePearsonSimilarities(const BipartiteGraph& graph);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_PEARSON_H_

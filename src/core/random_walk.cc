@@ -1,0 +1,60 @@
+#include "core/random_walk.h"
+
+#include "util/random.h"
+
+namespace simrankpp {
+
+namespace {
+
+// One synchronized two-surfer trial. `on_query_side` tells which side the
+// surfers currently stand on; u and v are their positions. Returns the
+// accumulated decay product at first meeting, or 0 if they never meet
+// within max_steps (or a surfer strands on a degree-0 node).
+double RunTrial(const BipartiteGraph& graph, bool on_query_side, uint32_t u,
+                uint32_t v, const RandomWalkOptions& options, Rng* rng) {
+  double product = 1.0;
+  for (size_t step = 0; step < options.max_steps; ++step) {
+    product *= on_query_side ? options.c1 : options.c2;
+    if (on_query_side) {
+      auto eu = graph.QueryEdges(u);
+      auto ev = graph.QueryEdges(v);
+      if (eu.empty() || ev.empty()) return 0.0;
+      u = graph.edge_ad(eu[rng->NextBounded(eu.size())]);
+      v = graph.edge_ad(ev[rng->NextBounded(ev.size())]);
+    } else {
+      auto eu = graph.AdEdges(u);
+      auto ev = graph.AdEdges(v);
+      if (eu.empty() || ev.empty()) return 0.0;
+      u = graph.edge_query(eu[rng->NextBounded(eu.size())]);
+      v = graph.edge_query(ev[rng->NextBounded(ev.size())]);
+    }
+    on_query_side = !on_query_side;
+    if (u == v) return product;
+  }
+  return 0.0;
+}
+
+double Estimate(const BipartiteGraph& graph, bool on_query_side, uint32_t u,
+                uint32_t v, const RandomWalkOptions& options) {
+  if (u == v) return 1.0;
+  Rng rng(options.seed);
+  double total = 0.0;
+  for (size_t t = 0; t < options.trials; ++t) {
+    total += RunTrial(graph, on_query_side, u, v, options, &rng);
+  }
+  return total / static_cast<double>(options.trials);
+}
+
+}  // namespace
+
+double EstimateQuerySimRank(const BipartiteGraph& graph, QueryId q1,
+                            QueryId q2, const RandomWalkOptions& options) {
+  return Estimate(graph, /*on_query_side=*/true, q1, q2, options);
+}
+
+double EstimateAdSimRank(const BipartiteGraph& graph, AdId a1, AdId a2,
+                         const RandomWalkOptions& options) {
+  return Estimate(graph, /*on_query_side=*/false, a1, a2, options);
+}
+
+}  // namespace simrankpp

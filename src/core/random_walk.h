@@ -1,0 +1,40 @@
+// Monte-Carlo verification of the random-surfer semantics of Section 5.
+// SimRank's score s(a, b) equals the expected decayed meeting indicator of
+// two synchronized uniform random walks started at a and b: each step both
+// surfers hop to a uniform random neighbor on the opposite side, the
+// accumulated product gains the departing side's decay factor (C2 when
+// leaving the ad side, C1 when leaving the query side), and the trial
+// pays out the product the first time the surfers coincide.
+// The estimator converges to the fixed-point SimRank score, giving an
+// independent end-to-end check of the iterative engines.
+#ifndef SIMRANKPP_CORE_RANDOM_WALK_H_
+#define SIMRANKPP_CORE_RANDOM_WALK_H_
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+
+namespace simrankpp {
+
+/// \brief Monte-Carlo estimation parameters.
+struct RandomWalkOptions {
+  double c1 = 0.8;
+  double c2 = 0.8;
+  size_t trials = 100000;
+  /// Walks longer than this contribute 0 (the decayed tail is negligible
+  /// for max_steps * log(C) << 0).
+  size_t max_steps = 64;
+  uint64_t seed = 42;
+};
+
+/// \brief Estimates the plain SimRank score of two queries by simulation.
+double EstimateQuerySimRank(const BipartiteGraph& graph, QueryId q1,
+                            QueryId q2, const RandomWalkOptions& options);
+
+/// \brief Estimates the plain SimRank score of two ads by simulation.
+double EstimateAdSimRank(const BipartiteGraph& graph, AdId a1, AdId a2,
+                         const RandomWalkOptions& options);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_RANDOM_WALK_H_

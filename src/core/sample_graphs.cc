@@ -1,0 +1,81 @@
+#include "core/sample_graphs.h"
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace simrankpp {
+
+namespace {
+
+BipartiteGraph BuildOrDie(const GraphBuilder& builder) {
+  Result<BipartiteGraph> result = builder.Build();
+  SRPP_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+}  // namespace
+
+BipartiteGraph MakeFigure3Graph() {
+  GraphBuilder b;
+  SRPP_CHECK(b.AddClick("pc", "hp.com").ok());
+  SRPP_CHECK(b.AddClick("camera", "hp.com").ok());
+  SRPP_CHECK(b.AddClick("camera", "bestbuy.com").ok());
+  SRPP_CHECK(b.AddClick("digital camera", "hp.com").ok());
+  SRPP_CHECK(b.AddClick("digital camera", "bestbuy.com").ok());
+  SRPP_CHECK(b.AddClick("tv", "bestbuy.com").ok());
+  SRPP_CHECK(b.AddClick("flower", "teleflora.com").ok());
+  SRPP_CHECK(b.AddClick("flower", "orchids.com").ok());
+  return BuildOrDie(b);
+}
+
+BipartiteGraph MakeFigure4K22() {
+  GraphBuilder b;
+  SRPP_CHECK(b.AddClick("camera", "hp.com").ok());
+  SRPP_CHECK(b.AddClick("camera", "bestbuy.com").ok());
+  SRPP_CHECK(b.AddClick("digital camera", "hp.com").ok());
+  SRPP_CHECK(b.AddClick("digital camera", "bestbuy.com").ok());
+  return BuildOrDie(b);
+}
+
+BipartiteGraph MakeFigure4K12() {
+  GraphBuilder b;
+  SRPP_CHECK(b.AddClick("pc", "ipod").ok());
+  SRPP_CHECK(b.AddClick("camera", "ipod").ok());
+  return BuildOrDie(b);
+}
+
+BipartiteGraph MakeFigure5Graph(bool balanced) {
+  GraphBuilder b;
+  if (balanced) {
+    SRPP_CHECK(b.AddWeightedClick("flower", "flowersusa.com", 100).ok());
+    SRPP_CHECK(b.AddWeightedClick("orchids", "flowersusa.com", 100).ok());
+  } else {
+    SRPP_CHECK(b.AddWeightedClick("flower", "flowersusa.com", 150).ok());
+    SRPP_CHECK(b.AddWeightedClick("teleflora", "flowersusa.com", 50).ok());
+  }
+  return BuildOrDie(b);
+}
+
+BipartiteGraph MakeFigure6Graph(bool heavy) {
+  GraphBuilder b;
+  double w = heavy ? 100.0 : 10.0;
+  const char* partner = heavy ? "orchids" : "teleflora";
+  SRPP_CHECK(b.AddWeightedClick("flower", "flowersusa.com", w).ok());
+  SRPP_CHECK(b.AddWeightedClick(partner, "flowersusa.com", w).ok());
+  return BuildOrDie(b);
+}
+
+BipartiteGraph MakeCompleteBipartite(size_t m, size_t n) {
+  GraphBuilder b;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      SRPP_CHECK(b.AddClick(StringPrintf("q%zu", i),
+                            StringPrintf("a%zu", j))
+                     .ok());
+    }
+  }
+  return BuildOrDie(b);
+}
+
+}  // namespace simrankpp

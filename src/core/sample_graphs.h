@@ -1,0 +1,50 @@
+// The worked example graphs from the paper (Figures 3-6) plus complete
+// bipartite generators. Benches and tests reproduce the paper's tables
+// directly from these.
+#ifndef SIMRANKPP_CORE_SAMPLE_GRAPHS_H_
+#define SIMRANKPP_CORE_SAMPLE_GRAPHS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "graph/bipartite_graph.h"
+
+namespace simrankpp {
+
+/// \brief Figure 3: the unweighted sample click graph.
+/// Queries: pc, camera, digital camera, tv, flower.
+/// Ads: hp.com, bestbuy.com, teleflora.com, orchids.com.
+/// Edges: pc-hp; camera-{hp,bestbuy}; digital camera-{hp,bestbuy};
+/// tv-bestbuy; flower-{teleflora,orchids}. Every edge carries weight 1.
+/// This edge set realizes every statement the paper makes about the graph:
+/// common-ad counts of Table 1, the K2,2 on {camera, digital camera} x
+/// {hp, bestbuy}, and flower's isolation from the rest.
+BipartiteGraph MakeFigure3Graph();
+
+/// \brief Figure 4(a): K2,2 with queries {camera, digital camera} and ads
+/// {hp.com, bestbuy.com}.
+BipartiteGraph MakeFigure4K22();
+
+/// \brief Figure 4(b): K1,2 with ad {ipod} clicked for queries
+/// {pc, camera}. (One node on the ad side, two on the query side: the
+/// query pair shares exactly one common ad.)
+BipartiteGraph MakeFigure4K12();
+
+/// \brief Figure 5: two weighted graphs where one ad is clicked from two
+/// queries. `balanced` selects the left graph (equal weights 100/100,
+/// "flower"-"orchids"); otherwise the right graph (skewed 150/50,
+/// "flower"-"teleflora").
+BipartiteGraph MakeFigure5Graph(bool balanced);
+
+/// \brief Figure 6: two weighted graphs with equal spread but different
+/// magnitudes. `heavy` selects the graph whose query pair sends more
+/// clicks (100/100 vs 10/10).
+BipartiteGraph MakeFigure6Graph(bool heavy);
+
+/// \brief Complete bipartite K_{m,n}: V1 = queries q0..q(m-1), V2 = ads
+/// a0..a(n-1), all edges with weight 1.
+BipartiteGraph MakeCompleteBipartite(size_t m, size_t n);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_SAMPLE_GRAPHS_H_

@@ -1,0 +1,90 @@
+#include "core/similarity_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace simrankpp {
+
+SimilarityMatrix::SimilarityMatrix(size_t num_nodes)
+    : num_nodes_(num_nodes) {}
+
+void SimilarityMatrix::Set(uint32_t u, uint32_t v, double score) {
+  assert(u != v && "self-similarity is fixed at 1 and cannot be set");
+  assert(u < num_nodes_ && v < num_nodes_);
+  finalized_ = false;
+  if (score == 0.0) {
+    scores_.erase(PairKey(u, v));
+  } else {
+    scores_[PairKey(u, v)] = score;
+  }
+}
+
+double SimilarityMatrix::Get(uint32_t u, uint32_t v) const {
+  if (u == v) return 1.0;
+  auto it = scores_.find(PairKey(u, v));
+  return it == scores_.end() ? 0.0 : it->second;
+}
+
+bool SimilarityMatrix::Contains(uint32_t u, uint32_t v) const {
+  if (u == v) return false;
+  return scores_.count(PairKey(u, v)) > 0;
+}
+
+void SimilarityMatrix::ForEachPair(
+    const std::function<void(uint32_t, uint32_t, double)>& fn) const {
+  for (const auto& [key, score] : scores_) {
+    fn(static_cast<uint32_t>(key >> 32),
+       static_cast<uint32_t>(key & 0xffffffffu), score);
+  }
+}
+
+void SimilarityMatrix::Finalize() {
+  partners_.assign(num_nodes_, {});
+  for (const auto& [key, score] : scores_) {
+    uint32_t u = static_cast<uint32_t>(key >> 32);
+    uint32_t v = static_cast<uint32_t>(key & 0xffffffffu);
+    partners_[u].push_back({v, score});
+    partners_[v].push_back({u, score});
+  }
+  for (auto& list : partners_) {
+    std::sort(list.begin(), list.end(),
+              [](const ScoredNode& a, const ScoredNode& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.node < b.node;
+              });
+  }
+  finalized_ = true;
+}
+
+std::vector<ScoredNode> SimilarityMatrix::TopK(uint32_t node,
+                                               size_t k) const {
+  assert(finalized_ && "call Finalize() before TopK()");
+  const auto& list = partners_[node];
+  size_t take = std::min(k, list.size());
+  return std::vector<ScoredNode>(list.begin(), list.begin() + take);
+}
+
+const std::vector<ScoredNode>& SimilarityMatrix::Partners(
+    uint32_t node) const {
+  assert(finalized_ && "call Finalize() before Partners()");
+  return partners_[node];
+}
+
+double SimilarityMatrix::MaxAbsDifference(
+    const SimilarityMatrix& other) const {
+  double max_diff = 0.0;
+  for (const auto& [key, score] : scores_) {
+    auto it = other.scores_.find(key);
+    double theirs = it == other.scores_.end() ? 0.0 : it->second;
+    max_diff = std::max(max_diff, std::fabs(score - theirs));
+  }
+  for (const auto& [key, score] : other.scores_) {
+    if (scores_.count(key) == 0) {
+      max_diff = std::max(max_diff, std::fabs(score));
+    }
+  }
+  return max_diff;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,78 @@
+// Sparse symmetric store for pairwise similarity scores over one node set
+// (query-query or ad-ad). Self-similarity is implicitly 1 and never stored;
+// absent pairs read as 0. After Finalize(), per-node partner lists support
+// ranked top-K retrieval, which is what the rewriting front-end consumes.
+#ifndef SIMRANKPP_CORE_SIMILARITY_MATRIX_H_
+#define SIMRANKPP_CORE_SIMILARITY_MATRIX_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace simrankpp {
+
+/// \brief A (node, score) result entry.
+struct ScoredNode {
+  uint32_t node = 0;
+  double score = 0.0;
+
+  bool operator==(const ScoredNode&) const = default;
+};
+
+/// \brief Sparse symmetric similarity scores for n nodes of one type.
+class SimilarityMatrix {
+ public:
+  /// \param num_nodes size of the node set the scores range over.
+  explicit SimilarityMatrix(size_t num_nodes = 0);
+
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// \brief Number of stored (unordered) pairs with nonzero score.
+  size_t num_pairs() const { return scores_.size(); }
+
+  /// \brief Sets s(u, v) = s(v, u) = score. Requires u != v. A score of 0
+  /// erases the pair.
+  void Set(uint32_t u, uint32_t v, double score);
+
+  /// \brief Reads s(u, v): 1 when u == v, 0 when unscored.
+  double Get(uint32_t u, uint32_t v) const;
+
+  /// \brief True when the pair is explicitly stored.
+  bool Contains(uint32_t u, uint32_t v) const;
+
+  /// \brief Invokes fn(u, v, score) for every stored pair, u < v, in
+  /// unspecified order.
+  void ForEachPair(
+      const std::function<void(uint32_t, uint32_t, double)>& fn) const;
+
+  /// \brief Builds per-node partner lists sorted by descending score
+  /// (ties broken by ascending node id for determinism).
+  void Finalize();
+
+  /// \brief Top-k partners of `node` by score (requires Finalize()).
+  /// Returns fewer than k when the node has fewer scored partners.
+  std::vector<ScoredNode> TopK(uint32_t node, size_t k) const;
+
+  /// \brief All scored partners of `node`, descending (requires Finalize()).
+  const std::vector<ScoredNode>& Partners(uint32_t node) const;
+
+  /// \brief Largest absolute difference against another matrix over the
+  /// union of stored pairs (used to compare engines).
+  double MaxAbsDifference(const SimilarityMatrix& other) const;
+
+ private:
+  static uint64_t PairKey(uint32_t u, uint32_t v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  }
+
+  size_t num_nodes_ = 0;
+  std::unordered_map<uint64_t, double> scores_;
+  bool finalized_ = false;
+  std::vector<std::vector<ScoredNode>> partners_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_SIMILARITY_MATRIX_H_

@@ -1,0 +1,64 @@
+// Abstract interface shared by the SimRank computation engines. Two
+// implementations exist:
+//  - DenseSimRankEngine: exact dense-matrix iteration, O((|Q|+|A|)^2)
+//    memory; the reference implementation for small graphs and for
+//    validating the sparse engine.
+//  - SparseSimRankEngine: threshold-pruned pair maps, scaling to the
+//    Table-5-sized subgraphs the evaluation uses.
+// Both implement the same three variants (plain / evidence-based /
+// weighted, see SimRankVariant) with identical read-side semantics.
+#ifndef SIMRANKPP_CORE_SIMRANK_ENGINE_H_
+#define SIMRANKPP_CORE_SIMRANK_ENGINE_H_
+
+#include <memory>
+
+#include "core/similarity_matrix.h"
+#include "core/simrank_options.h"
+#include "graph/bipartite_graph.h"
+#include "util/status.h"
+
+namespace simrankpp {
+
+/// \brief Iterative bipartite SimRank computation (all variants).
+class SimRankEngine {
+ public:
+  virtual ~SimRankEngine() = default;
+
+  /// \brief Runs the configured number of iterations on `graph`. The graph
+  /// must outlive the engine's read calls.
+  virtual Status Run(const BipartiteGraph& graph) = 0;
+
+  /// \brief Similarity of two queries under the configured variant
+  /// (evidence factors applied where the variant requires). 1 when q1==q2.
+  virtual double QueryScore(QueryId q1, QueryId q2) const = 0;
+
+  /// \brief Similarity of two ads under the configured variant.
+  virtual double AdScore(AdId a1, AdId a2) const = 0;
+
+  /// \brief Materializes all query-query scores >= min_score as a
+  /// finalized SimilarityMatrix (variant semantics applied).
+  virtual SimilarityMatrix ExportQueryScores(double min_score) const = 0;
+
+  /// \brief Materializes all ad-ad scores >= min_score.
+  virtual SimilarityMatrix ExportAdScores(double min_score) const = 0;
+
+  /// \brief Post-run diagnostics.
+  virtual const SimRankStats& stats() const = 0;
+
+  /// \brief The options the engine was constructed with.
+  virtual const SimRankOptions& options() const = 0;
+};
+
+/// \brief Which engine implementation to instantiate.
+enum class EngineKind {
+  kDense,
+  kSparse,
+};
+
+/// \brief Creates an engine. Returns an error for invalid options.
+Result<std::unique_ptr<SimRankEngine>> CreateSimRankEngine(
+    EngineKind kind, const SimRankOptions& options);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_SIMRANK_ENGINE_H_

@@ -1,0 +1,50 @@
+#include "core/simrank_options.h"
+
+#include "util/string_util.h"
+
+namespace simrankpp {
+
+const char* SimRankVariantName(SimRankVariant variant) {
+  switch (variant) {
+    case SimRankVariant::kSimRank:
+      return "Simrank";
+    case SimRankVariant::kEvidence:
+      return "evidence-based Simrank";
+    case SimRankVariant::kWeighted:
+      return "weighted Simrank";
+  }
+  return "unknown";
+}
+
+Status SimRankOptions::Validate() const {
+  if (c1 <= 0.0 || c1 > 1.0) {
+    return Status::InvalidArgument(
+        StringPrintf("C1 must be in (0, 1], got %f", c1));
+  }
+  if (c2 <= 0.0 || c2 > 1.0) {
+    return Status::InvalidArgument(
+        StringPrintf("C2 must be in (0, 1], got %f", c2));
+  }
+  if (iterations == 0) {
+    return Status::InvalidArgument("iterations must be positive");
+  }
+  if (convergence_epsilon < 0.0) {
+    return Status::InvalidArgument("convergence_epsilon must be >= 0");
+  }
+  if (zero_evidence_floor < 0.0 || zero_evidence_floor > 1.0) {
+    return Status::InvalidArgument("zero_evidence_floor must be in [0, 1]");
+  }
+  if (prune_threshold < 0.0) {
+    return Status::InvalidArgument("prune_threshold must be >= 0");
+  }
+  return Status::OK();
+}
+
+std::string SimRankStats::ToString() const {
+  return StringPrintf(
+      "iterations=%zu last_delta=%.3e query_pairs=%zu ad_pairs=%zu "
+      "elapsed=%.3fs",
+      iterations_run, last_delta, query_pairs, ad_pairs, elapsed_seconds);
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,91 @@
+// Options shared by all SimRank engine variants.
+#ifndef SIMRANKPP_CORE_SIMRANK_OPTIONS_H_
+#define SIMRANKPP_CORE_SIMRANK_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace simrankpp {
+
+/// \brief Which similarity recursion to run.
+enum class SimRankVariant {
+  /// Plain bipartite SimRank (paper Eqs. 4.1 / 4.2).
+  kSimRank,
+  /// Plain SimRank scores post-multiplied by evidence (Eqs. 7.5 / 7.6).
+  kEvidence,
+  /// Weighted SimRank: evidence inside the recursion and W(q,i) transition
+  /// factors replacing the uniform 1/N normalization (Section 8.2).
+  kWeighted,
+};
+
+/// \brief The two evidence formulas of Section 7.
+enum class EvidenceFormula {
+  /// Eq. 7.3: sum_{i=1..n} 2^-i = 1 - 2^-n.
+  kGeometric,
+  /// Eq. 7.4: 1 - e^-n.
+  kExponential,
+};
+
+const char* SimRankVariantName(SimRankVariant variant);
+
+/// \brief Tuning knobs for the engines. Defaults follow the paper: decay
+/// factors C1 = C2 = 0.8 and a small fixed iteration count.
+struct SimRankOptions {
+  SimRankVariant variant = SimRankVariant::kSimRank;
+  EvidenceFormula evidence_formula = EvidenceFormula::kGeometric;
+
+  /// Decay factor C1 of the query-side equation (Eq. 4.1).
+  double c1 = 0.8;
+  /// Decay factor C2 of the ad-side equation (Eq. 4.2).
+  double c2 = 0.8;
+
+  /// Number of SimRank iterations (the paper's tables use up to 7;
+  /// Table 2 reports converged scores, reached well within ~25).
+  size_t iterations = 7;
+
+  /// Early-exit when the largest per-pair change falls below this bound
+  /// (0 disables early exit).
+  double convergence_epsilon = 0.0;
+
+  /// Evidence factor used for pairs with zero common neighbors. The
+  /// paper's Eq. 7.3 gives an empty sum (0) there, which would erase the
+  /// indirect similarities SimRank exists to find (e.g. "pc"-"tv" in
+  /// Fig. 3) and contradict the reported 99% coverage. We therefore scale
+  /// such pairs by a uniform floor below the one-common-ad factor (0.5),
+  /// preserving their relative order while ranking them beneath directly
+  /// evidenced pairs. Set to 0 for the literal formula.
+  double zero_evidence_floor = 0.25;
+
+  /// Sparse engine: drop pair scores below this value after each
+  /// iteration. 0 keeps everything (exact but memory-hungry).
+  double prune_threshold = 1e-4;
+
+  /// Sparse engine: cap on stored partners per node (0 = unlimited).
+  size_t max_partners_per_node = 1000;
+
+  /// Worker threads for the iteration loops (0 = hardware concurrency,
+  /// 1 = single-threaded).
+  size_t num_threads = 1;
+
+  /// \brief Validates ranges (decays in (0,1], thresholds >= 0, ...).
+  Status Validate() const;
+};
+
+/// \brief Post-run diagnostics reported by every engine.
+struct SimRankStats {
+  size_t iterations_run = 0;
+  /// Largest per-pair score change in the final iteration.
+  double last_delta = 0.0;
+  /// Stored query-query / ad-ad pairs after pruning.
+  size_t query_pairs = 0;
+  size_t ad_pairs = 0;
+  double elapsed_seconds = 0.0;
+
+  std::string ToString() const;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_SIMRANK_OPTIONS_H_

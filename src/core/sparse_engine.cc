@@ -1,0 +1,330 @@
+#include "core/sparse_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/evidence.h"
+#include "core/weighted_transitions.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace simrankpp {
+
+SparseSimRankEngine::SparseSimRankEngine(SimRankOptions options)
+    : options_(std::move(options)) {}
+
+Status SparseSimRankEngine::Run(const BipartiteGraph& graph) {
+  SRPP_RETURN_NOT_OK(options_.Validate());
+  Stopwatch timer;
+  graph_ = &graph;
+  query_scores_.clear();
+  ad_scores_.clear();
+
+  if (options_.variant == SimRankVariant::kWeighted) {
+    WeightedTransitionModel model(graph);
+    w_q2a_.resize(graph.num_edges());
+    w_a2q_.resize(graph.num_edges());
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      w_q2a_[e] = model.QueryToAdFactor(e);
+      w_a2q_[e] = model.AdToQueryFactor(e);
+    }
+  }
+
+  stats_ = SimRankStats();
+  for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    // Jacobi: both sides update from the previous iteration's maps.
+    Adjacency ad_adjacency = BuildAdjacency(ad_scores_, graph.num_ads());
+    Adjacency query_adjacency =
+        BuildAdjacency(query_scores_, graph.num_queries());
+    PairMap new_query =
+        UpdateSide(/*query_side=*/true, ad_scores_, ad_adjacency,
+                   options_.c1);
+    PairMap new_ad =
+        UpdateSide(/*query_side=*/false, query_scores_, query_adjacency,
+                   options_.c2);
+    ApplyPartnerCap(&new_query, graph.num_queries());
+    ApplyPartnerCap(&new_ad, graph.num_ads());
+
+    double delta = std::max(MaxDelta(query_scores_, new_query),
+                            MaxDelta(ad_scores_, new_ad));
+    query_scores_ = std::move(new_query);
+    ad_scores_ = std::move(new_ad);
+    stats_.last_delta = delta;
+    ++stats_.iterations_run;
+    if (options_.convergence_epsilon > 0.0 &&
+        delta < options_.convergence_epsilon) {
+      break;
+    }
+  }
+
+  stats_.query_pairs = query_scores_.size();
+  stats_.ad_pairs = ad_scores_.size();
+  stats_.elapsed_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+SparseSimRankEngine::Adjacency SparseSimRankEngine::BuildAdjacency(
+    const PairMap& map, size_t n) const {
+  Adjacency adjacency(n);
+  for (const auto& [key, score] : map) {
+    uint32_t u = static_cast<uint32_t>(key >> 32);
+    uint32_t v = static_cast<uint32_t>(key & 0xffffffffu);
+    adjacency[u].push_back({v, score});
+    adjacency[v].push_back({u, score});
+  }
+  return adjacency;
+}
+
+SparseSimRankEngine::PairMap SparseSimRankEngine::UpdateSide(
+    bool query_side, const PairMap& source_scores,
+    const Adjacency& source_adjacency, double decay) {
+  const BipartiteGraph& g = *graph_;
+  const bool weighted = options_.variant == SimRankVariant::kWeighted;
+  size_t n = query_side ? g.num_queries() : g.num_ads();
+
+  // Edge access abstracted over the side: for a node u on this side,
+  // neighbors(u) yields (opposite-node, edge-id).
+  auto edges_of = [&](uint32_t u) {
+    return query_side ? g.QueryEdges(u) : g.AdEdges(u);
+  };
+  auto other_end = [&](EdgeId e) {
+    return query_side ? g.edge_ad(e) : g.edge_query(e);
+  };
+  auto degree_of = [&](uint32_t u) {
+    return query_side ? g.QueryDegree(u) : g.AdDegree(u);
+  };
+  auto weight_of = [&](EdgeId e) {
+    return query_side ? w_q2a_[e] : w_a2q_[e];
+  };
+  auto opposite_edges_of = [&](uint32_t v) {
+    return query_side ? g.AdEdges(v) : g.QueryEdges(v);
+  };
+  auto opposite_other_end = [&](EdgeId e) {
+    return query_side ? g.edge_query(e) : g.edge_ad(e);
+  };
+
+  // Per-node pass: find candidate partners u' > u and score the pair.
+  std::vector<std::vector<std::pair<uint64_t, double>>> emitted(
+      options_.num_threads == 1 ? 1 : 0);
+  auto process_range = [&](size_t begin, size_t end,
+                           std::vector<std::pair<uint64_t, double>>* out) {
+    std::vector<uint32_t> candidates;
+    for (uint32_t u = static_cast<uint32_t>(begin); u < end; ++u) {
+      candidates.clear();
+      for (EdgeId e : edges_of(u)) {
+        uint32_t mid = other_end(e);
+        // Partners via the identity path s(mid, mid) = 1.
+        for (EdgeId e2 : opposite_edges_of(mid)) {
+          uint32_t partner = opposite_other_end(e2);
+          if (partner > u) candidates.push_back(partner);
+        }
+        // Partners via scored opposite-side pairs (mid, other).
+        for (const ScoredNode& scored : source_adjacency[mid]) {
+          for (EdgeId e2 : opposite_edges_of(scored.node)) {
+            uint32_t partner = opposite_other_end(e2);
+            if (partner > u) candidates.push_back(partner);
+          }
+        }
+      }
+      std::sort(candidates.begin(), candidates.end());
+      candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                       candidates.end());
+
+      for (uint32_t v : candidates) {
+        double sum = 0.0;
+        for (EdgeId eu : edges_of(u)) {
+          uint32_t a = other_end(eu);
+          double wu = weighted ? weight_of(eu) : 1.0;
+          for (EdgeId ev : edges_of(v)) {
+            uint32_t b = other_end(ev);
+            double s = Lookup(source_scores, a, b);
+            if (s == 0.0) continue;
+            double wv = weighted ? weight_of(ev) : 1.0;
+            sum += wu * wv * s;
+          }
+        }
+        double value;
+        if (weighted) {
+          double evidence = query_side ? QueryEvidenceFactor(u, v)
+                                       : AdEvidenceFactor(u, v);
+          value = evidence * decay * sum;
+        } else {
+          size_t du = degree_of(u);
+          size_t dv = degree_of(v);
+          value = du > 0 && dv > 0
+                      ? decay * sum /
+                            (static_cast<double>(du) * static_cast<double>(dv))
+                      : 0.0;
+        }
+        if (value >= options_.prune_threshold && value > 0.0) {
+          out->emplace_back(Key(u, v), value);
+        }
+      }
+    }
+  };
+
+  PairMap result;
+  if (options_.num_threads == 1) {
+    process_range(0, n, &emitted[0]);
+    result.reserve(emitted[0].size());
+    for (const auto& [key, value] : emitted[0]) result.emplace(key, value);
+  } else {
+    ThreadPool pool(options_.num_threads);
+    size_t chunks = pool.num_threads() * 4;
+    size_t chunk_size = (n + chunks - 1) / chunks;
+    std::vector<std::vector<std::pair<uint64_t, double>>> partials;
+    if (chunk_size > 0) {
+      for (size_t begin = 0; begin < n; begin += chunk_size) {
+        partials.emplace_back();
+      }
+      size_t idx = 0;
+      for (size_t begin = 0; begin < n; begin += chunk_size, ++idx) {
+        size_t end = std::min(begin + chunk_size, n);
+        auto* out = &partials[idx];
+        pool.Submit([&process_range, begin, end, out] {
+          process_range(begin, end, out);
+        });
+      }
+      pool.WaitIdle();
+    }
+    size_t total = 0;
+    for (const auto& part : partials) total += part.size();
+    result.reserve(total);
+    for (const auto& part : partials) {
+      for (const auto& [key, value] : part) result.emplace(key, value);
+    }
+  }
+  return result;
+}
+
+void SparseSimRankEngine::ApplyPartnerCap(PairMap* map, size_t n) const {
+  size_t cap = options_.max_partners_per_node;
+  if (cap == 0 || map->empty()) return;
+
+  std::vector<uint32_t> partner_count(n, 0);
+  for (const auto& [key, score] : *map) {
+    (void)score;
+    ++partner_count[static_cast<uint32_t>(key >> 32)];
+    ++partner_count[static_cast<uint32_t>(key & 0xffffffffu)];
+  }
+  bool any_over = false;
+  for (uint32_t c : partner_count) {
+    if (c > cap) {
+      any_over = true;
+      break;
+    }
+  }
+  if (!any_over) return;
+
+  // Per-node cutoff: the cap-th largest incident score (nodes under the
+  // cap keep everything).
+  std::vector<std::vector<double>> node_scores(n);
+  for (const auto& [key, score] : *map) {
+    uint32_t u = static_cast<uint32_t>(key >> 32);
+    uint32_t v = static_cast<uint32_t>(key & 0xffffffffu);
+    if (partner_count[u] > cap) node_scores[u].push_back(score);
+    if (partner_count[v] > cap) node_scores[v].push_back(score);
+  }
+  std::vector<double> cutoff(n, 0.0);
+  for (size_t u = 0; u < n; ++u) {
+    auto& scores = node_scores[u];
+    if (scores.size() <= cap) continue;
+    std::nth_element(scores.begin(), scores.begin() + (cap - 1),
+                     scores.end(), std::greater<double>());
+    cutoff[u] = scores[cap - 1];
+  }
+
+  // A pair survives when it makes the top-K of either endpoint; this keeps
+  // the map symmetric without orphaning one direction.
+  PairMap kept;
+  kept.reserve(map->size());
+  for (const auto& [key, score] : *map) {
+    uint32_t u = static_cast<uint32_t>(key >> 32);
+    uint32_t v = static_cast<uint32_t>(key & 0xffffffffu);
+    bool keep_u = partner_count[u] <= cap || score >= cutoff[u];
+    bool keep_v = partner_count[v] <= cap || score >= cutoff[v];
+    if (keep_u || keep_v) kept.emplace(key, score);
+  }
+  *map = std::move(kept);
+}
+
+double SparseSimRankEngine::MaxDelta(const PairMap& old_map,
+                                     const PairMap& new_map) const {
+  double delta = 0.0;
+  for (const auto& [key, value] : new_map) {
+    auto it = old_map.find(key);
+    double old_value = it == old_map.end() ? 0.0 : it->second;
+    delta = std::max(delta, std::fabs(value - old_value));
+  }
+  for (const auto& [key, value] : old_map) {
+    if (new_map.count(key) == 0) delta = std::max(delta, value);
+  }
+  return delta;
+}
+
+double SparseSimRankEngine::QueryEvidenceFactor(QueryId q1, QueryId q2) const {
+  return EvidenceWithFloor(graph_->CountCommonAds(q1, q2),
+                           options_.evidence_formula,
+                           options_.zero_evidence_floor);
+}
+
+double SparseSimRankEngine::AdEvidenceFactor(AdId a1, AdId a2) const {
+  return EvidenceWithFloor(graph_->CountCommonQueries(a1, a2),
+                           options_.evidence_formula,
+                           options_.zero_evidence_floor);
+}
+
+double SparseSimRankEngine::RawQueryScore(QueryId q1, QueryId q2) const {
+  return Lookup(query_scores_, q1, q2);
+}
+
+double SparseSimRankEngine::QueryScore(QueryId q1, QueryId q2) const {
+  double raw = Lookup(query_scores_, q1, q2);
+  if (q1 == q2) return 1.0;
+  if (options_.variant == SimRankVariant::kEvidence && raw != 0.0) {
+    return QueryEvidenceFactor(q1, q2) * raw;
+  }
+  return raw;
+}
+
+double SparseSimRankEngine::AdScore(AdId a1, AdId a2) const {
+  double raw = Lookup(ad_scores_, a1, a2);
+  if (a1 == a2) return 1.0;
+  if (options_.variant == SimRankVariant::kEvidence && raw != 0.0) {
+    return AdEvidenceFactor(a1, a2) * raw;
+  }
+  return raw;
+}
+
+SimilarityMatrix SparseSimRankEngine::ExportQueryScores(
+    double min_score) const {
+  SimilarityMatrix matrix(graph_->num_queries());
+  for (const auto& [key, raw] : query_scores_) {
+    uint32_t u = static_cast<uint32_t>(key >> 32);
+    uint32_t v = static_cast<uint32_t>(key & 0xffffffffu);
+    double score = raw;
+    if (options_.variant == SimRankVariant::kEvidence) {
+      score = QueryEvidenceFactor(u, v) * raw;
+    }
+    if (score >= min_score && score != 0.0) matrix.Set(u, v, score);
+  }
+  matrix.Finalize();
+  return matrix;
+}
+
+SimilarityMatrix SparseSimRankEngine::ExportAdScores(double min_score) const {
+  SimilarityMatrix matrix(graph_->num_ads());
+  for (const auto& [key, raw] : ad_scores_) {
+    uint32_t u = static_cast<uint32_t>(key >> 32);
+    uint32_t v = static_cast<uint32_t>(key & 0xffffffffu);
+    double score = raw;
+    if (options_.variant == SimRankVariant::kEvidence) {
+      score = AdEvidenceFactor(u, v) * raw;
+    }
+    if (score >= min_score && score != 0.0) matrix.Set(u, v, score);
+  }
+  matrix.Finalize();
+  return matrix;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,76 @@
+// Threshold-pruned sparse SimRank engine. Scores live in one symmetric
+// pair map per side; candidate pairs are discovered by expanding two hops
+// through the graph and through the previous iteration's scored pairs, so
+// only pairs that can receive mass are ever touched. Pruning (score
+// threshold + per-node partner cap) keeps memory bounded on power-law
+// click graphs, which is how SimRank is deployed at the paper's scale.
+#ifndef SIMRANKPP_CORE_SPARSE_ENGINE_H_
+#define SIMRANKPP_CORE_SPARSE_ENGINE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/simrank_engine.h"
+
+namespace simrankpp {
+
+/// \brief Scalable SimRank engine with score pruning.
+class SparseSimRankEngine : public SimRankEngine {
+ public:
+  explicit SparseSimRankEngine(SimRankOptions options);
+
+  Status Run(const BipartiteGraph& graph) override;
+  double QueryScore(QueryId q1, QueryId q2) const override;
+  double AdScore(AdId a1, AdId a2) const override;
+  SimilarityMatrix ExportQueryScores(double min_score) const override;
+  SimilarityMatrix ExportAdScores(double min_score) const override;
+  const SimRankStats& stats() const override { return stats_; }
+  const SimRankOptions& options() const override { return options_; }
+
+  /// \brief Raw (pre-evidence) iterated score between queries.
+  double RawQueryScore(QueryId q1, QueryId q2) const;
+
+ private:
+  using PairMap = std::unordered_map<uint64_t, double>;
+  // Partner adjacency derived from a PairMap: per node, (other, score).
+  using Adjacency = std::vector<std::vector<ScoredNode>>;
+
+  static uint64_t Key(uint32_t u, uint32_t v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  }
+  static double Lookup(const PairMap& map, uint32_t u, uint32_t v) {
+    if (u == v) return 1.0;
+    auto it = map.find(Key(u, v));
+    return it == map.end() ? 0.0 : it->second;
+  }
+
+  Adjacency BuildAdjacency(const PairMap& map, size_t n) const;
+
+  /// One Jacobi update of one side. `source` indexes the opposite side's
+  /// previous scores. Emits the new map for this side.
+  PairMap UpdateSide(bool query_side, const PairMap& source_scores,
+                     const Adjacency& source_adjacency, double decay);
+
+  /// Applies the per-node top-K cap (a pair survives when it ranks within
+  /// the top K of either endpoint).
+  void ApplyPartnerCap(PairMap* map, size_t n) const;
+
+  double MaxDelta(const PairMap& old_map, const PairMap& new_map) const;
+
+  /// Evidence factor for a query pair under the configured formula+floor.
+  double QueryEvidenceFactor(QueryId q1, QueryId q2) const;
+  double AdEvidenceFactor(AdId a1, AdId a2) const;
+
+  SimRankOptions options_;
+  SimRankStats stats_;
+  const BipartiteGraph* graph_ = nullptr;
+  PairMap query_scores_;
+  PairMap ad_scores_;
+  std::vector<double> w_q2a_;
+  std::vector<double> w_a2q_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_SPARSE_ENGINE_H_

@@ -1,0 +1,86 @@
+#include "core/weighted_transitions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace simrankpp {
+
+WeightedTransitionModel::WeightedTransitionModel(const BipartiteGraph& graph)
+    : graph_(&graph) {
+  size_t nq = graph.num_queries();
+  size_t na = graph.num_ads();
+  size_t ne = graph.num_edges();
+
+  query_variance_.assign(nq, 0.0);
+  ad_variance_.assign(na, 0.0);
+  query_spread_.assign(nq, 1.0);
+  ad_spread_.assign(na, 1.0);
+  query_to_ad_.assign(ne, 0.0);
+  ad_to_query_.assign(ne, 0.0);
+
+  std::vector<double> query_weight_sum(nq, 0.0);
+  std::vector<double> ad_weight_sum(na, 0.0);
+  std::vector<double> query_weight_sq(nq, 0.0);
+  std::vector<double> ad_weight_sq(na, 0.0);
+  std::vector<uint32_t> query_deg(nq, 0);
+  std::vector<uint32_t> ad_deg(na, 0);
+
+  for (EdgeId e = 0; e < ne; ++e) {
+    double w = graph.edge_weights(e).expected_click_rate;
+    QueryId q = graph.edge_query(e);
+    AdId a = graph.edge_ad(e);
+    query_weight_sum[q] += w;
+    query_weight_sq[q] += w * w;
+    ++query_deg[q];
+    ad_weight_sum[a] += w;
+    ad_weight_sq[a] += w * w;
+    ++ad_deg[a];
+  }
+
+  auto population_variance = [](double sum, double sum_sq, uint32_t n) {
+    if (n == 0) return 0.0;
+    double mean = sum / n;
+    double v = sum_sq / n - mean * mean;
+    return v < 0.0 ? 0.0 : v;  // guard FP cancellation
+  };
+
+  for (QueryId q = 0; q < nq; ++q) {
+    query_variance_[q] =
+        population_variance(query_weight_sum[q], query_weight_sq[q],
+                            query_deg[q]);
+    query_spread_[q] = std::exp(-query_variance_[q]);
+  }
+  for (AdId a = 0; a < na; ++a) {
+    ad_variance_[a] = population_variance(ad_weight_sum[a], ad_weight_sq[a],
+                                          ad_deg[a]);
+    ad_spread_[a] = std::exp(-ad_variance_[a]);
+  }
+
+  for (EdgeId e = 0; e < ne; ++e) {
+    double w = graph.edge_weights(e).expected_click_rate;
+    QueryId q = graph.edge_query(e);
+    AdId a = graph.edge_ad(e);
+    // A node whose edges all have weight 0 walks nowhere; its factors stay
+    // 0 and all mass remains on the self-transition.
+    query_to_ad_[e] = query_weight_sum[q] > 0.0
+                          ? ad_spread_[a] * w / query_weight_sum[q]
+                          : 0.0;
+    ad_to_query_[e] = ad_weight_sum[a] > 0.0
+                          ? query_spread_[q] * w / ad_weight_sum[a]
+                          : 0.0;
+  }
+}
+
+double WeightedTransitionModel::QuerySelfTransition(QueryId q) const {
+  double out = 0.0;
+  for (EdgeId e : graph_->QueryEdges(q)) out += query_to_ad_[e];
+  return std::max(0.0, 1.0 - out);
+}
+
+double WeightedTransitionModel::AdSelfTransition(AdId a) const {
+  double out = 0.0;
+  for (EdgeId e : graph_->AdEdges(a)) out += ad_to_query_[e];
+  return std::max(0.0, 1.0 - out);
+}
+
+}  // namespace simrankpp

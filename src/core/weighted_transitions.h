@@ -1,0 +1,67 @@
+// The weighted-SimRank transition model of Section 8.2. For an edge from
+// node alpha to neighbor i, the revised random walk uses
+//   p(alpha, i) = spread(i) * normalized_weight(alpha, i)
+//   spread(i) = exp(-variance(i))
+//   normalized_weight(alpha, i) = w(alpha,i) / sum_{j in E(alpha)} w(alpha,j)
+// with the leftover probability mass 1 - sum_i p(alpha, i) staying on
+// alpha (self-transition). variance(i) is the variance of the expected
+// click rates of the edges incident to i, which realizes the two
+// consistency rules of Definition 8.1: low-variance (balanced) neighbors
+// and heavier edges both push similarity up.
+#ifndef SIMRANKPP_CORE_WEIGHTED_TRANSITIONS_H_
+#define SIMRANKPP_CORE_WEIGHTED_TRANSITIONS_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace simrankpp {
+
+/// \brief Precomputed W(q,i) / W(alpha,i) factors for every edge of a
+/// click graph, in both directions.
+class WeightedTransitionModel {
+ public:
+  /// Precomputes variances, spreads, and weight sums in O(edges).
+  explicit WeightedTransitionModel(const BipartiteGraph& graph);
+
+  /// \brief Variance of the expected click rates incident to query q
+  /// (population variance; 0 for degree <= 1 edge sets with one value).
+  double QueryVariance(QueryId q) const { return query_variance_[q]; }
+
+  /// \brief Variance of the expected click rates incident to ad a.
+  double AdVariance(AdId a) const { return ad_variance_[a]; }
+
+  /// \brief spread(q) = exp(-variance(q)).
+  double QuerySpread(QueryId q) const { return query_spread_[q]; }
+
+  /// \brief spread(a) = exp(-variance(a)).
+  double AdSpread(AdId a) const { return ad_spread_[a]; }
+
+  /// \brief W(q, a) for the edge e from query q to ad a:
+  /// spread(a) * w(q,a) / sum_{j in E(q)} w(q,j).
+  double QueryToAdFactor(EdgeId e) const { return query_to_ad_[e]; }
+
+  /// \brief W(alpha, q) for the edge e from ad alpha to query q:
+  /// spread(q) * w(alpha,q) / sum_{j in E(alpha)} w(alpha,j).
+  double AdToQueryFactor(EdgeId e) const { return ad_to_query_[e]; }
+
+  /// \brief Self-transition probability of query q:
+  /// 1 - sum_{i in E(q)} p(q, i), clamped at 0 for FP safety.
+  double QuerySelfTransition(QueryId q) const;
+
+  /// \brief Self-transition probability of ad a.
+  double AdSelfTransition(AdId a) const;
+
+ private:
+  const BipartiteGraph* graph_;
+  std::vector<double> query_variance_;
+  std::vector<double> ad_variance_;
+  std::vector<double> query_spread_;
+  std::vector<double> ad_spread_;
+  std::vector<double> query_to_ad_;   // indexed by EdgeId
+  std::vector<double> ad_to_query_;   // indexed by EdgeId
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_WEIGHTED_TRANSITIONS_H_

@@ -1,0 +1,203 @@
+#include "eval/desirability_experiment.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "core/desirability.h"
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace simrankpp {
+
+namespace {
+
+// Rebuilds the graph without the given edges, preserving node ids (labels
+// are inserted in id order before any edge).
+Result<BipartiteGraph> RemoveEdges(const BipartiteGraph& graph,
+                                   const std::vector<EdgeId>& removed) {
+  std::unordered_set<EdgeId> removed_set(removed.begin(), removed.end());
+  GraphBuilder builder;
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    builder.AddQuery(graph.query_label(q));
+  }
+  for (AdId a = 0; a < graph.num_ads(); ++a) {
+    builder.AddAd(graph.ad_label(a));
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (removed_set.count(e) > 0) continue;
+    SRPP_RETURN_NOT_OK(builder.AddObservation(graph.edge_query(e),
+                                              graph.edge_ad(e),
+                                              graph.edge_weights(e)));
+  }
+  return builder.Build();
+}
+
+// True when `target` is reachable from `start` within max_hops edges
+// (query-side BFS over the bipartite graph).
+bool QueriesConnected(const BipartiteGraph& graph, QueryId start,
+                      QueryId target, size_t max_hops) {
+  if (start == target) return true;
+  std::vector<bool> seen_query(graph.num_queries(), false);
+  std::vector<bool> seen_ad(graph.num_ads(), false);
+  // (is_query, node, hops used so far)
+  std::deque<std::tuple<bool, uint32_t, size_t>> frontier;
+  seen_query[start] = true;
+  frontier.emplace_back(true, start, 0);
+  while (!frontier.empty()) {
+    auto [is_query, node, hops] = frontier.front();
+    frontier.pop_front();
+    if (hops >= max_hops) continue;
+    if (is_query) {
+      for (EdgeId e : graph.QueryEdges(node)) {
+        AdId a = graph.edge_ad(e);
+        if (!seen_ad[a]) {
+          seen_ad[a] = true;
+          frontier.emplace_back(false, a, hops + 1);
+        }
+      }
+    } else {
+      for (EdgeId e : graph.AdEdges(node)) {
+        QueryId q = graph.edge_query(e);
+        if (q == target) return true;
+        if (!seen_query[q]) {
+          seen_query[q] = true;
+          frontier.emplace_back(true, q, hops + 1);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::vector<DesirabilityTrial>> SampleDesirabilityTrials(
+    const BipartiteGraph& graph,
+    const DesirabilityExperimentOptions& options) {
+  if (graph.num_queries() < 3) {
+    return Status::FailedPrecondition(
+        "graph too small for the desirability experiment");
+  }
+  Rng rng(options.seed);
+  std::vector<DesirabilityTrial> trials;
+  std::unordered_set<QueryId> used_q1;
+
+  size_t attempts = 0;
+  while (trials.size() < options.num_trials &&
+         attempts++ < options.max_attempts) {
+    QueryId q1 =
+        static_cast<QueryId>(rng.NextBounded(graph.num_queries()));
+    if (used_q1.count(q1) > 0) continue;
+    if (graph.QueryDegree(q1) == 0) continue;
+
+    // Candidates co-click one common ad of q1 (the Figure 7 geometry):
+    // the shared structure makes the two similarity scores directly
+    // comparable.
+    auto q1_edges = graph.QueryEdges(q1);
+    EdgeId via = q1_edges[rng.NextBounded(q1_edges.size())];
+    AdId alpha = graph.edge_ad(via);
+    std::vector<QueryId> partners;
+    for (EdgeId e : graph.AdEdges(alpha)) {
+      QueryId other = graph.edge_query(e);
+      if (other != q1 &&
+          graph.QueryDegree(other) >= options.min_candidate_degree) {
+        partners.push_back(other);
+      }
+    }
+    if (partners.size() < 2) continue;
+    size_t i = rng.NextBounded(partners.size());
+    size_t j = rng.NextBounded(partners.size());
+    if (i == j) continue;
+    QueryId q2 = partners[i];
+    QueryId q3 = partners[j];
+    // Equalize the structural evidence: each candidate shares exactly the
+    // ad alpha with q1 and both have the same degree, so the desirability
+    // ordering is carried by the edge weights alone — the quantity the
+    // experiment probes.
+    if (graph.CountCommonAds(q1, q2) != 1 ||
+        graph.CountCommonAds(q1, q3) != 1 ||
+        graph.QueryDegree(q2) != graph.QueryDegree(q3)) {
+      continue;
+    }
+
+    DesirabilityTrial trial;
+    trial.q1 = q1;
+    trial.q2 = q2;
+    trial.q3 = q3;
+    trial.des_q2 = Desirability(graph, q1, q2);
+    trial.des_q3 = Desirability(graph, q1, q3);
+    if (trial.des_q2 == trial.des_q3) continue;  // no ordering to predict
+
+    // Remove every edge from q1 to an ad shared with q2 or q3.
+    std::unordered_set<AdId> shared;
+    for (AdId a : graph.CommonAds(q1, q2)) shared.insert(a);
+    for (AdId a : graph.CommonAds(q1, q3)) shared.insert(a);
+    for (EdgeId e : graph.QueryEdges(q1)) {
+      if (shared.count(graph.edge_ad(e)) > 0) {
+        trial.removed_edges.push_back(e);
+      }
+    }
+    if (trial.removed_edges.empty()) continue;
+
+    // The paper requires an indirect path to survive so a similarity can
+    // still be computed.
+    SRPP_ASSIGN_OR_RETURN(BipartiteGraph modified,
+                          RemoveEdges(graph, trial.removed_edges));
+    if (!QueriesConnected(modified, q1, q2, options.max_path_hops) ||
+        !QueriesConnected(modified, q1, q3, options.max_path_hops)) {
+      continue;
+    }
+
+    used_q1.insert(q1);
+    trials.push_back(std::move(trial));
+  }
+
+  if (trials.empty()) {
+    return Status::FailedPrecondition(
+        "could not sample any valid desirability trial");
+  }
+  return trials;
+}
+
+Result<std::vector<DesirabilityResult>> RunDesirabilityExperiment(
+    const BipartiteGraph& graph,
+    const DesirabilityExperimentOptions& options) {
+  SRPP_ASSIGN_OR_RETURN(std::vector<DesirabilityTrial> trials,
+                        SampleDesirabilityTrials(graph, options));
+
+  const SimRankVariant variants[] = {SimRankVariant::kSimRank,
+                                     SimRankVariant::kEvidence,
+                                     SimRankVariant::kWeighted};
+  std::vector<DesirabilityResult> results;
+  for (SimRankVariant variant : variants) {
+    DesirabilityResult result;
+    result.method = SimRankVariantName(variant);
+    result.trials = trials.size();
+    results.push_back(result);
+  }
+
+  for (const DesirabilityTrial& trial : trials) {
+    SRPP_ASSIGN_OR_RETURN(BipartiteGraph modified,
+                          RemoveEdges(graph, trial.removed_edges));
+    for (size_t v = 0; v < 3; ++v) {
+      SimRankOptions engine_options = options.simrank;
+      engine_options.variant = variants[v];
+      SRPP_ASSIGN_OR_RETURN(
+          std::unique_ptr<SimRankEngine> engine,
+          CreateSimRankEngine(options.engine, engine_options));
+      SRPP_RETURN_NOT_OK(engine->Run(modified));
+      double sim2 = engine->QueryScore(trial.q1, trial.q2);
+      double sim3 = engine->QueryScore(trial.q1, trial.q3);
+      bool prefers_q2 = trial.des_q2 > trial.des_q3;
+      bool predicted_q2 = sim2 > sim3;
+      bool predicted_q3 = sim3 > sim2;
+      if ((prefers_q2 && predicted_q2) || (!prefers_q2 && predicted_q3)) {
+        ++results[v].correct;
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace simrankpp

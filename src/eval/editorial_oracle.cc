@@ -1,0 +1,29 @@
+#include "eval/editorial_oracle.h"
+
+#include "text/normalize.h"
+
+namespace simrankpp {
+
+EditorialOracle::EditorialOracle(const SyntheticClickGraph* world)
+    : world_(world) {}
+
+EditorialGrade EditorialOracle::Grade(const std::string& query,
+                                      const std::string& rewrite) const {
+  const QueryEntity* q = world_->FindQueryEntity(query);
+  const QueryEntity* r = world_->FindQueryEntity(rewrite);
+  if (q == nullptr || r == nullptr) return EditorialGrade::kMismatch;
+
+  if (q->subtopic == r->subtopic) {
+    if (IntentClassOf(q->intent) == IntentClassOf(r->intent)) {
+      return EditorialGrade::kPrecise;
+    }
+    return EditorialGrade::kApproximate;
+  }
+  if (world_->taxonomy.AreComplements(q->subtopic, r->subtopic) ||
+      q->category == r->category) {
+    return EditorialGrade::kMarginal;
+  }
+  return EditorialGrade::kMismatch;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,42 @@
+// Automated stand-in for the paper's human editorial team. The oracle
+// grades a query-rewrite pair purely from the generator's latent topic
+// coordinates — never from the click graph — mirroring how professional
+// evaluators judged pairs from intent knowledge alone (Section 9.3,
+// "judgment scores are solely based on the evaluator's knowledge, and not
+// on the contents of the click graph").
+#ifndef SIMRANKPP_EVAL_EDITORIAL_ORACLE_H_
+#define SIMRANKPP_EVAL_EDITORIAL_ORACLE_H_
+
+#include <string>
+
+#include "eval/judgment.h"
+#include "synth/click_graph_generator.h"
+
+namespace simrankpp {
+
+/// \brief Latent-truth grader for synthetic query pairs.
+///
+/// Grade mapping (Table 6 semantics):
+///  1 precise     — same subtopic and same intent class (the rewrite
+///                  preserves the user's goal; includes stem variants),
+///  2 approximate — same subtopic, different intent class (topic kept,
+///                  goal narrowed/broadened/shifted),
+///  3 marginal    — same category, or complementary subtopics
+///                  (camera -> camera battery),
+///  4 mismatch    — anything else or unknown text.
+class EditorialOracle {
+ public:
+  /// \param world must outlive the oracle.
+  explicit EditorialOracle(const SyntheticClickGraph* world);
+
+  /// \brief Grades a (query, rewrite) pair by latent relation.
+  EditorialGrade Grade(const std::string& query,
+                       const std::string& rewrite) const;
+
+ private:
+  const SyntheticClickGraph* world_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_EVAL_EDITORIAL_ORACLE_H_

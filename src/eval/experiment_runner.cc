@@ -1,0 +1,153 @@
+#include "eval/experiment_runner.h"
+
+#include "core/pearson.h"
+#include "eval/editorial_oracle.h"
+#include "graph/graph_builder.h"
+#include "rewrite/rewriter.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace simrankpp {
+
+ExperimentConfig::ExperimentConfig() {
+  // Scaled-down defaults (roughly 1:300 of the paper's dataset) tuned so
+  // the full pipeline runs in seconds. Bench binaries may override.
+  extractor.num_subgraphs = 5;
+  extractor.min_nodes_per_subgraph = 600;
+  extractor.max_nodes_per_subgraph = 4000;
+  extractor.ppr.epsilon = 5e-7;
+  extractor.seed = 7;
+
+  bids.base_bid_probability = 0.28;
+  bids.popularity_boost = 0.45;
+
+  workload.sample_size = 1200;
+  workload.seed = 99;
+
+  simrank.iterations = 7;
+  simrank.prune_threshold = 1e-4;
+  simrank.max_partners_per_node = 200;
+  simrank.num_threads = 0;  // use all cores
+
+  min_export_score = 1e-5;
+}
+
+namespace {
+
+Result<MethodReport> BuildReport(
+    const std::string& method_name, const BipartiteGraph& dataset,
+    SimilarityMatrix similarities, const BidDatabase& bids,
+    const RewritePipelineOptions& pipeline,
+    const std::vector<std::string>& eval_queries,
+    const EditorialOracle& oracle) {
+  QueryRewriter rewriter(method_name, &dataset, std::move(similarities),
+                         &bids, pipeline);
+  MethodReport report;
+  report.method = method_name;
+  report.results.reserve(eval_queries.size());
+  for (const std::string& query : eval_queries) {
+    QueryRewriteResult result;
+    result.query = query;
+    // Every eval query is in the dataset by construction of the workload
+    // filter, so a lookup failure is a programming error.
+    SRPP_ASSIGN_OR_RETURN(std::vector<RewriteCandidate> rewrites,
+                          rewriter.RewritesFor(query));
+    for (const RewriteCandidate& candidate : rewrites) {
+      GradedRewrite graded;
+      graded.text = candidate.text;
+      graded.score = candidate.score;
+      graded.grade = oracle.Grade(query, candidate.text);
+      result.rewrites.push_back(std::move(graded));
+    }
+    report.results.push_back(std::move(result));
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<ExperimentOutcome> RunRewritingExperiment(
+    const ExperimentConfig& config) {
+  ExperimentOutcome outcome;
+  Stopwatch timer;
+
+  // 1. The synthetic world (stand-in for the two-week Yahoo! click log).
+  SRPP_ASSIGN_OR_RETURN(outcome.world, GenerateClickGraph(config.generator));
+  SRPP_LOG_INFO << "generated click graph: "
+                << outcome.world.graph.num_queries() << " queries, "
+                << outcome.world.graph.num_ads() << " ads, "
+                << outcome.world.graph.num_edges() << " edges ("
+                << timer.ElapsedSeconds() << "s)";
+
+  // 2. Five-subgraph dataset extraction (Table 5).
+  SRPP_ASSIGN_OR_RETURN(
+      std::vector<ExtractedSubgraph> subgraphs,
+      ExtractSubgraphs(outcome.world.graph, config.extractor));
+  GraphBuilder union_builder;
+  for (const ExtractedSubgraph& extracted : subgraphs) {
+    outcome.subgraph_stats.push_back(ComputeGraphStats(extracted.graph));
+    outcome.subgraph_conductances.push_back(extracted.conductance);
+    SRPP_RETURN_NOT_OK(union_builder.AddGraph(extracted.graph));
+  }
+  SRPP_ASSIGN_OR_RETURN(outcome.dataset, union_builder.Build());
+  SRPP_LOG_INFO << "extracted " << subgraphs.size()
+                << " subgraphs; dataset: " << outcome.dataset.num_queries()
+                << " queries, " << outcome.dataset.num_edges() << " edges";
+
+  // 3. Bid list and evaluation workload.
+  BidDatabase bids(GenerateBidSet(outcome.world, config.bids));
+  outcome.bid_count = bids.size();
+  std::vector<uint32_t> sample = SampleWorkload(outcome.world,
+                                                config.workload);
+  outcome.workload_sample_size = sample.size();
+  outcome.eval_queries =
+      FilterWorkloadToGraph(outcome.world, outcome.dataset, sample);
+  SRPP_LOG_INFO << "evaluation queries: " << outcome.eval_queries.size()
+                << " of " << sample.size() << " sampled";
+
+  EditorialOracle oracle(&outcome.world);
+
+  // 4. The four methods.
+  if (config.include_pearson) {
+    SRPP_ASSIGN_OR_RETURN(
+        MethodReport report,
+        BuildReport("Pearson", outcome.dataset,
+                    ComputePearsonSimilarities(outcome.dataset), bids,
+                    config.pipeline, outcome.eval_queries, oracle));
+    outcome.reports.push_back(std::move(report));
+  }
+
+  const SimRankVariant variants[] = {SimRankVariant::kSimRank,
+                                     SimRankVariant::kEvidence,
+                                     SimRankVariant::kWeighted};
+  for (SimRankVariant variant : variants) {
+    SimRankOptions engine_options = config.simrank;
+    engine_options.variant = variant;
+    if (variant == SimRankVariant::kWeighted) {
+      // The weighted recursion multiplies evidence in at every level, so
+      // raw magnitudes sit an order of magnitude below the plain scores;
+      // prune proportionally lower to retain the same effective depth.
+      engine_options.prune_threshold = config.simrank.prune_threshold * 0.1;
+    }
+    SRPP_ASSIGN_OR_RETURN(std::unique_ptr<SimRankEngine> engine,
+                          CreateSimRankEngine(config.engine, engine_options));
+    SRPP_RETURN_NOT_OK(engine->Run(outcome.dataset));
+    SRPP_LOG_INFO << SimRankVariantName(variant) << ": "
+                  << engine->stats().ToString();
+    SRPP_ASSIGN_OR_RETURN(
+        MethodReport report,
+        BuildReport(SimRankVariantName(variant), outcome.dataset,
+                    engine->ExportQueryScores(config.min_export_score), bids,
+                    config.pipeline, outcome.eval_queries, oracle));
+    outcome.reports.push_back(std::move(report));
+  }
+
+  // 5. Metrics.
+  outcome.evaluations =
+      EvaluateMethods(outcome.reports, config.pipeline.max_rewrites);
+  SRPP_LOG_INFO << "experiment complete in " << timer.ElapsedSeconds()
+                << "s";
+  return outcome;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,19 @@
+#include "eval/judgment.h"
+
+namespace simrankpp {
+
+const char* EditorialGradeName(EditorialGrade grade) {
+  switch (grade) {
+    case EditorialGrade::kPrecise:
+      return "Precise Match";
+    case EditorialGrade::kApproximate:
+      return "Approximate Match";
+    case EditorialGrade::kMarginal:
+      return "Marginal Match";
+    case EditorialGrade::kMismatch:
+      return "Mismatch";
+  }
+  return "unknown";
+}
+
+}  // namespace simrankpp

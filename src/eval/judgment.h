@@ -1,0 +1,42 @@
+// The editorial scoring system of Table 6: every query-rewrite pair gets
+// a grade from 1 (precise match) to 4 (clear mismatch). Precision/recall
+// treats grades {1,2} — or {1} for the threshold-1 experiments — as the
+// positive class.
+#ifndef SIMRANKPP_EVAL_JUDGMENT_H_
+#define SIMRANKPP_EVAL_JUDGMENT_H_
+
+#include <string>
+
+namespace simrankpp {
+
+/// \brief Editorial grades (Table 6).
+enum class EditorialGrade : int {
+  /// Near-certain match of user intent ("corvette car" -> "chevrolet
+  /// corvette").
+  kPrecise = 1,
+  /// Probable but inexact match ("apple music player" -> "ipod shuffle").
+  kApproximate = 2,
+  /// Distant but plausible related topic ("glasses" -> "contact lenses").
+  kMarginal = 3,
+  /// No clear relationship ("time magazine" -> "time & date magazine").
+  kMismatch = 4,
+};
+
+const char* EditorialGradeName(EditorialGrade grade);
+
+/// \brief Positive-class test: grade <= threshold (threshold 2 for the
+/// Figure 9 experiments, threshold 1 for Figure 10).
+inline bool IsRelevant(EditorialGrade grade, int threshold) {
+  return static_cast<int>(grade) <= threshold;
+}
+
+/// \brief A graded rewrite in ranked order for one query.
+struct GradedRewrite {
+  std::string text;
+  double score = 0.0;
+  EditorialGrade grade = EditorialGrade::kMismatch;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_EVAL_JUDGMENT_H_

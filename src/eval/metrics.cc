@@ -1,0 +1,81 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/normalize.h"
+
+namespace simrankpp {
+
+double MethodEvaluation::Coverage() const {
+  if (queries_total == 0) return 0.0;
+  return static_cast<double>(queries_covered) /
+         static_cast<double>(queries_total);
+}
+
+double MethodEvaluation::DepthAtLeast(size_t d) const {
+  if (queries_total == 0) return 0.0;
+  size_t count = 0;
+  for (size_t depth = d; depth < depth_counts.size(); ++depth) {
+    count += depth_counts[depth];
+  }
+  return static_cast<double>(count) / static_cast<double>(queries_total);
+}
+
+std::vector<MethodEvaluation> EvaluateMethods(
+    const std::vector<MethodReport>& reports, size_t max_rewrites) {
+  // Pooled relevant sets per query (by stem key), one per threshold.
+  std::unordered_map<std::string, std::unordered_set<std::string>> pool_t2;
+  std::unordered_map<std::string, std::unordered_set<std::string>> pool_t1;
+  for (const MethodReport& report : reports) {
+    for (const QueryRewriteResult& result : report.results) {
+      for (const GradedRewrite& rewrite : result.rewrites) {
+        std::string key = QueryStemKey(rewrite.text);
+        if (IsRelevant(rewrite.grade, 2)) pool_t2[result.query].insert(key);
+        if (IsRelevant(rewrite.grade, 1)) pool_t1[result.query].insert(key);
+      }
+    }
+  }
+
+  std::vector<MethodEvaluation> evaluations;
+  evaluations.reserve(reports.size());
+  for (const MethodReport& report : reports) {
+    MethodEvaluation eval;
+    eval.method = report.method;
+    eval.queries_total = report.results.size();
+    eval.depth_counts.assign(max_rewrites + 1, 0);
+
+    std::vector<RankedRelevance> ranked_t2;
+    std::vector<RankedRelevance> ranked_t1;
+    ranked_t2.reserve(report.results.size());
+    ranked_t1.reserve(report.results.size());
+
+    for (const QueryRewriteResult& result : report.results) {
+      size_t depth = std::min(result.rewrites.size(), max_rewrites);
+      ++eval.depth_counts[depth];
+      if (!result.rewrites.empty()) ++eval.queries_covered;
+
+      RankedRelevance r2, r1;
+      for (const GradedRewrite& rewrite : result.rewrites) {
+        r2.relevance.push_back(IsRelevant(rewrite.grade, 2));
+        r1.relevance.push_back(IsRelevant(rewrite.grade, 1));
+      }
+      auto it2 = pool_t2.find(result.query);
+      r2.total_relevant = it2 == pool_t2.end() ? 0 : it2->second.size();
+      auto it1 = pool_t1.find(result.query);
+      r1.total_relevant = it1 == pool_t1.end() ? 0 : it1->second.size();
+      ranked_t2.push_back(std::move(r2));
+      ranked_t1.push_back(std::move(r1));
+    }
+
+    eval.precision_at_x = PrecisionAfterX(ranked_t2, max_rewrites);
+    eval.precision_at_x_t1 = PrecisionAfterX(ranked_t1, max_rewrites);
+    eval.eleven_point = ElevenPointCurve(ranked_t2);
+    eval.eleven_point_t1 = ElevenPointCurve(ranked_t1);
+    evaluations.push_back(std::move(eval));
+  }
+  return evaluations;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,58 @@
+// Per-method aggregate metrics: query coverage (Figure 8), rewriting
+// depth (Figure 11), and both precision experiments (Figures 9 and 10).
+#ifndef SIMRANKPP_EVAL_METRICS_H_
+#define SIMRANKPP_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/judgment.h"
+#include "eval/pr_curve.h"
+
+namespace simrankpp {
+
+/// \brief One evaluated query for one method: ranked, graded rewrites.
+struct QueryRewriteResult {
+  std::string query;
+  std::vector<GradedRewrite> rewrites;
+};
+
+/// \brief A method's full evaluation run.
+struct MethodReport {
+  std::string method;
+  std::vector<QueryRewriteResult> results;
+};
+
+/// \brief Computed metrics for one method.
+struct MethodEvaluation {
+  std::string method;
+  size_t queries_total = 0;
+  size_t queries_covered = 0;
+
+  /// depth_counts[d] = number of queries with exactly d rewrites
+  /// (d = 0..max_rewrites).
+  std::vector<size_t> depth_counts;
+
+  /// Micro-averaged P@1..5, positive class = grades {1, 2}.
+  std::vector<double> precision_at_x;
+  /// Same with positive class = grade {1}.
+  std::vector<double> precision_at_x_t1;
+  /// 11-point interpolated PR curve, thresholds 2 and 1.
+  std::vector<double> eleven_point;
+  std::vector<double> eleven_point_t1;
+
+  /// \brief Covered fraction of the evaluation sample.
+  double Coverage() const;
+  /// \brief Fraction of sample queries with depth >= d.
+  double DepthAtLeast(size_t d) const;
+};
+
+/// \brief Computes coverage/depth/precision metrics for every method.
+/// The recall denominators pool relevant rewrites (by stem key) across all
+/// reports, per the paper's recall definition.
+std::vector<MethodEvaluation> EvaluateMethods(
+    const std::vector<MethodReport>& reports, size_t max_rewrites = 5);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_EVAL_METRICS_H_

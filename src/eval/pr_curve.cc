@@ -1,0 +1,60 @@
+#include "eval/pr_curve.h"
+
+#include <algorithm>
+
+namespace simrankpp {
+
+double InterpolatedPrecisionAt(const RankedRelevance& ranked, double recall) {
+  if (ranked.total_relevant == 0) return 0.0;
+  double best = 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < ranked.relevance.size(); ++i) {
+    if (!ranked.relevance[i]) continue;
+    ++hits;
+    double r = static_cast<double>(hits) /
+               static_cast<double>(ranked.total_relevant);
+    double p = static_cast<double>(hits) / static_cast<double>(i + 1);
+    if (r >= recall) best = std::max(best, p);
+  }
+  return best;
+}
+
+std::vector<double> ElevenPointCurve(
+    const std::vector<RankedRelevance>& per_query) {
+  std::vector<double> curve(11, 0.0);
+  size_t counted = 0;
+  for (const RankedRelevance& ranked : per_query) {
+    if (ranked.total_relevant == 0) continue;
+    ++counted;
+    for (size_t level = 0; level <= 10; ++level) {
+      curve[level] +=
+          InterpolatedPrecisionAt(ranked, static_cast<double>(level) / 10.0);
+    }
+  }
+  if (counted > 0) {
+    for (double& p : curve) p /= static_cast<double>(counted);
+  }
+  return curve;
+}
+
+std::vector<double> PrecisionAfterX(
+    const std::vector<RankedRelevance>& per_query, size_t max_x) {
+  std::vector<double> out(max_x, 0.0);
+  for (size_t x = 1; x <= max_x; ++x) {
+    size_t relevant = 0;
+    size_t provided = 0;
+    for (const RankedRelevance& ranked : per_query) {
+      size_t take = std::min(x, ranked.relevance.size());
+      provided += take;
+      for (size_t i = 0; i < take; ++i) {
+        if (ranked.relevance[i]) ++relevant;
+      }
+    }
+    out[x - 1] = provided == 0 ? 0.0
+                               : static_cast<double>(relevant) /
+                                     static_cast<double>(provided);
+  }
+  return out;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,41 @@
+// Precision/recall machinery for Figures 9 and 10: 11-point interpolated
+// precision-recall curves and micro-averaged precision-after-X-rewrites.
+// Recall follows the paper's pooled definition — the relevant set for a
+// query is everything relevant that ANY competing method retrieved.
+#ifndef SIMRANKPP_EVAL_PR_CURVE_H_
+#define SIMRANKPP_EVAL_PR_CURVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace simrankpp {
+
+/// \brief Ranked binary relevance of one query's rewrites plus the pooled
+/// relevant count the recall denominator uses.
+struct RankedRelevance {
+  /// relevance[i] == true iff the i-th ranked rewrite is relevant.
+  std::vector<bool> relevance;
+  /// |pooled relevant rewrites for this query across all methods|.
+  size_t total_relevant = 0;
+};
+
+/// \brief Interpolated precision of one ranked list at recall level r
+/// (max precision over all cutoffs achieving recall >= r). Returns 0 when
+/// total_relevant == 0.
+double InterpolatedPrecisionAt(const RankedRelevance& ranked, double recall);
+
+/// \brief 11-point curve (recall 0.0, 0.1, ..., 1.0) macro-averaged over
+/// queries with a nonzero pooled relevant set.
+std::vector<double> ElevenPointCurve(
+    const std::vector<RankedRelevance>& per_query);
+
+/// \brief Micro-averaged precision after X rewrites for X = 1..max_x:
+/// (relevant rewrites within the top X, summed over queries) divided by
+/// (rewrites present within the top X, summed over queries). Queries with
+/// no rewrites contribute nothing.
+std::vector<double> PrecisionAfterX(
+    const std::vector<RankedRelevance>& per_query, size_t max_x);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_EVAL_PR_CURVE_H_

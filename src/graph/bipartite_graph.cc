@@ -1,0 +1,125 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+
+namespace simrankpp {
+
+std::optional<QueryId> BipartiteGraph::FindQuery(
+    const std::string& label) const {
+  auto it = query_index_.find(label);
+  if (it == query_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<AdId> BipartiteGraph::FindAd(const std::string& label) const {
+  auto it = ad_index_.find(label);
+  if (it == ad_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<EdgeId> BipartiteGraph::FindEdge(QueryId q, AdId a) const {
+  auto edges = QueryEdges(q);
+  auto it = std::lower_bound(
+      edges.begin(), edges.end(), a,
+      [this](EdgeId e, AdId target) { return edge_ads_[e] < target; });
+  if (it == edges.end() || edge_ads_[*it] != a) return std::nullopt;
+  return *it;
+}
+
+double BipartiteGraph::QueryWeightSum(QueryId q) const {
+  double sum = 0.0;
+  for (EdgeId e : QueryEdges(q)) sum += weights_[e].expected_click_rate;
+  return sum;
+}
+
+double BipartiteGraph::AdWeightSum(AdId a) const {
+  double sum = 0.0;
+  for (EdgeId e : AdEdges(a)) sum += weights_[e].expected_click_rate;
+  return sum;
+}
+
+std::vector<AdId> BipartiteGraph::CommonAds(QueryId q1, QueryId q2) const {
+  std::vector<AdId> out;
+  auto e1 = QueryEdges(q1);
+  auto e2 = QueryEdges(q2);
+  size_t i = 0, j = 0;
+  while (i < e1.size() && j < e2.size()) {
+    AdId a1 = edge_ads_[e1[i]];
+    AdId a2 = edge_ads_[e2[j]];
+    if (a1 == a2) {
+      out.push_back(a1);
+      ++i;
+      ++j;
+    } else if (a1 < a2) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<QueryId> BipartiteGraph::CommonQueries(AdId a1, AdId a2) const {
+  std::vector<QueryId> out;
+  auto e1 = AdEdges(a1);
+  auto e2 = AdEdges(a2);
+  size_t i = 0, j = 0;
+  while (i < e1.size() && j < e2.size()) {
+    QueryId q1 = edge_queries_[e1[i]];
+    QueryId q2 = edge_queries_[e2[j]];
+    if (q1 == q2) {
+      out.push_back(q1);
+      ++i;
+      ++j;
+    } else if (q1 < q2) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+size_t BipartiteGraph::CountCommonAds(QueryId q1, QueryId q2) const {
+  size_t count = 0;
+  auto e1 = QueryEdges(q1);
+  auto e2 = QueryEdges(q2);
+  size_t i = 0, j = 0;
+  while (i < e1.size() && j < e2.size()) {
+    AdId a1 = edge_ads_[e1[i]];
+    AdId a2 = edge_ads_[e2[j]];
+    if (a1 == a2) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a1 < a2) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+size_t BipartiteGraph::CountCommonQueries(AdId a1, AdId a2) const {
+  size_t count = 0;
+  auto e1 = AdEdges(a1);
+  auto e2 = AdEdges(a2);
+  size_t i = 0, j = 0;
+  while (i < e1.size() && j < e2.size()) {
+    QueryId q1 = edge_queries_[e1[i]];
+    QueryId q2 = edge_queries_[e2[j]];
+    if (q1 == q2) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (q1 < q2) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,133 @@
+// The click graph: an undirected, weighted, bipartite graph with queries on
+// one side and ads on the other (paper, Section 2). Each edge carries three
+// weights: impressions, clicks, and the expected click rate. The structure
+// is immutable after construction (build through GraphBuilder) and stores
+// CSR adjacency in both directions so both query->ads and ad->queries
+// traversals are cache-friendly.
+#ifndef SIMRANKPP_GRAPH_BIPARTITE_GRAPH_H_
+#define SIMRANKPP_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace simrankpp {
+
+/// Index of a query node within a BipartiteGraph.
+using QueryId = uint32_t;
+/// Index of an ad node within a BipartiteGraph.
+using AdId = uint32_t;
+/// Index of an edge within a BipartiteGraph.
+using EdgeId = uint32_t;
+
+constexpr uint32_t kInvalidId = UINT32_MAX;
+
+/// \brief The three per-edge weights of the click graph (Section 2).
+struct EdgeWeights {
+  /// Number of times the ad was displayed for the query.
+  uint32_t impressions = 0;
+  /// Number of clicks the ad received when displayed for the query
+  /// (<= impressions).
+  uint32_t clicks = 0;
+  /// Position-adjusted clicks-over-impressions rate computed by the
+  /// back-end; this is the weight all weighted experiments use.
+  double expected_click_rate = 0.0;
+};
+
+/// \brief Immutable weighted bipartite click graph.
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+
+  size_t num_queries() const { return query_labels_.size(); }
+  size_t num_ads() const { return ad_labels_.size(); }
+  size_t num_edges() const { return edge_ads_.size(); }
+
+  const std::string& query_label(QueryId q) const { return query_labels_[q]; }
+  const std::string& ad_label(AdId a) const { return ad_labels_[a]; }
+
+  /// \brief Looks up a query node by label.
+  std::optional<QueryId> FindQuery(const std::string& label) const;
+
+  /// \brief Looks up an ad node by label.
+  std::optional<AdId> FindAd(const std::string& label) const;
+
+  /// \brief Edge ids incident to query q, ordered by ad id.
+  std::span<const EdgeId> QueryEdges(QueryId q) const {
+    return {query_adj_.data() + query_offsets_[q],
+            query_offsets_[q + 1] - query_offsets_[q]};
+  }
+
+  /// \brief Edge ids incident to ad a, ordered by query id.
+  std::span<const EdgeId> AdEdges(AdId a) const {
+    return {ad_adj_.data() + ad_offsets_[a],
+            ad_offsets_[a + 1] - ad_offsets_[a]};
+  }
+
+  /// \brief N(q): number of ads adjacent to query q.
+  size_t QueryDegree(QueryId q) const {
+    return query_offsets_[q + 1] - query_offsets_[q];
+  }
+
+  /// \brief N(a): number of queries adjacent to ad a.
+  size_t AdDegree(AdId a) const {
+    return ad_offsets_[a + 1] - ad_offsets_[a];
+  }
+
+  /// \brief Endpoints and weights of an edge.
+  QueryId edge_query(EdgeId e) const { return edge_queries_[e]; }
+  AdId edge_ad(EdgeId e) const { return edge_ads_[e]; }
+  const EdgeWeights& edge_weights(EdgeId e) const { return weights_[e]; }
+
+  /// \brief Finds the edge between q and a (binary search over the query's
+  /// adjacency). Returns nullopt when no click connects them.
+  std::optional<EdgeId> FindEdge(QueryId q, AdId a) const;
+
+  /// \brief Sum of a chosen weight over the edges of a query.
+  /// The weight used is the expected click rate.
+  double QueryWeightSum(QueryId q) const;
+
+  /// \brief Sum of expected click rate over the edges of an ad.
+  double AdWeightSum(AdId a) const;
+
+  /// \brief Ads adjacent to both q1 and q2 (sorted merge; linear in the two
+  /// degrees). This is E(q1) ∩ E(q2) from the evidence definition (Eq. 7.3).
+  std::vector<AdId> CommonAds(QueryId q1, QueryId q2) const;
+
+  /// \brief Queries adjacent to both a1 and a2.
+  std::vector<QueryId> CommonQueries(AdId a1, AdId a2) const;
+
+  /// \brief Number of common ads without materializing them.
+  size_t CountCommonAds(QueryId q1, QueryId q2) const;
+
+  /// \brief Number of common queries without materializing them.
+  size_t CountCommonQueries(AdId a1, AdId a2) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::string> query_labels_;
+  std::vector<std::string> ad_labels_;
+  std::unordered_map<std::string, QueryId> query_index_;
+  std::unordered_map<std::string, AdId> ad_index_;
+
+  // Edge store (parallel arrays).
+  std::vector<QueryId> edge_queries_;
+  std::vector<AdId> edge_ads_;
+  std::vector<EdgeWeights> weights_;
+
+  // CSR adjacency, both directions, neighbor-sorted.
+  std::vector<uint32_t> query_offsets_;  // size num_queries()+1
+  std::vector<EdgeId> query_adj_;
+  std::vector<uint32_t> ad_offsets_;  // size num_ads()+1
+  std::vector<EdgeId> ad_adj_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_GRAPH_BIPARTITE_GRAPH_H_

@@ -1,0 +1,126 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/graph_builder.h"
+
+namespace simrankpp {
+
+ComponentInfo FindConnectedComponents(const BipartiteGraph& graph) {
+  ComponentInfo info;
+  size_t nq = graph.num_queries();
+  size_t na = graph.num_ads();
+  info.query_component.assign(nq, kInvalidId);
+  info.ad_component.assign(na, kInvalidId);
+
+  uint32_t next_component = 0;
+  std::deque<std::pair<bool, uint32_t>> frontier;  // (is_query, node)
+
+  for (QueryId start = 0; start < nq; ++start) {
+    if (info.query_component[start] != kInvalidId) continue;
+    uint32_t comp = next_component++;
+    uint32_t size = 0;
+    info.query_component[start] = comp;
+    frontier.emplace_back(true, start);
+    while (!frontier.empty()) {
+      auto [is_query, node] = frontier.front();
+      frontier.pop_front();
+      ++size;
+      if (is_query) {
+        for (EdgeId e : graph.QueryEdges(node)) {
+          AdId a = graph.edge_ad(e);
+          if (info.ad_component[a] == kInvalidId) {
+            info.ad_component[a] = comp;
+            frontier.emplace_back(false, a);
+          }
+        }
+      } else {
+        for (EdgeId e : graph.AdEdges(node)) {
+          QueryId q = graph.edge_query(e);
+          if (info.query_component[q] == kInvalidId) {
+            info.query_component[q] = comp;
+            frontier.emplace_back(true, q);
+          }
+        }
+      }
+    }
+    info.component_sizes.push_back(size);
+  }
+
+  // Isolated ads (no edges) become singleton components.
+  for (AdId a = 0; a < na; ++a) {
+    if (info.ad_component[a] == kInvalidId) {
+      info.ad_component[a] = next_component++;
+      info.component_sizes.push_back(1);
+    }
+  }
+
+  if (!info.component_sizes.empty()) {
+    info.giant_component = static_cast<uint32_t>(std::distance(
+        info.component_sizes.begin(),
+        std::max_element(info.component_sizes.begin(),
+                         info.component_sizes.end())));
+  }
+  return info;
+}
+
+Result<BipartiteGraph> InducedSubgraphFromQueries(
+    const BipartiteGraph& graph, const std::vector<QueryId>& queries) {
+  std::vector<bool> keep_query(graph.num_queries(), false);
+  for (QueryId q : queries) {
+    if (q >= graph.num_queries()) {
+      return Status::InvalidArgument("query id out of range");
+    }
+    keep_query[q] = true;
+  }
+  GraphBuilder builder;
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    if (!keep_query[q]) continue;
+    for (EdgeId e : graph.QueryEdges(q)) {
+      SRPP_RETURN_NOT_OK(builder.AddObservation(
+          graph.query_label(q), graph.ad_label(graph.edge_ad(e)),
+          graph.edge_weights(e)));
+    }
+  }
+  return builder.Build();
+}
+
+Result<BipartiteGraph> InducedSubgraph(const BipartiteGraph& graph,
+                                       const std::vector<QueryId>& queries,
+                                       const std::vector<AdId>& ads) {
+  std::vector<bool> keep_query(graph.num_queries(), false);
+  std::vector<bool> keep_ad(graph.num_ads(), false);
+  for (QueryId q : queries) {
+    if (q >= graph.num_queries()) {
+      return Status::InvalidArgument("query id out of range");
+    }
+    keep_query[q] = true;
+  }
+  for (AdId a : ads) {
+    if (a >= graph.num_ads()) {
+      return Status::InvalidArgument("ad id out of range");
+    }
+    keep_ad[a] = true;
+  }
+  GraphBuilder builder;
+  // Keep node labels even when a kept node loses all its edges.
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    if (keep_query[q]) builder.AddQuery(graph.query_label(q));
+  }
+  for (AdId a = 0; a < graph.num_ads(); ++a) {
+    if (keep_ad[a]) builder.AddAd(graph.ad_label(a));
+  }
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    if (!keep_query[q]) continue;
+    for (EdgeId e : graph.QueryEdges(q)) {
+      AdId a = graph.edge_ad(e);
+      if (!keep_ad[a]) continue;
+      SRPP_RETURN_NOT_OK(builder.AddObservation(
+          graph.query_label(q), graph.ad_label(a), graph.edge_weights(e)));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,47 @@
+// Connected components over the bipartite graph and induced-subgraph
+// extraction. The paper's dataset prep (Section 9.2) observes one huge
+// connected component plus several small ones and decomposes the giant one;
+// these utilities provide the component analysis half of that pipeline.
+#ifndef SIMRANKPP_GRAPH_COMPONENTS_H_
+#define SIMRANKPP_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "util/status.h"
+
+namespace simrankpp {
+
+/// \brief Component labelling for every node on both sides.
+struct ComponentInfo {
+  /// Component id per query node.
+  std::vector<uint32_t> query_component;
+  /// Component id per ad node.
+  std::vector<uint32_t> ad_component;
+  /// Per-component node count (queries + ads), indexed by component id.
+  std::vector<uint32_t> component_sizes;
+  /// Id of the largest component (0 when the graph is empty).
+  uint32_t giant_component = 0;
+
+  size_t num_components() const { return component_sizes.size(); }
+};
+
+/// \brief Labels connected components with a BFS over both sides.
+ComponentInfo FindConnectedComponents(const BipartiteGraph& graph);
+
+/// \brief Induced subgraph over a set of query nodes: keeps the given
+/// queries, every ad adjacent to at least one of them, and all edges
+/// between kept queries and kept ads. Labels are preserved.
+Result<BipartiteGraph> InducedSubgraphFromQueries(
+    const BipartiteGraph& graph, const std::vector<QueryId>& queries);
+
+/// \brief Induced subgraph over explicit node sets on both sides; only
+/// edges with both endpoints kept survive.
+Result<BipartiteGraph> InducedSubgraph(const BipartiteGraph& graph,
+                                       const std::vector<QueryId>& queries,
+                                       const std::vector<AdId>& ads);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_GRAPH_COMPONENTS_H_

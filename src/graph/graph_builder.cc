@@ -1,0 +1,151 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace simrankpp {
+
+QueryId GraphBuilder::AddQuery(const std::string& label) {
+  auto it = query_index_.find(label);
+  if (it != query_index_.end()) return it->second;
+  QueryId id = static_cast<QueryId>(query_labels_.size());
+  query_labels_.push_back(label);
+  query_index_.emplace(label, id);
+  return id;
+}
+
+AdId GraphBuilder::AddAd(const std::string& label) {
+  auto it = ad_index_.find(label);
+  if (it != ad_index_.end()) return it->second;
+  AdId id = static_cast<AdId>(ad_labels_.size());
+  ad_labels_.push_back(label);
+  ad_index_.emplace(label, id);
+  return id;
+}
+
+Status GraphBuilder::AddObservation(QueryId q, AdId a,
+                                    const EdgeWeights& weights) {
+  if (q >= query_labels_.size()) {
+    return Status::InvalidArgument(
+        StringPrintf("query id %u out of range", q));
+  }
+  if (a >= ad_labels_.size()) {
+    return Status::InvalidArgument(StringPrintf("ad id %u out of range", a));
+  }
+  if (weights.clicks > weights.impressions) {
+    return Status::InvalidArgument(StringPrintf(
+        "clicks (%u) exceed impressions (%u) for edge (%u, %u)",
+        weights.clicks, weights.impressions, q, a));
+  }
+  if (weights.expected_click_rate < 0.0 ||
+      !std::isfinite(weights.expected_click_rate)) {
+    return Status::InvalidArgument(
+        "expected click rate must be finite and non-negative");
+  }
+  uint64_t key = (static_cast<uint64_t>(q) << 32) | a;
+  EdgeWeights& slot = edge_map_[key];
+  slot.impressions += weights.impressions;
+  slot.clicks += weights.clicks;
+  slot.expected_click_rate =
+      std::max(slot.expected_click_rate, weights.expected_click_rate);
+  return Status::OK();
+}
+
+Status GraphBuilder::AddObservation(const std::string& query,
+                                    const std::string& ad,
+                                    const EdgeWeights& weights) {
+  return AddObservation(AddQuery(query), AddAd(ad), weights);
+}
+
+Status GraphBuilder::AddClick(const std::string& query, const std::string& ad) {
+  return AddObservation(query, ad, EdgeWeights{1, 1, 1.0});
+}
+
+Status GraphBuilder::AddWeightedClick(const std::string& query,
+                                      const std::string& ad,
+                                      double expected_click_rate) {
+  uint32_t clicks =
+      static_cast<uint32_t>(std::max(1.0, std::round(expected_click_rate)));
+  return AddObservation(query, ad,
+                        EdgeWeights{clicks, clicks, expected_click_rate});
+}
+
+Status GraphBuilder::AddGraph(const BipartiteGraph& graph) {
+  // Preserve isolated nodes' labels too.
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    AddQuery(graph.query_label(q));
+  }
+  for (AdId a = 0; a < graph.num_ads(); ++a) {
+    AddAd(graph.ad_label(a));
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    SRPP_RETURN_NOT_OK(AddObservation(
+        graph.query_label(graph.edge_query(e)),
+        graph.ad_label(graph.edge_ad(e)), graph.edge_weights(e)));
+  }
+  return Status::OK();
+}
+
+Result<BipartiteGraph> GraphBuilder::Build() const {
+  BipartiteGraph g;
+  g.query_labels_ = query_labels_;
+  g.ad_labels_ = ad_labels_;
+  g.query_index_ = query_index_;
+  g.ad_index_ = ad_index_;
+
+  size_t nq = query_labels_.size();
+  size_t na = ad_labels_.size();
+  size_t ne = edge_map_.size();
+
+  // Deterministic edge order: sort by (query, ad).
+  std::vector<std::pair<uint64_t, EdgeWeights>> edges(edge_map_.begin(),
+                                                      edge_map_.end());
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+
+  g.edge_queries_.reserve(ne);
+  g.edge_ads_.reserve(ne);
+  g.weights_.reserve(ne);
+  for (const auto& [key, w] : edges) {
+    g.edge_queries_.push_back(static_cast<QueryId>(key >> 32));
+    g.edge_ads_.push_back(static_cast<AdId>(key & 0xffffffffu));
+    g.weights_.push_back(w);
+  }
+
+  // Query-side CSR: edges are already sorted by (query, ad).
+  g.query_offsets_.assign(nq + 1, 0);
+  for (QueryId q : g.edge_queries_) ++g.query_offsets_[q + 1];
+  for (size_t i = 0; i < nq; ++i) {
+    g.query_offsets_[i + 1] += g.query_offsets_[i];
+  }
+  g.query_adj_.resize(ne);
+  {
+    std::vector<uint32_t> cursor(g.query_offsets_.begin(),
+                                 g.query_offsets_.end() - 1);
+    for (EdgeId e = 0; e < ne; ++e) {
+      g.query_adj_[cursor[g.edge_queries_[e]]++] = e;
+    }
+  }
+
+  // Ad-side CSR: counting sort by ad; within an ad, edge ids ascend, and
+  // since edges are (query, ad)-sorted, queries ascend too.
+  g.ad_offsets_.assign(na + 1, 0);
+  for (AdId a : g.edge_ads_) ++g.ad_offsets_[a + 1];
+  for (size_t i = 0; i < na; ++i) {
+    g.ad_offsets_[i + 1] += g.ad_offsets_[i];
+  }
+  g.ad_adj_.resize(ne);
+  {
+    std::vector<uint32_t> cursor(g.ad_offsets_.begin(),
+                                 g.ad_offsets_.end() - 1);
+    for (EdgeId e = 0; e < ne; ++e) {
+      g.ad_adj_[cursor[g.edge_ads_[e]]++] = e;
+    }
+  }
+
+  return g;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,94 @@
+#include "graph/graph_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+
+namespace simrankpp {
+
+std::string GraphToTsv(const BipartiteGraph& graph) {
+  std::string out;
+  out += "# simrankpp click graph: query\tad\timpressions\tclicks\t"
+         "expected_click_rate\n";
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const EdgeWeights& w = graph.edge_weights(e);
+    out += graph.query_label(graph.edge_query(e));
+    out += '\t';
+    out += graph.ad_label(graph.edge_ad(e));
+    out += StringPrintf("\t%u\t%u\t%.17g\n", w.impressions, w.clicks,
+                        w.expected_click_rate);
+  }
+  return out;
+}
+
+Result<BipartiteGraph> GraphFromTsv(const std::string& content) {
+  GraphBuilder builder;
+  size_t line_no = 0;
+  for (const std::string& line : SplitString(content, '\n')) {
+    ++line_no;
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = SplitString(trimmed, '\t');
+    if (fields.size() != 5) {
+      return Status::InvalidArgument(StringPrintf(
+          "line %zu: expected 5 tab-separated fields, got %zu", line_no,
+          fields.size()));
+    }
+    char* end = nullptr;
+    errno = 0;
+    unsigned long impressions = std::strtoul(fields[2].c_str(), &end, 10);
+    if (errno != 0 || end == fields[2].c_str() || *end != '\0') {
+      return Status::InvalidArgument(
+          StringPrintf("line %zu: bad impressions field", line_no));
+    }
+    errno = 0;
+    unsigned long clicks = std::strtoul(fields[3].c_str(), &end, 10);
+    if (errno != 0 || end == fields[3].c_str() || *end != '\0') {
+      return Status::InvalidArgument(
+          StringPrintf("line %zu: bad clicks field", line_no));
+    }
+    errno = 0;
+    double rate = std::strtod(fields[4].c_str(), &end);
+    if (errno != 0 || end == fields[4].c_str() || *end != '\0') {
+      return Status::InvalidArgument(
+          StringPrintf("line %zu: bad expected_click_rate field", line_no));
+    }
+    Status st = builder.AddObservation(
+        fields[0], fields[1],
+        EdgeWeights{static_cast<uint32_t>(impressions),
+                    static_cast<uint32_t>(clicks), rate});
+    if (!st.ok()) {
+      return Status::InvalidArgument(
+          StringPrintf("line %zu: %s", line_no, st.ToString().c_str()));
+    }
+  }
+  return builder.Build();
+}
+
+Status SaveGraph(const BipartiteGraph& graph, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open for writing: " + path);
+  std::string content = GraphToTsv(graph);
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+Result<BipartiteGraph> LoadGraph(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open for reading: " + path);
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  return GraphFromTsv(content);
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,29 @@
+// TSV serialization of click graphs. Format, one edge per line:
+//   query <TAB> ad <TAB> impressions <TAB> clicks <TAB> expected_click_rate
+// Lines starting with '#' are comments. Node labels may contain spaces but
+// not tabs.
+#ifndef SIMRANKPP_GRAPH_GRAPH_IO_H_
+#define SIMRANKPP_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/bipartite_graph.h"
+#include "util/status.h"
+
+namespace simrankpp {
+
+/// \brief Serializes a graph to the TSV edge-list format.
+std::string GraphToTsv(const BipartiteGraph& graph);
+
+/// \brief Parses a graph from TSV content (string form).
+Result<BipartiteGraph> GraphFromTsv(const std::string& content);
+
+/// \brief Writes the TSV serialization to a file.
+Status SaveGraph(const BipartiteGraph& graph, const std::string& path);
+
+/// \brief Reads a graph from a TSV file.
+Result<BipartiteGraph> LoadGraph(const std::string& path);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,83 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+
+#include "graph/components.h"
+#include "util/string_util.h"
+#include "util/zipf.h"
+
+namespace simrankpp {
+
+GraphStats ComputeGraphStats(const BipartiteGraph& graph) {
+  GraphStats stats;
+  stats.num_queries = graph.num_queries();
+  stats.num_ads = graph.num_ads();
+  stats.num_edges = graph.num_edges();
+
+  std::vector<size_t> query_degrees(graph.num_queries());
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    query_degrees[q] = graph.QueryDegree(q);
+  }
+  std::vector<size_t> ad_degrees(graph.num_ads());
+  for (AdId a = 0; a < graph.num_ads(); ++a) {
+    ad_degrees[a] = graph.AdDegree(a);
+  }
+  std::vector<size_t> clicks(graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    clicks[e] = graph.edge_weights(e).clicks;
+  }
+
+  auto mean_max = [](const std::vector<size_t>& v, double* mean, double* mx) {
+    if (v.empty()) {
+      *mean = *mx = 0.0;
+      return;
+    }
+    size_t total = 0, peak = 0;
+    for (size_t x : v) {
+      total += x;
+      peak = std::max(peak, x);
+    }
+    *mean = static_cast<double>(total) / static_cast<double>(v.size());
+    *mx = static_cast<double>(peak);
+  };
+  mean_max(query_degrees, &stats.mean_ads_per_query,
+           &stats.max_ads_per_query);
+  mean_max(ad_degrees, &stats.mean_queries_per_ad,
+           &stats.max_queries_per_ad);
+  mean_max(clicks, &stats.mean_clicks_per_edge, &stats.max_clicks_per_edge);
+
+  stats.ads_per_query_exponent = EstimatePowerLawExponent(query_degrees);
+  stats.queries_per_ad_exponent = EstimatePowerLawExponent(ad_degrees);
+  stats.clicks_per_edge_exponent = EstimatePowerLawExponent(clicks);
+
+  ComponentInfo components = FindConnectedComponents(graph);
+  stats.num_components = components.num_components();
+  size_t total_nodes = graph.num_queries() + graph.num_ads();
+  if (total_nodes > 0 && !components.component_sizes.empty()) {
+    stats.giant_component_fraction =
+        static_cast<double>(
+            components.component_sizes[components.giant_component]) /
+        static_cast<double>(total_nodes);
+  }
+  return stats;
+}
+
+std::string GraphStats::ToString() const {
+  std::string out;
+  out += StringPrintf("queries=%zu ads=%zu edges=%zu\n", num_queries, num_ads,
+                      num_edges);
+  out += StringPrintf(
+      "ads/query: mean=%.2f max=%.0f zipf_exp=%.2f\n", mean_ads_per_query,
+      max_ads_per_query, ads_per_query_exponent);
+  out += StringPrintf(
+      "queries/ad: mean=%.2f max=%.0f zipf_exp=%.2f\n", mean_queries_per_ad,
+      max_queries_per_ad, queries_per_ad_exponent);
+  out += StringPrintf(
+      "clicks/edge: mean=%.2f max=%.0f zipf_exp=%.2f\n", mean_clicks_per_edge,
+      max_clicks_per_edge, clicks_per_edge_exponent);
+  out += StringPrintf("components=%zu giant_fraction=%.3f\n", num_components,
+                      giant_component_fraction);
+  return out;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,45 @@
+// Descriptive statistics of a click graph: the numbers Table 5 reports
+// (node/edge counts) plus the degree and click power-law diagnostics the
+// paper mentions observing in Section 9.2.
+#ifndef SIMRANKPP_GRAPH_GRAPH_STATS_H_
+#define SIMRANKPP_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "graph/bipartite_graph.h"
+
+namespace simrankpp {
+
+/// \brief Aggregate statistics of one click graph.
+struct GraphStats {
+  size_t num_queries = 0;
+  size_t num_ads = 0;
+  size_t num_edges = 0;
+
+  double mean_ads_per_query = 0.0;
+  double max_ads_per_query = 0.0;
+  double mean_queries_per_ad = 0.0;
+  double max_queries_per_ad = 0.0;
+  double mean_clicks_per_edge = 0.0;
+  double max_clicks_per_edge = 0.0;
+
+  /// Estimated power-law exponents (0 when the fit is degenerate).
+  double ads_per_query_exponent = 0.0;
+  double queries_per_ad_exponent = 0.0;
+  double clicks_per_edge_exponent = 0.0;
+
+  size_t num_components = 0;
+  /// Fraction of all nodes inside the largest component.
+  double giant_component_fraction = 0.0;
+
+  /// \brief One-paragraph human-readable rendering.
+  std::string ToString() const;
+};
+
+/// \brief Computes all statistics in one pass (plus a BFS for components).
+GraphStats ComputeGraphStats(const BipartiteGraph& graph);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_GRAPH_GRAPH_STATS_H_

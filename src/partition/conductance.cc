@@ -1,0 +1,29 @@
+#include "partition/conductance.h"
+
+#include <algorithm>
+
+#include "partition/ppr.h"
+
+namespace simrankpp {
+
+double Conductance(const BipartiteGraph& graph,
+                   const std::vector<uint32_t>& unified_set) {
+  if (unified_set.empty()) return 1.0;
+  std::vector<bool> in_set(UnifiedNodeCount(graph), false);
+  for (uint32_t u : unified_set) in_set[u] = true;
+
+  double volume = 0.0;
+  double cut = 0.0;
+  for (uint32_t u : unified_set) {
+    volume += static_cast<double>(UnifiedDegree(graph, u));
+    ForEachUnifiedNeighbor(graph, u, [&](uint32_t v) {
+      if (!in_set[v]) cut += 1.0;
+    });
+  }
+  double complement_volume = TotalVolume(graph) - volume;
+  double denom = std::min(volume, complement_volume);
+  if (denom <= 0.0) return 1.0;
+  return cut / denom;
+}
+
+}  // namespace simrankpp

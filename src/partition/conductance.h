@@ -1,0 +1,28 @@
+// Conductance of node sets: the cut quality measure minimized by the
+// sweep cut (paper, Section 9.2, footnote 1).
+#ifndef SIMRANKPP_PARTITION_CONDUCTANCE_H_
+#define SIMRANKPP_PARTITION_CONDUCTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace simrankpp {
+
+/// \brief Conductance of a set S of unified nodes:
+///   phi(S) = cut(S) / min(vol(S), vol(V \ S))
+/// where vol is the sum of degrees and cut counts edges with exactly one
+/// endpoint in S. Returns 1 for empty/degenerate sets (no escape is
+/// "hardest possible" by convention here, matching sweep-cut usage).
+double Conductance(const BipartiteGraph& graph,
+                   const std::vector<uint32_t>& unified_set);
+
+/// \brief Total edge volume of the graph (2 * num_edges).
+inline double TotalVolume(const BipartiteGraph& graph) {
+  return 2.0 * static_cast<double>(graph.num_edges());
+}
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_PARTITION_CONDUCTANCE_H_

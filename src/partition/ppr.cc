@@ -1,0 +1,62 @@
+#include "partition/ppr.h"
+
+#include <deque>
+
+namespace simrankpp {
+
+size_t UnifiedDegree(const BipartiteGraph& g, uint32_t u) {
+  if (UnifiedIsQuery(g, u)) return g.QueryDegree(u);
+  return g.AdDegree(u - static_cast<uint32_t>(g.num_queries()));
+}
+
+std::unordered_map<uint32_t, double> ApproximatePersonalizedPageRank(
+    const BipartiteGraph& graph, uint32_t seed_node,
+    const PprOptions& options) {
+  std::unordered_map<uint32_t, double> p;
+  std::unordered_map<uint32_t, double> r;
+  r[seed_node] = 1.0;
+
+  std::deque<uint32_t> queue;
+  std::unordered_map<uint32_t, bool> queued;
+  auto maybe_enqueue = [&](uint32_t v) {
+    size_t deg = UnifiedDegree(graph, v);
+    if (deg == 0) return;
+    auto it = r.find(v);
+    if (it == r.end()) return;
+    if (it->second >= options.epsilon * static_cast<double>(deg) &&
+        !queued[v]) {
+      queued[v] = true;
+      queue.push_back(v);
+    }
+  };
+  maybe_enqueue(seed_node);
+
+  size_t pushes = 0;
+  while (!queue.empty()) {
+    uint32_t u = queue.front();
+    queue.pop_front();
+    queued[u] = false;
+
+    size_t deg = UnifiedDegree(graph, u);
+    double ru = r[u];
+    if (deg == 0 || ru < options.epsilon * static_cast<double>(deg)) {
+      continue;
+    }
+    // Lazy-walk push: alpha of the residual settles at u, half of the rest
+    // stays (laziness), the other half spreads to the neighbors.
+    p[u] += options.alpha * ru;
+    double spread = (1.0 - options.alpha) * ru / 2.0;
+    r[u] = spread;
+    double share = spread / static_cast<double>(deg);
+    ForEachUnifiedNeighbor(graph, u, [&](uint32_t v) {
+      r[v] += share;
+      maybe_enqueue(v);
+    });
+    maybe_enqueue(u);
+
+    if (options.max_pushes != 0 && ++pushes >= options.max_pushes) break;
+  }
+  return p;
+}
+
+}  // namespace simrankpp

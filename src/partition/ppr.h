@@ -1,0 +1,68 @@
+// Approximate personalized PageRank on the (unified) click graph via the
+// Andersen-Chung-Lang push algorithm (FOCS'06) — the method the paper used
+// (through Kevin Lang's code) to decompose the giant component into the
+// five evaluation subgraphs of Table 5.
+//
+// The bipartite graph is treated as one undirected graph whose nodes are
+// queries followed by ads: unified index u < num_queries() is query u,
+// otherwise ad (u - num_queries()).
+#ifndef SIMRANKPP_PARTITION_PPR_H_
+#define SIMRANKPP_PARTITION_PPR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace simrankpp {
+
+/// \brief Unified node index helpers for the bipartite graph.
+inline uint32_t UnifiedFromQuery(QueryId q) { return q; }
+inline uint32_t UnifiedFromAd(const BipartiteGraph& g, AdId a) {
+  return static_cast<uint32_t>(g.num_queries()) + a;
+}
+inline bool UnifiedIsQuery(const BipartiteGraph& g, uint32_t u) {
+  return u < g.num_queries();
+}
+inline uint32_t UnifiedNodeCount(const BipartiteGraph& g) {
+  return static_cast<uint32_t>(g.num_queries() + g.num_ads());
+}
+
+/// \brief Degree of a unified node.
+size_t UnifiedDegree(const BipartiteGraph& g, uint32_t u);
+
+/// \brief Visits the unified neighbors of a unified node.
+template <typename Fn>
+void ForEachUnifiedNeighbor(const BipartiteGraph& g, uint32_t u, Fn&& fn) {
+  if (UnifiedIsQuery(g, u)) {
+    for (EdgeId e : g.QueryEdges(u)) fn(UnifiedFromAd(g, g.edge_ad(e)));
+  } else {
+    AdId a = u - static_cast<uint32_t>(g.num_queries());
+    for (EdgeId e : g.AdEdges(a)) fn(UnifiedFromQuery(g.edge_query(e)));
+  }
+}
+
+/// \brief Parameters of the ACL push algorithm.
+struct PprOptions {
+  /// Teleport probability of the lazy random walk.
+  double alpha = 0.15;
+  /// Residual tolerance: pushes stop when r(v) < epsilon * deg(v)
+  /// everywhere. Smaller epsilon = larger, more accurate support.
+  double epsilon = 1e-5;
+  /// Safety cap on the number of push operations (0 = unlimited).
+  size_t max_pushes = 0;
+};
+
+/// \brief Sparse approximate PPR vector: node -> probability mass.
+///
+/// Satisfies the ACL invariant: on return every node's residual is below
+/// epsilon * degree, so the approximation error in any set's probability
+/// is at most epsilon * vol(set).
+std::unordered_map<uint32_t, double> ApproximatePersonalizedPageRank(
+    const BipartiteGraph& graph, uint32_t seed_node,
+    const PprOptions& options);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_PARTITION_PPR_H_

@@ -1,0 +1,108 @@
+#include "partition/subgraph_extractor.h"
+
+#include <algorithm>
+
+#include "graph/components.h"
+#include "util/random.h"
+
+namespace simrankpp {
+
+Result<std::vector<ExtractedSubgraph>> ExtractSubgraphs(
+    const BipartiteGraph& graph, const ExtractorOptions& options) {
+  if (options.num_subgraphs == 0) {
+    return Status::InvalidArgument("num_subgraphs must be positive");
+  }
+  if (options.min_nodes_per_subgraph > options.max_nodes_per_subgraph &&
+      options.max_nodes_per_subgraph != 0) {
+    return Status::InvalidArgument("min_nodes > max_nodes");
+  }
+
+  Rng rng(options.seed);
+  std::vector<ExtractedSubgraph> out;
+
+  // `remaining` shrinks after every extraction; node ids change each round
+  // so all bookkeeping is done by label through the induced subgraph.
+  BipartiteGraph remaining = graph;
+  for (size_t round = 0; round < options.num_subgraphs; ++round) {
+    if (remaining.num_queries() == 0 || remaining.num_edges() == 0) break;
+
+    // Seed from the top-degree decile so expansions start inside dense
+    // regions (the giant component) rather than on stray singletons.
+    std::vector<QueryId> ranked(remaining.num_queries());
+    for (QueryId q = 0; q < remaining.num_queries(); ++q) ranked[q] = q;
+    std::sort(ranked.begin(), ranked.end(), [&](QueryId a, QueryId b) {
+      return remaining.QueryDegree(a) > remaining.QueryDegree(b);
+    });
+    size_t decile = std::max<size_t>(1, ranked.size() / 10);
+
+    // An expansion can land in a tiny satellite component; reseed a few
+    // times until the sweep captures a usable number of queries.
+    SweepCutResult sweep;
+    std::vector<QueryId> queries;
+    std::vector<AdId> ads;
+    QueryId seed_query = kInvalidId;
+    for (size_t attempt = 0;
+         attempt < std::max<size_t>(1, options.max_seed_attempts);
+         ++attempt) {
+      QueryId candidate_seed = ranked[rng.NextBounded(decile)];
+      if (remaining.QueryDegree(candidate_seed) == 0) continue;
+      auto ppr = ApproximatePersonalizedPageRank(
+          remaining, UnifiedFromQuery(candidate_seed), options.ppr);
+      SweepOptions sweep_options;
+      sweep_options.min_nodes = options.min_nodes_per_subgraph;
+      sweep_options.max_nodes = options.max_nodes_per_subgraph;
+      SweepCutResult candidate_sweep = SweepCut(remaining, ppr,
+                                                sweep_options);
+      std::vector<QueryId> candidate_queries;
+      std::vector<AdId> candidate_ads;
+      for (uint32_t u : candidate_sweep.unified_nodes) {
+        if (UnifiedIsQuery(remaining, u)) {
+          candidate_queries.push_back(u);
+        } else {
+          candidate_ads.push_back(
+              u - static_cast<uint32_t>(remaining.num_queries()));
+        }
+      }
+      if (candidate_queries.size() >= queries.size()) {
+        sweep = std::move(candidate_sweep);
+        queries = std::move(candidate_queries);
+        ads = std::move(candidate_ads);
+        seed_query = candidate_seed;
+      }
+      if (queries.size() >= options.min_queries_per_subgraph) break;
+    }
+    if (seed_query == kInvalidId || sweep.unified_nodes.empty()) break;
+
+    ExtractedSubgraph extracted;
+    SRPP_ASSIGN_OR_RETURN(extracted.graph,
+                          InducedSubgraph(remaining, queries, ads));
+    extracted.conductance = sweep.conductance;
+    extracted.seed_query = remaining.query_label(seed_query);
+    out.push_back(std::move(extracted));
+
+    // Remove the swept nodes and continue on what is left.
+    std::vector<bool> taken_query(remaining.num_queries(), false);
+    std::vector<bool> taken_ad(remaining.num_ads(), false);
+    for (QueryId q : queries) taken_query[q] = true;
+    for (AdId a : ads) taken_ad[a] = true;
+    std::vector<QueryId> keep_queries;
+    std::vector<AdId> keep_ads;
+    for (QueryId q = 0; q < remaining.num_queries(); ++q) {
+      if (!taken_query[q]) keep_queries.push_back(q);
+    }
+    for (AdId a = 0; a < remaining.num_ads(); ++a) {
+      if (!taken_ad[a]) keep_ads.push_back(a);
+    }
+    SRPP_ASSIGN_OR_RETURN(remaining,
+                          InducedSubgraph(remaining, keep_queries, keep_ads));
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const ExtractedSubgraph& a, const ExtractedSubgraph& b) {
+              return a.graph.num_queries() + a.graph.num_ads() >
+                     b.graph.num_queries() + b.graph.num_ads();
+            });
+  return out;
+}
+
+}  // namespace simrankpp

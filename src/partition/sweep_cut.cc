@@ -1,0 +1,83 @@
+#include "partition/sweep_cut.h"
+
+#include <algorithm>
+
+#include "partition/conductance.h"
+#include "partition/ppr.h"
+
+namespace simrankpp {
+
+SweepCutResult SweepCut(const BipartiteGraph& graph,
+                        const std::unordered_map<uint32_t, double>& ppr,
+                        const SweepOptions& options) {
+  SweepCutResult result;
+  if (ppr.empty()) return result;
+
+  // Order by p(v)/deg(v) descending; deterministic tie-break on node id.
+  std::vector<std::pair<double, uint32_t>> order;
+  order.reserve(ppr.size());
+  for (const auto& [node, mass] : ppr) {
+    size_t deg = UnifiedDegree(graph, node);
+    if (deg == 0) continue;
+    order.emplace_back(mass / static_cast<double>(deg), node);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  size_t max_nodes = options.max_nodes == 0 ? order.size()
+                                            : std::min(options.max_nodes,
+                                                       order.size());
+
+  std::vector<bool> in_set(UnifiedNodeCount(graph), false);
+  double volume = 0.0;
+  double cut = 0.0;
+  double total_volume = TotalVolume(graph);
+
+  double best_conductance = 2.0;
+  size_t best_prefix = 0;
+
+  for (size_t i = 0; i < max_nodes; ++i) {
+    uint32_t u = order[i].second;
+    size_t deg = UnifiedDegree(graph, u);
+    // Adding u: every edge to a node already in S stops being cut; every
+    // other edge becomes cut.
+    size_t internal = 0;
+    ForEachUnifiedNeighbor(graph, u, [&](uint32_t v) {
+      if (in_set[v]) ++internal;
+    });
+    cut += static_cast<double>(deg) - 2.0 * static_cast<double>(internal);
+    volume += static_cast<double>(deg);
+    in_set[u] = true;
+
+    if (i + 1 < options.min_nodes) continue;
+    double denom = std::min(volume, total_volume - volume);
+    if (denom <= 0.0) continue;
+    double conductance = cut / denom;
+    if (conductance < best_conductance) {
+      best_conductance = conductance;
+      best_prefix = i + 1;
+    }
+  }
+
+  if (best_prefix == 0) {
+    // All prefixes degenerate; fall back to the full allowed prefix.
+    best_prefix = max_nodes;
+    std::vector<uint32_t> nodes;
+    nodes.reserve(best_prefix);
+    for (size_t i = 0; i < best_prefix; ++i) nodes.push_back(order[i].second);
+    result.unified_nodes = std::move(nodes);
+    result.conductance = Conductance(graph, result.unified_nodes);
+    return result;
+  }
+
+  result.unified_nodes.reserve(best_prefix);
+  for (size_t i = 0; i < best_prefix; ++i) {
+    result.unified_nodes.push_back(order[i].second);
+  }
+  result.conductance = best_conductance;
+  return result;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,39 @@
+// Sweep cut over a PPR vector: order nodes by degree-normalized PPR mass
+// and return the prefix with minimum conductance, optionally bounded in
+// size. Combined with ApproximatePersonalizedPageRank this is the complete
+// Andersen-Chung-Lang local partitioning procedure.
+#ifndef SIMRANKPP_PARTITION_SWEEP_CUT_H_
+#define SIMRANKPP_PARTITION_SWEEP_CUT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace simrankpp {
+
+/// \brief Result of a sweep: the chosen node set and its conductance.
+struct SweepCutResult {
+  std::vector<uint32_t> unified_nodes;
+  double conductance = 1.0;
+};
+
+/// \brief Size bounds for the sweep prefix.
+struct SweepOptions {
+  /// Smallest prefix considered (prefixes below this are skipped so a
+  /// 2-node set does not win on conductance alone).
+  size_t min_nodes = 2;
+  /// Largest prefix considered (0 = all of the PPR support).
+  size_t max_nodes = 0;
+};
+
+/// \brief Runs the sweep over the support of `ppr` (node -> mass),
+/// computing each prefix's conductance incrementally in O(support volume).
+SweepCutResult SweepCut(const BipartiteGraph& graph,
+                        const std::unordered_map<uint32_t, double>& ppr,
+                        const SweepOptions& options);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_PARTITION_SWEEP_CUT_H_

@@ -1,0 +1,18 @@
+#include "rewrite/bid_database.h"
+
+#include "text/normalize.h"
+
+namespace simrankpp {
+
+BidDatabase::BidDatabase(std::unordered_set<std::string> normalized_terms)
+    : terms_(std::move(normalized_terms)) {}
+
+void BidDatabase::AddBid(std::string_view query) {
+  terms_.insert(NormalizeQuery(query));
+}
+
+bool BidDatabase::HasBid(std::string_view query) const {
+  return terms_.count(NormalizeQuery(query)) > 0;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,35 @@
+// The bid list used by the bid-term filter (Section 9.3): any query that
+// received at least one bid during the collection window. Rewrites not in
+// this list are unlikely to have active bids and are dropped.
+#ifndef SIMRANKPP_REWRITE_BID_DATABASE_H_
+#define SIMRANKPP_REWRITE_BID_DATABASE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace simrankpp {
+
+/// \brief Set of bid terms, keyed by the normalized query form.
+class BidDatabase {
+ public:
+  BidDatabase() = default;
+
+  /// \brief Constructs from pre-normalized keys (as GenerateBidSet emits).
+  explicit BidDatabase(std::unordered_set<std::string> normalized_terms);
+
+  /// \brief Records a bid on a query (normalizes internally).
+  void AddBid(std::string_view query);
+
+  /// \brief True when the (normalized) query saw at least one bid.
+  bool HasBid(std::string_view query) const;
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_set<std::string> terms_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_REWRITE_BID_DATABASE_H_

@@ -1,0 +1,21 @@
+#include "rewrite/candidate.h"
+
+namespace simrankpp {
+
+const char* DropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kKept:
+      return "kept";
+    case DropReason::kDuplicateOfQuery:
+      return "duplicate-of-query";
+    case DropReason::kDuplicateOfEarlier:
+      return "duplicate-of-earlier";
+    case DropReason::kNoBid:
+      return "no-bid";
+    case DropReason::kBeyondDepth:
+      return "beyond-depth";
+  }
+  return "unknown";
+}
+
+}  // namespace simrankpp

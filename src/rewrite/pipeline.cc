@@ -1,0 +1,64 @@
+#include "rewrite/pipeline.h"
+
+#include <unordered_set>
+
+#include "text/normalize.h"
+
+namespace simrankpp {
+
+std::vector<AuditedCandidate> AuditRewrites(
+    const BipartiteGraph& graph, const SimilarityMatrix& similarities,
+    QueryId q, const BidDatabase* bids,
+    const RewritePipelineOptions& options) {
+  std::vector<AuditedCandidate> audited;
+  std::vector<ScoredNode> ranked =
+      similarities.TopK(q, options.max_candidates);
+
+  std::string query_key = QueryStemKey(graph.query_label(q));
+  std::unordered_set<std::string> seen_keys;
+  size_t kept = 0;
+
+  for (const ScoredNode& scored : ranked) {
+    if (scored.score <= options.min_score) break;  // ranked descending
+    AuditedCandidate entry;
+    entry.candidate.query = scored.node;
+    entry.candidate.text = graph.query_label(scored.node);
+    entry.candidate.score = scored.score;
+
+    std::string key = QueryStemKey(entry.candidate.text);
+    if (options.apply_dedup && key == query_key) {
+      entry.outcome = DropReason::kDuplicateOfQuery;
+    } else if (options.apply_dedup && seen_keys.count(key) > 0) {
+      entry.outcome = DropReason::kDuplicateOfEarlier;
+    } else if (options.apply_bid_filter && bids != nullptr &&
+               !bids->HasBid(entry.candidate.text)) {
+      // The stem key is still recorded below: a bid-less surface form
+      // must not let its duplicate slip through later.
+      entry.outcome = DropReason::kNoBid;
+    } else if (kept >= options.max_rewrites) {
+      entry.outcome = DropReason::kBeyondDepth;
+    } else {
+      entry.outcome = DropReason::kKept;
+      ++kept;
+    }
+    if (options.apply_dedup) seen_keys.insert(key);
+    audited.push_back(std::move(entry));
+  }
+  return audited;
+}
+
+std::vector<RewriteCandidate> SelectRewrites(
+    const BipartiteGraph& graph, const SimilarityMatrix& similarities,
+    QueryId q, const BidDatabase* bids,
+    const RewritePipelineOptions& options) {
+  std::vector<RewriteCandidate> out;
+  for (AuditedCandidate& entry :
+       AuditRewrites(graph, similarities, q, bids, options)) {
+    if (entry.outcome == DropReason::kKept) {
+      out.push_back(std::move(entry.candidate));
+    }
+  }
+  return out;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,46 @@
+// The rewrite selection pipeline of Section 9.3: record the top-100
+// similar queries, drop stem-level duplicates, drop rewrites without bids,
+// keep at most 5. The number that survives is the method's depth for that
+// query.
+#ifndef SIMRANKPP_REWRITE_PIPELINE_H_
+#define SIMRANKPP_REWRITE_PIPELINE_H_
+
+#include <vector>
+
+#include "core/similarity_matrix.h"
+#include "rewrite/bid_database.h"
+#include "rewrite/candidate.h"
+
+namespace simrankpp {
+
+/// \brief Pipeline knobs (paper defaults).
+struct RewritePipelineOptions {
+  /// Candidates recorded from the similarity ranking.
+  size_t max_candidates = 100;
+  /// Rewrites kept after filtering.
+  size_t max_rewrites = 5;
+  bool apply_dedup = true;
+  bool apply_bid_filter = true;
+  /// Candidates must score strictly above this (Pearson can go negative;
+  /// non-positive correlation is no similarity evidence).
+  double min_score = 0.0;
+};
+
+/// \brief Runs the pipeline for query `q` over finalized similarity
+/// scores. `graph` supplies candidate texts; `bids` may be null when
+/// apply_bid_filter is false.
+std::vector<RewriteCandidate> SelectRewrites(
+    const BipartiteGraph& graph, const SimilarityMatrix& similarities,
+    QueryId q, const BidDatabase* bids,
+    const RewritePipelineOptions& options);
+
+/// \brief Same pipeline, but returns every considered candidate together
+/// with its outcome (kept / why dropped) for diagnostics.
+std::vector<AuditedCandidate> AuditRewrites(
+    const BipartiteGraph& graph, const SimilarityMatrix& similarities,
+    QueryId q, const BidDatabase* bids,
+    const RewritePipelineOptions& options);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_REWRITE_PIPELINE_H_

@@ -1,0 +1,32 @@
+#include "rewrite/rewriter.h"
+
+namespace simrankpp {
+
+QueryRewriter::QueryRewriter(std::string method_name,
+                             const BipartiteGraph* graph,
+                             SimilarityMatrix similarities,
+                             const BidDatabase* bids,
+                             RewritePipelineOptions options)
+    : method_name_(std::move(method_name)),
+      graph_(graph),
+      similarities_(std::move(similarities)),
+      bids_(bids),
+      options_(options) {
+  similarities_.Finalize();
+}
+
+std::vector<RewriteCandidate> QueryRewriter::RewritesFor(QueryId q) const {
+  return SelectRewrites(*graph_, similarities_, q, bids_, options_);
+}
+
+Result<std::vector<RewriteCandidate>> QueryRewriter::RewritesFor(
+    std::string_view query_text) const {
+  std::optional<QueryId> q = graph_->FindQuery(std::string(query_text));
+  if (!q.has_value()) {
+    return Status::NotFound("query not present in the click graph: " +
+                            std::string(query_text));
+  }
+  return RewritesFor(*q);
+}
+
+}  // namespace simrankpp

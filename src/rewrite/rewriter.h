@@ -1,0 +1,51 @@
+// Front-end facade: owns a click graph, a similarity matrix (from any
+// method) and a bid database, and answers "give me rewrites for this
+// query" — the role of the query-rewriting front-end in Figure 2.
+#ifndef SIMRANKPP_REWRITE_REWRITER_H_
+#define SIMRANKPP_REWRITE_REWRITER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/similarity_matrix.h"
+#include "rewrite/pipeline.h"
+#include "util/status.h"
+
+namespace simrankpp {
+
+/// \brief A ready-to-serve query rewriter for one similarity method.
+class QueryRewriter {
+ public:
+  /// \param method_name shown in reports ("weighted Simrank", ...).
+  /// \param graph the click graph the scores refer to; must outlive this.
+  /// \param similarities finalized scores (taken by value).
+  /// \param bids bid list; may be null to disable the bid filter.
+  QueryRewriter(std::string method_name, const BipartiteGraph* graph,
+                SimilarityMatrix similarities, const BidDatabase* bids,
+                RewritePipelineOptions options = {});
+
+  /// \brief Rewrites for a query by node id.
+  std::vector<RewriteCandidate> RewritesFor(QueryId q) const;
+
+  /// \brief Rewrites for a query by text. NotFound when the query never
+  /// appeared in the click graph (no rewrites can be derived).
+  Result<std::vector<RewriteCandidate>> RewritesFor(
+      std::string_view query_text) const;
+
+  const std::string& method_name() const { return method_name_; }
+  const SimilarityMatrix& similarities() const { return similarities_; }
+  const RewritePipelineOptions& pipeline_options() const { return options_; }
+
+ private:
+  std::string method_name_;
+  const BipartiteGraph* graph_;
+  SimilarityMatrix similarities_;
+  const BidDatabase* bids_;
+  RewritePipelineOptions options_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_REWRITE_REWRITER_H_

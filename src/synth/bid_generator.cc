@@ -1,0 +1,35 @@
+#include "synth/bid_generator.h"
+
+#include <algorithm>
+
+#include "text/normalize.h"
+#include "util/random.h"
+
+namespace simrankpp {
+
+std::unordered_set<std::string> GenerateBidSet(
+    const SyntheticClickGraph& world, const BidGeneratorOptions& options) {
+  // Popularity percentile per query via rank.
+  size_t n = world.query_universe.size();
+  std::vector<uint32_t> order(n);
+  for (uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return world.query_universe[a].popularity <
+           world.query_universe[b].popularity;
+  });
+
+  Rng rng(options.seed);
+  std::unordered_set<std::string> bids;
+  for (size_t rank = 0; rank < n; ++rank) {
+    double percentile =
+        n <= 1 ? 1.0 : static_cast<double>(rank) / static_cast<double>(n - 1);
+    double p = options.base_bid_probability +
+               options.popularity_boost * percentile;
+    if (rng.NextBernoulli(p)) {
+      bids.insert(NormalizeQuery(world.query_universe[order[rank]].text));
+    }
+  }
+  return bids;
+}
+
+}  // namespace simrankpp

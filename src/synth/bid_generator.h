@@ -1,0 +1,32 @@
+// Bid-list generation. The evaluation's bid-term filter (Section 9.3)
+// removes rewrites that saw no bids during the collection window; here
+// the advertiser population bids on a popularity-biased subset of the
+// query universe.
+#ifndef SIMRANKPP_SYNTH_BID_GENERATOR_H_
+#define SIMRANKPP_SYNTH_BID_GENERATOR_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "synth/click_graph_generator.h"
+
+namespace simrankpp {
+
+/// \brief Bid-list generation parameters.
+struct BidGeneratorOptions {
+  /// Bid probability for the least popular query.
+  double base_bid_probability = 0.45;
+  /// Additional probability granted linearly with the popularity
+  /// percentile (popular terms attract advertisers).
+  double popularity_boost = 0.45;
+  uint64_t seed = 77;
+};
+
+/// \brief Returns the set of normalized query strings that saw at least
+/// one bid (keys produced by NormalizeQuery, the form BidDatabase uses).
+std::unordered_set<std::string> GenerateBidSet(
+    const SyntheticClickGraph& world, const BidGeneratorOptions& options);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_SYNTH_BID_GENERATOR_H_

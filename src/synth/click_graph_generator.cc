@@ -1,0 +1,260 @@
+#include "synth/click_graph_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+#include "util/string_util.h"
+#include "util/zipf.h"
+
+namespace simrankpp {
+
+namespace {
+
+// Aggregated per-(query, ad) exposure log.
+struct PairLog {
+  uint32_t impressions = 0;
+  uint32_t clicks = 0;
+};
+
+// One entry of a query's ad slate.
+struct SlateEntry {
+  uint32_t ad_index = 0;
+  double display_weight = 0.0;
+};
+
+std::string MakeAdLabel(const TopicTaxonomy& taxonomy, uint32_t subtopic,
+                        size_t ordinal) {
+  // "camera-outlet3.com"-style synthetic domain, unique per ad.
+  std::string noun = taxonomy.subtopic(subtopic).noun;
+  for (char& c : noun) {
+    if (c == ' ') c = '-';
+  }
+  static const char* kStyles[] = {"outlet", "direct", "hub", "world",
+                                  "depot",  "mart",   "pro", "plaza"};
+  return StringPrintf("%s-%s%zu.com", noun.c_str(),
+                      kStyles[ordinal % 8], ordinal);
+}
+
+}  // namespace
+
+const QueryEntity* SyntheticClickGraph::FindQueryEntity(
+    const std::string& text) const {
+  auto it = query_by_text.find(text);
+  return it == query_by_text.end() ? nullptr : &query_universe[it->second];
+}
+
+const AdEntity* SyntheticClickGraph::FindAdEntity(
+    const std::string& label) const {
+  auto it = ad_by_label.find(label);
+  return it == ad_by_label.end() ? nullptr : &ad_universe[it->second];
+}
+
+Result<SyntheticClickGraph> GenerateClickGraph(
+    const GeneratorOptions& options) {
+  if (options.num_queries == 0 || options.num_ads == 0) {
+    return Status::InvalidArgument("need at least one query and one ad");
+  }
+  double p_rest = options.p_show_same_subtopic + options.p_show_complement +
+                  options.p_show_same_category;
+  if (p_rest > 1.0) {
+    return Status::InvalidArgument("ad selection probabilities exceed 1");
+  }
+
+  SyntheticClickGraph world;
+  world.taxonomy = TopicTaxonomy::Generate(options.taxonomy);
+  const TopicTaxonomy& taxonomy = world.taxonomy;
+  size_t num_subtopics = taxonomy.num_subtopics();
+
+  Rng rng(options.seed);
+  ZipfSampler subtopic_sampler(num_subtopics,
+                               options.subtopic_popularity_exponent);
+
+  // ---- Ads: Zipf over subtopics, lognormal-ish quality. ----
+  world.ad_universe.reserve(options.num_ads);
+  std::vector<std::vector<uint32_t>> ads_by_subtopic(num_subtopics);
+  std::vector<std::vector<uint32_t>> ads_by_category(
+      taxonomy.num_categories());
+  for (size_t i = 0; i < options.num_ads; ++i) {
+    AdEntity ad;
+    ad.subtopic =
+        static_cast<uint32_t>(subtopic_sampler.Sample(&rng) - 1);
+    ad.category = taxonomy.subtopic(ad.subtopic).category;
+    ad.quality = 0.5 + 0.5 * rng.NextDouble();
+    ad.label = MakeAdLabel(taxonomy, ad.subtopic, i);
+    uint32_t idx = static_cast<uint32_t>(world.ad_universe.size());
+    if (!world.ad_by_label.emplace(ad.label, idx).second) {
+      continue;  // label collision: skip (cannot happen with the ordinal)
+    }
+    ads_by_subtopic[ad.subtopic].push_back(idx);
+    ads_by_category[ad.category].push_back(idx);
+    world.ad_universe.push_back(std::move(ad));
+  }
+
+  // ---- Queries: Zipf subtopic, weighted intent, optional plural. ----
+  std::vector<double> intent_weights(NumIntents());
+  for (uint32_t i = 0; i < NumIntents(); ++i) {
+    intent_weights[i] = IntentWeight(i);
+  }
+  world.query_universe.reserve(options.num_queries);
+  size_t attempts = 0;
+  size_t max_attempts = options.num_queries * 20;
+  while (world.query_universe.size() < options.num_queries &&
+         attempts++ < max_attempts) {
+    QueryEntity query;
+    query.subtopic =
+        static_cast<uint32_t>(subtopic_sampler.Sample(&rng) - 1);
+    query.category = taxonomy.subtopic(query.subtopic).category;
+    query.intent = static_cast<uint32_t>(rng.NextWeighted(intent_weights));
+    query.plural_form = rng.NextBernoulli(options.plural_probability);
+    query.text = RenderQueryText(taxonomy.subtopic(query.subtopic).noun,
+                                 query.intent, query.plural_form);
+    uint32_t idx = static_cast<uint32_t>(world.query_universe.size());
+    if (!world.query_by_text.emplace(query.text, idx).second) {
+      continue;  // duplicate surface form already generated
+    }
+    // Popularity: subtopic Zipf rank x intent weight x lognormal noise,
+    // yielding the heavy-tailed live-traffic distribution.
+    double subtopic_rank = static_cast<double>(query.subtopic + 1);
+    query.popularity =
+        std::pow(subtopic_rank, -options.subtopic_popularity_exponent) *
+        IntentWeight(query.intent) * rng.NextLogNormal(0.0, 0.6);
+    query.click_propensity =
+        std::clamp(rng.NextLogNormal(options.click_propensity_mu,
+                                     options.click_propensity_sigma),
+                   0.02, 1.0);
+    world.query_universe.push_back(std::move(query));
+  }
+
+  // ---- Impression/click simulation. ----
+  size_t num_queries = world.query_universe.size();
+  double total_popularity = 0.0;
+  for (const QueryEntity& q : world.query_universe) {
+    total_popularity += q.popularity;
+  }
+  double event_budget = options.mean_impressions_per_query *
+                        static_cast<double>(num_queries);
+
+  // Samples up to `count` distinct ads from `pool`, quality-weighted, and
+  // appends them to the slate with the segment's display mass split
+  // proportionally to quality.
+  auto add_segment = [&](std::vector<SlateEntry>* slate,
+                         const std::vector<uint32_t>* pool, size_t count,
+                         double segment_mass) {
+    if (pool == nullptr || pool->empty() || count == 0 ||
+        segment_mass <= 0.0) {
+      return;
+    }
+    std::vector<uint32_t> chosen;
+    if (pool->size() <= count) {
+      chosen = *pool;
+    } else {
+      // A few quality-biased draws with rejection of duplicates.
+      std::unordered_set<uint32_t> seen;
+      size_t guard = count * 8;
+      while (chosen.size() < count && guard-- > 0) {
+        uint32_t candidate = (*pool)[rng.NextBounded(pool->size())];
+        // Accept proportionally to quality (quality <= 1).
+        if (!rng.NextBernoulli(world.ad_universe[candidate].quality)) {
+          continue;
+        }
+        if (seen.insert(candidate).second) chosen.push_back(candidate);
+      }
+    }
+    if (chosen.empty()) return;
+    double mass_sum = 0.0;
+    std::vector<double> masses;
+    masses.reserve(chosen.size());
+    for (uint32_t ad : chosen) {
+      double mass = std::pow(world.ad_universe[ad].quality,
+                             options.display_concentration);
+      masses.push_back(mass);
+      mass_sum += mass;
+    }
+    for (size_t i = 0; i < chosen.size(); ++i) {
+      slate->push_back({chosen[i], segment_mass * masses[i] / mass_sum});
+    }
+  };
+
+  std::unordered_map<uint64_t, PairLog> log;
+  std::vector<SlateEntry> slate;
+  std::vector<double> slate_weights;
+  for (uint32_t qi = 0; qi < num_queries; ++qi) {
+    const QueryEntity& query = world.query_universe[qi];
+    double expected_events =
+        event_budget * query.popularity / total_popularity;
+    // Integerize stochastically so low-traffic queries still occasionally
+    // appear (matching the long tail of a real log).
+    size_t events = static_cast<size_t>(expected_events);
+    if (rng.NextBernoulli(expected_events - std::floor(expected_events))) {
+      ++events;
+    }
+    if (events == 0) continue;
+
+    // Build this query's slate (one auction outcome for the window).
+    slate.clear();
+    uint32_t complement = taxonomy.subtopic(query.subtopic).complement;
+    add_segment(&slate, &ads_by_subtopic[query.subtopic],
+                options.slate_same_subtopic, options.p_show_same_subtopic);
+    add_segment(&slate, &ads_by_subtopic[complement],
+                options.slate_complement, options.p_show_complement);
+    add_segment(&slate, &ads_by_category[query.category],
+                options.slate_same_category, options.p_show_same_category);
+    double p_noise = 1.0 - options.p_show_same_subtopic -
+                     options.p_show_complement -
+                     options.p_show_same_category;
+    for (size_t k = 0; k < options.slate_noise && p_noise > 0.0; ++k) {
+      uint32_t ad =
+          static_cast<uint32_t>(rng.NextBounded(world.ad_universe.size()));
+      slate.push_back(
+          {ad, p_noise / static_cast<double>(options.slate_noise)});
+    }
+    if (slate.empty()) continue;
+    slate_weights.clear();
+    for (const SlateEntry& entry : slate) {
+      slate_weights.push_back(entry.display_weight);
+    }
+
+    for (size_t ev = 0; ev < events; ++ev) {
+      const SlateEntry& shown = slate[rng.NextWeighted(slate_weights)];
+      const AdEntity& ad = world.ad_universe[shown.ad_index];
+      size_t position = rng.NextBounded(options.click_model.num_positions);
+      double bias = PositionBias(position, options.click_model);
+      double p_click =
+          LatentRelevance(taxonomy, query, ad, options.click_model) *
+          ad.quality * bias * query.click_propensity;
+      uint64_t key = (static_cast<uint64_t>(qi) << 32) | shown.ad_index;
+      PairLog& entry = log[key];
+      ++entry.impressions;
+      if (rng.NextBernoulli(p_click)) ++entry.clicks;
+    }
+  }
+
+  // ---- Aggregate into the click graph (clicked pairs only). ----
+  // The published expected click rate is the back-end's converged,
+  // position-debiased estimate (relevance * quality) under multiplicative
+  // estimator noise, NOT the raw two-week clicks/impressions ratio — see
+  // DESIGN.md ("expected click rate" substitution note).
+  GraphBuilder builder;
+  for (const auto& [key, entry] : log) {
+    if (entry.clicks == 0) continue;
+    uint32_t qi = static_cast<uint32_t>(key >> 32);
+    uint32_t ai = static_cast<uint32_t>(key & 0xffffffffu);
+    const QueryEntity& query = world.query_universe[qi];
+    const AdEntity& ad = world.ad_universe[ai];
+    double rate = LatentRelevance(taxonomy, query, ad, options.click_model) *
+                  ad.quality * query.click_propensity;
+    if (options.ecr_noise_sigma > 0.0) {
+      rate *= rng.NextLogNormal(0.0, options.ecr_noise_sigma);
+    }
+    rate = std::clamp(rate, 0.0, 1.0);
+    SRPP_RETURN_NOT_OK(builder.AddObservation(
+        query.text, ad.label,
+        EdgeWeights{entry.impressions, entry.clicks, rate}));
+  }
+  SRPP_ASSIGN_OR_RETURN(world.graph, builder.Build());
+  return world;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,105 @@
+// End-to-end synthetic click-graph generation: taxonomy -> query/ad
+// universes -> simulated impression/click log -> aggregated BipartiteGraph.
+// Reproduces the structural facts the paper reports about the Yahoo! data
+// (Section 9.2): bipartite with power-law ads-per-query, queries-per-ad
+// and clicks-per-edge, a giant component plus small satellites, and an
+// expected-click-rate weight per edge.
+#ifndef SIMRANKPP_SYNTH_CLICK_GRAPH_GENERATOR_H_
+#define SIMRANKPP_SYNTH_CLICK_GRAPH_GENERATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "synth/click_model.h"
+#include "synth/topic_model.h"
+#include "util/status.h"
+
+namespace simrankpp {
+
+/// \brief Generator knobs. Defaults produce a graph a laptop handles in
+/// seconds; the bench binaries document their scale relative to Table 5.
+struct GeneratorOptions {
+  /// Size of the query universe (live traffic). Only queries with at least
+  /// one click enter the graph, as in the paper. Note the taxonomy caps
+  /// the universe at num_subtopics * NumIntents() * 2 distinct surface
+  /// forms; requesting more yields the cap.
+  size_t num_queries = 22000;
+  size_t num_ads = 4200;
+  TopicTaxonomyOptions taxonomy{/*num_categories=*/48,
+                                /*subtopics_per_category=*/20,
+                                /*seed=*/1};
+  ClickModelOptions click_model;
+
+  /// Zipf exponent of subtopic popularity (drives all the power laws).
+  double subtopic_popularity_exponent = 0.85;
+  /// Total impression events simulated, as a multiple of num_queries.
+  /// Tuned so the clicked graph lands near the paper's ~2.2 ads per query
+  /// (Table 5 densities) with a long degree-1 tail.
+  double mean_impressions_per_query = 40.0;
+  /// Probability a plural-form variant is generated for a query slot.
+  double plural_probability = 0.25;
+
+  /// The back-end serves each query from a per-query slate of candidate
+  /// ads (sampled once per query, mimicking a stable ad auction over the
+  /// collection window). Slate composition:
+  size_t slate_same_subtopic = 5;
+  size_t slate_complement = 2;
+  size_t slate_same_category = 3;
+  size_t slate_noise = 2;
+  /// Display probability of each slate segment. The category/complement
+  /// share matters: it creates common ads whose click rates are weak, so
+  /// edge weights carry signal that common-ad counts alone miss (what
+  /// weighted SimRank exploits); the remainder after these three is
+  /// uniform noise.
+  double p_show_same_subtopic = 0.76;
+  double p_show_complement = 0.07;
+  double p_show_same_category = 0.09;
+  /// Within a slate segment, display mass goes with quality^gamma: large
+  /// gamma concentrates impressions on the auction winner (as real ad
+  /// serving does), keeping distinct-clicked-ad counts low even for
+  /// heavily trafficked queries.
+  double display_concentration = 3.0;
+
+  /// The published expected click rate is the back-end's converged,
+  /// position-debiased estimate: true relevance * quality, blurred by
+  /// multiplicative lognormal estimator noise of this sigma.
+  double ecr_noise_sigma = 0.25;
+
+  /// Per-query sponsored-click propensity ~ lognormal(mu, sigma), clamped
+  /// to (0, 1]. Decouples traffic popularity from click-graph degree:
+  /// popular navigational queries end up with degree 0-1 where Pearson is
+  /// undefined, which is what limits its coverage in Figure 8.
+  double click_propensity_mu = -1.6;
+  double click_propensity_sigma = 1.3;
+
+  uint64_t seed = 2024;
+};
+
+/// \brief The generated world: the click graph plus the latent entities
+/// the editorial oracle and the workload sampler need.
+struct SyntheticClickGraph {
+  BipartiteGraph graph;
+  TopicTaxonomy taxonomy;
+  /// All generated queries, including the ones that never clicked (they
+  /// exist in live traffic but not in the graph).
+  std::vector<QueryEntity> query_universe;
+  std::vector<AdEntity> ad_universe;
+  /// Text -> universe index.
+  std::unordered_map<std::string, uint32_t> query_by_text;
+  std::unordered_map<std::string, uint32_t> ad_by_label;
+
+  /// \brief Latent entity of a query by its text (nullptr if unknown).
+  const QueryEntity* FindQueryEntity(const std::string& text) const;
+  /// \brief Latent entity of an ad by its label (nullptr if unknown).
+  const AdEntity* FindAdEntity(const std::string& label) const;
+};
+
+/// \brief Runs the full generation pipeline deterministically from
+/// options.seed.
+Result<SyntheticClickGraph> GenerateClickGraph(const GeneratorOptions& options);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_SYNTH_CLICK_GRAPH_GENERATOR_H_

@@ -1,0 +1,23 @@
+#include "synth/click_model.h"
+
+#include <cmath>
+
+namespace simrankpp {
+
+double PositionBias(size_t position, const ClickModelOptions& options) {
+  return std::pow(1.0 + static_cast<double>(position),
+                  -options.position_bias_exponent);
+}
+
+double LatentRelevance(const TopicTaxonomy& taxonomy,
+                       const QueryEntity& query, const AdEntity& ad,
+                       const ClickModelOptions& options) {
+  if (query.subtopic == ad.subtopic) return options.same_subtopic_relevance;
+  if (taxonomy.AreComplements(query.subtopic, ad.subtopic)) {
+    return options.complement_relevance;
+  }
+  if (query.category == ad.category) return options.same_category_relevance;
+  return options.unrelated_relevance;
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,45 @@
+// User click behavior model. A displayed ad is clicked with probability
+//   P(click | q, a, position) = relevance(q, a) * quality(a) * bias(pos)
+// where relevance is driven purely by the latent topic relation between
+// query and ad. The back-end's "expected click rate" (the weight all
+// weighted experiments use, Section 2) is recovered by dividing clicks by
+// position-debiased impressions, so the synthetic edge weight converges to
+// relevance * quality — exactly the "adjusted clicks over impressions"
+// the paper describes.
+#ifndef SIMRANKPP_SYNTH_CLICK_MODEL_H_
+#define SIMRANKPP_SYNTH_CLICK_MODEL_H_
+
+#include <cstddef>
+
+#include "synth/topic_model.h"
+
+namespace simrankpp {
+
+/// \brief Click-probability parameters.
+struct ClickModelOptions {
+  /// P(click) for a perfectly relevant ad at the top slot, quality 1.
+  double same_subtopic_relevance = 0.50;
+  /// Ad from the same category, different subtopic.
+  double same_category_relevance = 0.07;
+  /// Ad from the complementary subtopic (camera -> camera battery).
+  double complement_relevance = 0.08;
+  /// Unrelated ad (misfire of the back-end).
+  double unrelated_relevance = 0.01;
+  /// Number of sponsored slots on the results page.
+  size_t num_positions = 8;
+  /// bias(pos) = 1 / (1 + pos)^exponent, pos 0-based.
+  double position_bias_exponent = 0.85;
+};
+
+/// \brief Examination probability of slot `position` (0 = top).
+double PositionBias(size_t position, const ClickModelOptions& options);
+
+/// \brief Latent relevance of an ad to a query in [0, 1], before quality
+/// and position effects.
+double LatentRelevance(const TopicTaxonomy& taxonomy,
+                       const QueryEntity& query, const AdEntity& ad,
+                       const ClickModelOptions& options);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_SYNTH_CLICK_MODEL_H_

@@ -1,0 +1,275 @@
+#include "synth/topic_model.h"
+
+#include <array>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace simrankpp {
+
+namespace {
+
+// Hand-written vocabulary: the first categories draw real product nouns so
+// examples and demos read naturally; once exhausted, deterministic
+// pseudo-words keep the taxonomy growing to any requested size.
+struct CategoryBank {
+  const char* name;
+  std::array<const char*, 12> nouns;
+};
+
+constexpr CategoryBank kBank[] = {
+    {"photography",
+     {"camera", "digital camera", "lens", "tripod", "camcorder", "flash",
+      "photo printer", "memory card", "camera bag", "slr camera",
+      "webcam", "film camera"}},
+    {"camera accessories",
+     {"camera battery", "battery charger", "lens filter", "lens cap",
+      "camera strap", "light meter", "photo paper", "card reader",
+      "camera remote", "cleaning kit", "lens hood", "flash diffuser"}},
+    {"computing",
+     {"pc", "laptop", "monitor", "keyboard", "mouse", "printer", "router",
+      "hard drive", "graphics card", "desktop computer", "tablet",
+      "usb cable"}},
+    {"computer accessories",
+     {"laptop bag", "mouse pad", "laptop charger", "docking station",
+      "laptop stand", "screen protector", "cooling pad", "usb hub",
+      "printer ink", "toner cartridge", "surge protector", "kvm switch"}},
+    {"home electronics",
+     {"tv", "television", "speaker", "headphones", "dvd player",
+      "stereo", "projector", "soundbar", "radio", "amplifier",
+      "subwoofer", "turntable"}},
+    {"electronics accessories",
+     {"tv mount", "hdmi cable", "remote control", "tv stand",
+      "speaker wire", "antenna", "headphone case", "power strip",
+      "battery pack", "wall adapter", "av receiver", "cable organizer"}},
+    {"flowers",
+     {"flower", "rose", "orchid", "bouquet", "tulip", "lily",
+      "carnation", "daisy", "sunflower", "flower arrangement",
+      "wedding flowers", "funeral flowers"}},
+    {"garden",
+     {"vase", "flower pot", "garden seeds", "fertilizer", "watering can",
+      "planter", "garden soil", "pruning shears", "greenhouse",
+      "garden hose", "trellis", "mulch"}},
+    {"travel",
+     {"flight", "hotel", "cruise", "vacation package", "car rental",
+      "train ticket", "resort", "travel insurance", "city tour",
+      "airfare", "hostel", "bed and breakfast"}},
+    {"luggage",
+     {"suitcase", "backpack", "travel bag", "garment bag",
+      "luggage tag", "packing cubes", "duffel bag", "carry on",
+      "passport holder", "travel pillow", "luggage lock", "toiletry bag"}},
+    {"autos",
+     {"car", "truck", "suv", "convertible", "sedan", "minivan",
+      "motorcycle", "hybrid car", "sports car", "pickup truck",
+      "electric car", "scooter"}},
+    {"auto parts",
+     {"tire", "car battery", "brake pads", "motor oil", "spark plug",
+      "air filter", "wiper blades", "car stereo", "floor mats",
+      "seat covers", "headlight bulb", "roof rack"}},
+    {"clothing",
+     {"dress", "jacket", "jeans", "sweater", "coat", "shirt", "skirt",
+      "suit", "blouse", "hoodie", "raincoat", "cardigan"}},
+    {"shoes",
+     {"shoe", "sneaker", "boot", "sandal", "running shoe", "loafer",
+      "high heel", "slipper", "hiking boot", "dress shoe", "flip flop",
+      "ballet flat"}},
+    {"kitchen",
+     {"blender", "toaster", "coffee maker", "microwave", "mixer",
+      "food processor", "rice cooker", "kettle", "juicer",
+      "slow cooker", "espresso machine", "air fryer"}},
+    {"cookware",
+     {"frying pan", "saucepan", "baking sheet", "knife set",
+      "cutting board", "mixing bowl", "dutch oven", "casserole dish",
+      "measuring cup", "rolling pin", "colander", "grill pan"}},
+    {"sports",
+     {"bicycle", "treadmill", "tennis racket", "golf clubs", "kayak",
+      "basketball", "soccer ball", "baseball glove", "ski", "snowboard",
+      "surfboard", "skateboard"}},
+    {"fitness",
+     {"yoga mat", "dumbbell", "exercise bike", "resistance band",
+      "jump rope", "kettlebell", "foam roller", "weight bench",
+      "pull up bar", "gym bag", "fitness tracker", "protein powder"}},
+    {"pets",
+     {"dog food", "cat food", "dog bed", "cat tree", "aquarium",
+      "bird cage", "dog leash", "cat litter", "pet carrier",
+      "dog toy", "hamster cage", "fish tank"}},
+    {"pet supplies",
+     {"dog collar", "pet brush", "flea treatment", "pet gate",
+      "dog crate", "scratching post", "pet fountain", "dog ramp",
+      "litter box", "pet shampoo", "bird feeder", "pet stroller"}},
+    {"music",
+     {"guitar", "piano", "violin", "drum set", "keyboard piano",
+      "ukulele", "saxophone", "trumpet", "flute", "cello", "banjo",
+      "harmonica"}},
+    {"music gear",
+     {"guitar strings", "guitar amp", "microphone", "music stand",
+      "guitar case", "piano bench", "drum sticks", "metronome",
+      "guitar pick", "audio interface", "studio monitor", "mixer board"}},
+    {"office",
+     {"desk", "office chair", "file cabinet", "bookshelf", "whiteboard",
+      "desk lamp", "paper shredder", "stapler", "notebook",
+      "fountain pen", "desk organizer", "bulletin board"}},
+    {"stationery",
+     {"printer paper", "envelope", "binder", "label maker", "marker",
+      "highlighter", "sticky notes", "paper clip", "folder",
+      "calendar", "planner", "index cards"}},
+};
+
+constexpr size_t kBankSize = sizeof(kBank) / sizeof(kBank[0]);
+
+// Intent templates: {prefix, suffix, weight, class}. Rendered as
+// "<prefix><noun><suffix>".
+struct IntentTemplate {
+  const char* prefix;
+  const char* suffix;
+  double weight;
+  IntentClass klass;
+};
+
+constexpr IntentTemplate kIntents[] = {
+    {"", "", 30.0, IntentClass::kInformational},        // core
+    {"buy ", "", 10.0, IntentClass::kTransactional},
+    {"cheap ", "", 8.0, IntentClass::kTransactional},
+    {"", " store", 7.0, IntentClass::kTransactional},
+    {"", " reviews", 6.0, IntentClass::kInformational},
+    {"best ", "", 6.0, IntentClass::kInformational},
+    {"", " online", 6.0, IntentClass::kTransactional},
+    {"discount ", "", 5.0, IntentClass::kTransactional},
+    {"", " deals", 5.0, IntentClass::kTransactional},
+    {"", " price", 5.0, IntentClass::kTransactional},
+    {"", " sale", 4.0, IntentClass::kTransactional},
+    {"new ", "", 4.0, IntentClass::kInformational},
+    {"", " shop", 4.0, IntentClass::kTransactional},
+    {"used ", "", 3.0, IntentClass::kTransactional},
+};
+
+constexpr size_t kNumIntents = sizeof(kIntents) / sizeof(kIntents[0]);
+
+// Deterministic pseudo-word from an id: alternating consonant-vowel
+// syllables ("zorimak"). Distinct ids give distinct words.
+std::string PseudoWord(uint64_t id) {
+  static const char* consonants = "bdfgklmnprstvz";
+  static const char* vowels = "aeiou";
+  std::string word;
+  uint64_t state = id * 0x9e3779b97f4a7c15ULL + 0x123456789ULL;
+  size_t syllables = 3 + (state % 2);
+  for (size_t s = 0; s < syllables; ++s) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    word += consonants[(state >> 33) % 14];
+    word += vowels[(state >> 13) % 5];
+  }
+  // Append the id in base-26 letters to guarantee uniqueness.
+  uint64_t tag = id;
+  do {
+    word += static_cast<char>('a' + tag % 26);
+    tag /= 26;
+  } while (tag != 0);
+  return word;
+}
+
+}  // namespace
+
+TopicTaxonomy TopicTaxonomy::Generate(const TopicTaxonomyOptions& options) {
+  TopicTaxonomy taxonomy;
+  taxonomy.num_categories_ = options.num_categories;
+  taxonomy.category_names_.reserve(options.num_categories);
+  for (size_t c = 0; c < options.num_categories; ++c) {
+    if (c < kBankSize) {
+      taxonomy.category_names_.emplace_back(kBank[c].name);
+    } else {
+      taxonomy.category_names_.push_back(PseudoWord(1000 + c) + " goods");
+    }
+  }
+
+  size_t total = options.num_categories * options.subtopics_per_category;
+  taxonomy.subtopics_.reserve(total);
+  for (size_t c = 0; c < options.num_categories; ++c) {
+    for (size_t s = 0; s < options.subtopics_per_category; ++s) {
+      Subtopic subtopic;
+      subtopic.id = static_cast<uint32_t>(taxonomy.subtopics_.size());
+      subtopic.category = static_cast<uint32_t>(c);
+      if (c < kBankSize && s < kBank[c].nouns.size()) {
+        subtopic.noun = kBank[c].nouns[s];
+      } else {
+        subtopic.noun = PseudoWord(c * 131071 + s);
+      }
+      taxonomy.subtopics_.push_back(std::move(subtopic));
+    }
+  }
+
+  // Complements: categories pair up (0,1), (2,3), ...; subtopic s of one
+  // category complements subtopic s of its partner. The hand vocabulary is
+  // laid out so these pairs make sense (photography <-> camera
+  // accessories, computing <-> computer accessories, ...). A trailing
+  // unpaired category complements itself (no cross links).
+  size_t per = options.subtopics_per_category;
+  for (Subtopic& subtopic : taxonomy.subtopics_) {
+    uint32_t c = subtopic.category;
+    uint32_t partner_category =
+        (c % 2 == 0) ? c + 1 : c - 1;
+    if (partner_category >= options.num_categories) {
+      subtopic.complement = subtopic.id;  // self: no complement
+      continue;
+    }
+    uint32_t index_in_category =
+        subtopic.id - static_cast<uint32_t>(c * per);
+    subtopic.complement =
+        static_cast<uint32_t>(partner_category * per + index_in_category);
+  }
+  return taxonomy;
+}
+
+bool TopicTaxonomy::AreComplements(uint32_t s1, uint32_t s2) const {
+  if (s1 == s2) return false;
+  return subtopics_[s1].complement == s2 || subtopics_[s2].complement == s1;
+}
+
+size_t NumIntents() { return kNumIntents; }
+
+IntentClass IntentClassOf(uint32_t intent) {
+  SRPP_CHECK(intent < kNumIntents);
+  return kIntents[intent].klass;
+}
+
+double IntentWeight(uint32_t intent) {
+  SRPP_CHECK(intent < kNumIntents);
+  return kIntents[intent].weight;
+}
+
+std::string RenderQueryText(const std::string& noun, uint32_t intent,
+                            bool plural) {
+  SRPP_CHECK(intent < kNumIntents);
+  std::string body = plural ? Pluralize(noun) : noun;
+  return std::string(kIntents[intent].prefix) + body + kIntents[intent].suffix;
+}
+
+std::string Pluralize(const std::string& noun) {
+  if (noun.empty()) return noun;
+  // Pluralize the final word of multi-word nouns ("digital camera" ->
+  // "digital cameras").
+  size_t last_space = noun.rfind(' ');
+  std::string head =
+      last_space == std::string::npos ? "" : noun.substr(0, last_space + 1);
+  std::string word =
+      last_space == std::string::npos ? noun : noun.substr(last_space + 1);
+  if (word.empty()) return noun;
+
+  auto ends_with = [&](const char* suffix) {
+    return EndsWith(word, suffix);
+  };
+  char last = word.back();
+  if (ends_with("s") || ends_with("x") || ends_with("z") ||
+      ends_with("ch") || ends_with("sh")) {
+    return head + word + "es";
+  }
+  if (last == 'y' && word.size() >= 2) {
+    char before = word[word.size() - 2];
+    if (before != 'a' && before != 'e' && before != 'i' && before != 'o' &&
+        before != 'u') {
+      return head + word.substr(0, word.size() - 1) + "ies";
+    }
+  }
+  return head + word + "s";
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,56 @@
+#include "synth/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace simrankpp {
+
+std::vector<uint32_t> SampleWorkload(const SyntheticClickGraph& world,
+                                     const WorkloadOptions& options) {
+  size_t n = world.query_universe.size();
+  size_t want = std::min(options.sample_size, n);
+  Rng rng(options.seed);
+
+  // Weighted sampling without replacement via exponential jumps
+  // (Efraimidis-Spirakis): key = u^(1/w); take the top `want` keys.
+  std::vector<std::pair<double, uint32_t>> keys;
+  keys.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    double w = world.query_universe[i].popularity;
+    if (w <= 0.0) continue;
+    double u = rng.NextDouble();
+    // log(u)/w is monotone in u^(1/w) and numerically safer.
+    double key = std::log(std::max(u, 1e-300)) / w;
+    keys.emplace_back(key, i);
+  }
+  size_t take = std::min(want, keys.size());
+  std::partial_sort(keys.begin(), keys.begin() + take, keys.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<uint32_t> sample;
+  sample.reserve(take);
+  for (size_t i = 0; i < take; ++i) sample.push_back(keys[i].second);
+  // Most popular first, for readable reports.
+  std::sort(sample.begin(), sample.end(), [&](uint32_t a, uint32_t b) {
+    return world.query_universe[a].popularity >
+           world.query_universe[b].popularity;
+  });
+  return sample;
+}
+
+std::vector<std::string> FilterWorkloadToGraph(
+    const SyntheticClickGraph& world, const BipartiteGraph& dataset,
+    const std::vector<uint32_t>& sample) {
+  std::vector<std::string> kept;
+  for (uint32_t index : sample) {
+    const std::string& text = world.query_universe[index].text;
+    if (dataset.FindQuery(text).has_value()) kept.push_back(text);
+  }
+  return kept;
+}
+
+}  // namespace simrankpp

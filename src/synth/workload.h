@@ -1,0 +1,39 @@
+// Live-traffic workload sampling (Section 9.2): the evaluation query set
+// is sampled uniformly from live traffic — which means popular queries
+// appear with proportionally higher probability — and then intersected
+// with the click-graph dataset, reproducing the paper's 1200 -> 120
+// attrition.
+#ifndef SIMRANKPP_SYNTH_WORKLOAD_H_
+#define SIMRANKPP_SYNTH_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "synth/click_graph_generator.h"
+
+namespace simrankpp {
+
+/// \brief Workload sampling parameters.
+struct WorkloadOptions {
+  /// Distinct queries in the standardized benchmark sample (the paper's
+  /// was 1200).
+  size_t sample_size = 1200;
+  uint64_t seed = 99;
+};
+
+/// \brief Samples `sample_size` distinct queries from the universe with
+/// probability proportional to popularity (uniform over traffic). Returns
+/// universe indices, most popular first.
+std::vector<uint32_t> SampleWorkload(const SyntheticClickGraph& world,
+                                     const WorkloadOptions& options);
+
+/// \brief Keeps only the sampled queries that appear in `dataset` (the
+/// five-subgraph click graph); returns their texts — the evaluation set.
+std::vector<std::string> FilterWorkloadToGraph(
+    const SyntheticClickGraph& world, const BipartiteGraph& dataset,
+    const std::vector<uint32_t>& sample);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_SYNTH_WORKLOAD_H_

@@ -1,0 +1,29 @@
+#include "text/normalize.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+#include "util/string_util.h"
+
+namespace simrankpp {
+
+std::string QueryStemKey(std::string_view query) {
+  std::vector<std::string> stems;
+  for (const std::string& token : TokenizeQuery(query)) {
+    stems.push_back(PorterStem(token));
+  }
+  std::sort(stems.begin(), stems.end());
+  return JoinStrings(stems, " ");
+}
+
+std::string NormalizeQuery(std::string_view query) {
+  return JoinStrings(TokenizeQuery(query), " ");
+}
+
+bool AreDuplicateQueries(std::string_view a, std::string_view b) {
+  return QueryStemKey(a) == QueryStemKey(b);
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,26 @@
+// Query normalization for duplicate-rewrite detection. The evaluation
+// pipeline (paper, Section 9.3) "uses stemming to filter out duplicate
+// rewrites": two rewrites are duplicates when their sorted stem multisets
+// match ("camera store" == "cameras stores" == "Stores, Camera").
+#ifndef SIMRANKPP_TEXT_NORMALIZE_H_
+#define SIMRANKPP_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace simrankpp {
+
+/// \brief Canonical stem key of a query: tokens stemmed, sorted, joined by
+/// a single space. Queries with equal keys are treated as duplicates.
+std::string QueryStemKey(std::string_view query);
+
+/// \brief Whitespace/casing-normalized form of a query without stemming
+/// (tokens lowercased and joined in order).
+std::string NormalizeQuery(std::string_view query);
+
+/// \brief True when the two queries are stem-level duplicates.
+bool AreDuplicateQueries(std::string_view a, std::string_view b);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_TEXT_NORMALIZE_H_

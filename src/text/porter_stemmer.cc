@@ -1,0 +1,313 @@
+#include "text/porter_stemmer.h"
+
+#include <cstddef>
+
+namespace simrankpp {
+namespace {
+
+// Implementation of the original Porter algorithm (M.F. Porter, "An
+// algorithm for suffix stripping", Program 14(3), 1980). Operates on a
+// mutable buffer `b` with logical end `k` (index of last letter), matching
+// the structure of the reference implementation so each rule below can be
+// cross-checked against the published step tables.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word) : b_(std::move(word)) {
+    k_ = b_.empty() ? -1 : static_cast<int>(b_.size()) - 1;
+  }
+
+  std::string Run() {
+    if (k_ <= 1) return b_;  // words of length <= 2 are left unchanged
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, static_cast<size_t>(k_) + 1);
+  }
+
+ private:
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b[0..j]: the number of VC sequences.
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True when b[0..j] contains a vowel.
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  // True when b[i-1..i] is a double consonant.
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<size_t>(i)] != b_[static_cast<size_t>(i - 1)]) {
+      return false;
+    }
+    return IsConsonant(i);
+  }
+
+  // True when b[i-2..i] is consonant-vowel-consonant and the final
+  // consonant is not w, x or y (the *o condition of the paper).
+  bool CvcEndsHere(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char c = b_[static_cast<size_t>(i)];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  // True when b ends with the suffix s; sets j_ to the end of the stem.
+  bool EndsWith(const char* s) {
+    int len = 0;
+    while (s[len] != '\0') ++len;
+    if (len > k_ + 1) return false;
+    for (int i = 0; i < len; ++i) {
+      if (b_[static_cast<size_t>(k_ - len + 1 + i)] != s[i]) return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces the matched suffix (b[j+1..k]) with s.
+  void SetTo(const char* s) {
+    int len = 0;
+    while (s[len] != '\0') ++len;
+    b_.resize(static_cast<size_t>(j_ + 1));
+    b_.append(s, static_cast<size_t>(len));
+    k_ = j_ + len;
+  }
+
+  // Applies SetTo when the stem measure is positive.
+  void ReplaceIfMeasure(const char* s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  // Step 1a: plurals. Step 1b: -ed / -ing.
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (EndsWith("sses")) {
+        k_ -= 2;
+      } else if (EndsWith("ies")) {
+        SetTo("i");
+      } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (EndsWith("eed")) {
+      if (Measure() > 0) --k_;
+    } else if ((EndsWith("ed") || EndsWith("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (EndsWith("at")) {
+        SetTo("ate");
+      } else if (EndsWith("bl")) {
+        SetTo("ble");
+      } else if (EndsWith("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char c = b_[static_cast<size_t>(k_)];
+        if (c != 'l' && c != 's' && c != 'z') --k_;
+      } else if (Measure() == 1 && CvcEndsHere(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  // Step 1c: terminal y -> i when there is another vowel in the stem.
+  void Step1c() {
+    if (EndsWith("y") && VowelInStem()) {
+      b_[static_cast<size_t>(k_)] = 'i';
+    }
+  }
+
+  // Step 2: double-suffix reductions ("-ational" -> "-ate", etc.),
+  // dispatched on the penultimate letter as in the reference code.
+  void Step2() {
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (EndsWith("ational")) { ReplaceIfMeasure("ate"); break; }
+        if (EndsWith("tional")) { ReplaceIfMeasure("tion"); }
+        break;
+      case 'c':
+        if (EndsWith("enci")) { ReplaceIfMeasure("ence"); break; }
+        if (EndsWith("anci")) { ReplaceIfMeasure("ance"); }
+        break;
+      case 'e':
+        if (EndsWith("izer")) { ReplaceIfMeasure("ize"); }
+        break;
+      case 'l':
+        if (EndsWith("bli")) { ReplaceIfMeasure("ble"); break; }
+        if (EndsWith("alli")) { ReplaceIfMeasure("al"); break; }
+        if (EndsWith("entli")) { ReplaceIfMeasure("ent"); break; }
+        if (EndsWith("eli")) { ReplaceIfMeasure("e"); break; }
+        if (EndsWith("ousli")) { ReplaceIfMeasure("ous"); }
+        break;
+      case 'o':
+        if (EndsWith("ization")) { ReplaceIfMeasure("ize"); break; }
+        if (EndsWith("ation")) { ReplaceIfMeasure("ate"); break; }
+        if (EndsWith("ator")) { ReplaceIfMeasure("ate"); }
+        break;
+      case 's':
+        if (EndsWith("alism")) { ReplaceIfMeasure("al"); break; }
+        if (EndsWith("iveness")) { ReplaceIfMeasure("ive"); break; }
+        if (EndsWith("fulness")) { ReplaceIfMeasure("ful"); break; }
+        if (EndsWith("ousness")) { ReplaceIfMeasure("ous"); }
+        break;
+      case 't':
+        if (EndsWith("aliti")) { ReplaceIfMeasure("al"); break; }
+        if (EndsWith("iviti")) { ReplaceIfMeasure("ive"); break; }
+        if (EndsWith("biliti")) { ReplaceIfMeasure("ble"); }
+        break;
+      case 'g':
+        if (EndsWith("logi")) { ReplaceIfMeasure("log"); }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: "-icate" -> "-ic", "-ful" -> "", etc.
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (EndsWith("icate")) { ReplaceIfMeasure("ic"); break; }
+        if (EndsWith("ative")) { ReplaceIfMeasure(""); break; }
+        if (EndsWith("alize")) { ReplaceIfMeasure("al"); }
+        break;
+      case 'i':
+        if (EndsWith("iciti")) { ReplaceIfMeasure("ic"); }
+        break;
+      case 'l':
+        if (EndsWith("ical")) { ReplaceIfMeasure("ic"); break; }
+        if (EndsWith("ful")) { ReplaceIfMeasure(""); }
+        break;
+      case 's':
+        if (EndsWith("ness")) { ReplaceIfMeasure(""); }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: drop "-ant", "-ence", etc. when the measure exceeds 1.
+  void Step4() {
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (EndsWith("al")) break;
+        return;
+      case 'c':
+        if (EndsWith("ance")) break;
+        if (EndsWith("ence")) break;
+        return;
+      case 'e':
+        if (EndsWith("er")) break;
+        return;
+      case 'i':
+        if (EndsWith("ic")) break;
+        return;
+      case 'l':
+        if (EndsWith("able")) break;
+        if (EndsWith("ible")) break;
+        return;
+      case 'n':
+        if (EndsWith("ant")) break;
+        if (EndsWith("ement")) break;
+        if (EndsWith("ment")) break;
+        if (EndsWith("ent")) break;
+        return;
+      case 'o':
+        if (EndsWith("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+          break;
+        }
+        if (EndsWith("ou")) break;  // as in "-ous" handled via "ou"
+        return;
+      case 's':
+        if (EndsWith("ism")) break;
+        return;
+      case 't':
+        if (EndsWith("ate")) break;
+        if (EndsWith("iti")) break;
+        return;
+      case 'u':
+        if (EndsWith("ous")) break;
+        return;
+      case 'v':
+        if (EndsWith("ive")) break;
+        return;
+      case 'z':
+        if (EndsWith("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) k_ = j_;
+  }
+
+  // Step 5a: remove final "e" when appropriate; 5b: "-ll" -> "-l".
+  void Step5() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      int m = Measure();
+      if (m > 1 || (m == 1 && !CvcEndsHere(k_ - 1))) --k_;
+    }
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleConsonant(k_) &&
+        Measure() > 1) {
+      --k_;
+    }
+  }
+
+  std::string b_;
+  int k_ = -1;  // index of last letter
+  int j_ = 0;   // end of stem after a suffix match
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  return Stemmer(std::string(word)).Run();
+}
+
+}  // namespace simrankpp

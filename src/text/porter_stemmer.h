@@ -1,0 +1,20 @@
+// The classic Porter (1980) stemming algorithm, steps 1a through 5b.
+// The evaluation pipeline (paper, Section 9.3) uses stemming to filter out
+// duplicate rewrites before editorial scoring; this is a from-scratch,
+// dependency-free implementation of the original algorithm.
+#ifndef SIMRANKPP_TEXT_PORTER_STEMMER_H_
+#define SIMRANKPP_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace simrankpp {
+
+/// \brief Stems a single lowercase word ("cameras" -> "camera",
+/// "flowers" -> "flower", "relational" -> "relat"). Words of length <= 2
+/// are returned unchanged, per the original algorithm.
+std::string PorterStem(std::string_view word);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_TEXT_PORTER_STEMMER_H_

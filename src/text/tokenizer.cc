@@ -1,0 +1,23 @@
+#include "text/tokenizer.h"
+
+namespace simrankpp {
+
+std::vector<std::string> TokenizeQuery(std::string_view query) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : query) {
+    bool is_alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    if (is_alnum) {
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      current.push_back(c);
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+}  // namespace simrankpp

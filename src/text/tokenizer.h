@@ -1,0 +1,19 @@
+// Query tokenization: lowercases and splits on non-alphanumeric runs.
+// Queries in sponsored search are short keyword strings, so no further
+// linguistic analysis is needed before stemming.
+#ifndef SIMRANKPP_TEXT_TOKENIZER_H_
+#define SIMRANKPP_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace simrankpp {
+
+/// \brief Splits a query string into lowercase alphanumeric tokens.
+/// "Digital-Camera 2x" -> {"digital", "camera", "2x"}.
+std::vector<std::string> TokenizeQuery(std::string_view query);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_TEXT_TOKENIZER_H_

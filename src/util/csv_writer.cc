@@ -1,0 +1,63 @@
+#include "util/csv_writer.h"
+
+#include <cstdio>
+
+namespace simrankpp {
+
+CsvWriter::CsvWriter(char separator) : separator_(separator) {}
+
+void CsvWriter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::EscapeField(const std::string& field) const {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == separator_ || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += separator_;
+      out += EscapeField(row[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  std::string content = ToString();
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    return Status::IOError("short write to: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace simrankpp

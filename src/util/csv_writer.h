@@ -1,0 +1,41 @@
+// CSV/TSV emission for bench outputs so figure series can be re-plotted
+// outside the repo (gnuplot/matplotlib).
+#ifndef SIMRANKPP_UTIL_CSV_WRITER_H_
+#define SIMRANKPP_UTIL_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace simrankpp {
+
+/// \brief Accumulates rows and serializes them as RFC-4180-ish CSV
+/// (quotes fields containing the separator, quotes, or newlines).
+class CsvWriter {
+ public:
+  /// \param separator field separator, ',' for CSV or '\t' for TSV.
+  explicit CsvWriter(char separator = ',');
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Serializes all rows (header first when present).
+  std::string ToString() const;
+
+  /// \brief Writes the serialized content to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string EscapeField(const std::string& field) const;
+
+  char separator_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_UTIL_CSV_WRITER_H_

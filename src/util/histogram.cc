@@ -1,0 +1,96 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace simrankpp {
+
+SummaryStats::SummaryStats(bool keep_samples) : keep_samples_(keep_samples) {}
+
+void SummaryStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+  if (keep_samples_) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+}
+
+double SummaryStats::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double SummaryStats::variance() const {
+  if (count_ == 0) return 0.0;
+  double m = mean();
+  double v = sum_sq_ / static_cast<double>(count_) - m * m;
+  return v < 0.0 ? 0.0 : v;  // guard FP cancellation
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+double SummaryStats::Quantile(double q) const {
+  assert(keep_samples_);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  assert(hi > lo);
+  assert(buckets > 0);
+}
+
+void Histogram::Add(double value) {
+  double frac = (value - lo_) / (hi_ - lo_);
+  int64_t idx = static_cast<int64_t>(
+      std::floor(frac * static_cast<double>(counts_.size())));
+  idx = std::clamp<int64_t>(idx, 0,
+                            static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::BucketLow(size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::ToString(size_t max_bar_width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    size_t bar = peak == 0
+                     ? 0
+                     : static_cast<size_t>(static_cast<double>(counts_[i]) /
+                                           static_cast<double>(peak) *
+                                           static_cast<double>(max_bar_width));
+    out += StringPrintf("[%10.4f) %8llu |", BucketLow(i),
+                        static_cast<unsigned long long>(counts_[i]));
+    out += std::string(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace simrankpp

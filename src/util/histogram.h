@@ -1,0 +1,73 @@
+// Streaming summary statistics + fixed-bucket histogram, used by graph
+// statistics (degree / weight distributions) and bench reporting.
+#ifndef SIMRANKPP_UTIL_HISTOGRAM_H_
+#define SIMRANKPP_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace simrankpp {
+
+/// \brief Accumulates values; exposes count/mean/variance/min/max and
+/// quantiles (quantiles require the kept-sample mode).
+class SummaryStats {
+ public:
+  /// \param keep_samples when true, all values are retained so exact
+  /// quantiles can be computed; otherwise only streaming moments are kept.
+  explicit SummaryStats(bool keep_samples = false);
+
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  /// \brief Population variance (biased); 0 for fewer than 1 sample.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  /// \brief Exact quantile in [0,1]; requires keep_samples. Empty => 0.
+  double Quantile(double q) const;
+
+ private:
+  bool keep_samples_;
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// \brief Fixed-width bucket histogram over [lo, hi); out-of-range values
+/// clamp to the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double value);
+
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t bucket(size_t i) const { return counts_[i]; }
+  uint64_t total() const { return total_; }
+
+  /// \brief Lower bound of bucket i.
+  double BucketLow(size_t i) const;
+
+  /// \brief Renders an ASCII bar chart.
+  std::string ToString(size_t max_bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_UTIL_HISTOGRAM_H_

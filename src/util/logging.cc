@@ -1,0 +1,80 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace simrankpp {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes writes so concurrent log lines do not interleave.
+std::mutex& LogMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::FILE* out = level_ >= LogLevel::kWarning ? stderr : stdout;
+  std::fputs(stream_.str().c_str(), out);
+  std::fputc('\n', out);
+  std::fflush(out);
+}
+
+FatalMessage::FatalMessage(const char* file, int line) {
+  stream_ << "[FATAL " << file << ":" << line << "] ";
+}
+
+FatalMessage::~FatalMessage() {
+  {
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::fflush(stderr);
+  }
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace simrankpp

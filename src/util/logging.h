@@ -1,0 +1,90 @@
+// Minimal leveled logging with compile-time-cheap macros. Intended for the
+// bench/example binaries and coarse progress reporting inside long-running
+// library calls; hot loops must not log.
+#ifndef SIMRANKPP_UTIL_LOGGING_H_
+#define SIMRANKPP_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace simrankpp {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// \brief Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+
+/// \brief Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SRPP_LOG(level)                                              \
+  if (static_cast<int>(::simrankpp::LogLevel::k##level) <            \
+      static_cast<int>(::simrankpp::GetLogLevel())) {                \
+  } else                                                             \
+    ::simrankpp::internal::LogMessage(::simrankpp::LogLevel::k##level, \
+                                      __FILE__, __LINE__)
+
+#define SRPP_LOG_DEBUG SRPP_LOG(Debug)
+#define SRPP_LOG_INFO SRPP_LOG(Info)
+#define SRPP_LOG_WARN SRPP_LOG(Warning)
+#define SRPP_LOG_ERROR SRPP_LOG(Error)
+
+/// \brief Always-on invariant check (also active in release builds).
+#define SRPP_CHECK(cond)                                            \
+  if (cond) {                                                       \
+  } else                                                            \
+    ::simrankpp::internal::FatalMessage(__FILE__, __LINE__)         \
+        << "Check failed: " #cond " "
+
+namespace internal {
+
+/// \brief Like LogMessage but aborts the process on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_UTIL_LOGGING_H_

@@ -1,0 +1,29 @@
+// Wall-clock timing for benches and coarse per-phase reporting.
+#ifndef SIMRANKPP_UTIL_STOPWATCH_H_
+#define SIMRANKPP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace simrankpp {
+
+/// \brief Monotonic wall-clock stopwatch. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// \brief Restarts the clock.
+  void Reset();
+
+  /// \brief Elapsed time since construction / last Reset.
+  double ElapsedSeconds() const;
+  int64_t ElapsedMillis() const;
+  int64_t ElapsedMicros() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_UTIL_STOPWATCH_H_

@@ -1,0 +1,39 @@
+// Fixed-width ASCII table rendering used by the bench binaries to print
+// paper-style tables (Table 1 ... Table 5) and figure series.
+#ifndef SIMRANKPP_UTIL_TABLE_PRINTER_H_
+#define SIMRANKPP_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace simrankpp {
+
+/// \brief Collects rows of string cells and renders an aligned table.
+class TablePrinter {
+ public:
+  /// \param title printed above the table (empty = none).
+  explicit TablePrinter(std::string title = "");
+
+  /// \brief Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// \brief Appends a data row; ragged rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Renders the table (title, header, separator, rows).
+  std::string ToString() const;
+
+  /// \brief Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,56 @@
+// Fixed-size worker pool used to parallelize per-node similarity updates in
+// the SimRank engines. Deliberately minimal: submit closures, wait for all.
+#ifndef SIMRANKPP_UTIL_THREAD_POOL_H_
+#define SIMRANKPP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace simrankpp {
+
+/// \brief Fixed pool of worker threads consuming a FIFO task queue.
+///
+/// Tasks must not throw (the library is exception-free on hot paths).
+/// `WaitIdle` blocks until every submitted task has finished, providing the
+/// barrier the iterative engines need between SimRank iterations.
+class ThreadPool {
+ public:
+  /// \param num_threads 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  /// \brief Partitions [0, count) into roughly even chunks and runs
+  /// `fn(begin, end)` on the pool, blocking until all chunks finish.
+  void ParallelFor(size_t count, const std::function<void(size_t, size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_idle_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_UTIL_THREAD_POOL_H_

@@ -1,0 +1,72 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace simrankpp {
+
+ZipfSampler::ZipfSampler(size_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s > 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+double ZipfSampler::H(double x) const {
+  // Integral of t^-s: handles s == 1 separately (log form).
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= threshold_) return static_cast<size_t>(k);
+    if (u >= H(k + 0.5) - std::pow(k, -s_)) return static_cast<size_t>(k);
+  }
+}
+
+double EstimatePowerLawExponent(const std::vector<size_t>& values) {
+  std::vector<double> positive;
+  positive.reserve(values.size());
+  for (size_t v : values) {
+    if (v > 0) positive.push_back(static_cast<double>(v));
+  }
+  if (positive.size() < 3) return 0.0;
+  std::sort(positive.begin(), positive.end(), std::greater<double>());
+
+  // Rank-size fit: sort values descending and regress log(value_i) on
+  // log(rank i); for a Zipf law value_r ~ C * r^-s the slope is -s, so the
+  // estimate is -slope. Degenerate (flat or increasing) fits return 0.
+  size_t n = positive.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t used = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double x = std::log(static_cast<double>(i + 1));
+    double y = std::log(positive[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++used;
+  }
+  double denom = used * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return 0.0;
+  double slope = (used * sxy - sx * sy) / denom;
+  if (slope >= -1e-9) return 0.0;
+  return -slope;
+}
+
+}  // namespace simrankpp

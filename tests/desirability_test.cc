@@ -1,0 +1,116 @@
+// Desirability score and edge-removal experiment tests (Section 9.3).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/desirability.h"
+#include "eval/desirability_experiment.h"
+#include "graph/graph_builder.h"
+#include "synth/click_graph_generator.h"
+
+namespace simrankpp {
+namespace {
+
+TEST(DesirabilityTest, HandComputedScore) {
+  GraphBuilder builder;
+  ASSERT_TRUE(builder.AddWeightedClick("q1", "shared1", 0.5).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q1", "shared2", 0.5).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q2", "shared1", 0.4).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q2", "shared2", 0.2).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q2", "private", 0.9).ok());
+  BipartiteGraph graph = std::move(builder.Build()).value();
+  QueryId q1 = *graph.FindQuery("q1");
+  QueryId q2 = *graph.FindQuery("q2");
+  // des(q1, q2) = (0.4 + 0.2) / 3.
+  EXPECT_NEAR(Desirability(graph, q1, q2), 0.2, 1e-12);
+  // Asymmetric: des(q2, q1) = (0.5 + 0.5) / 2.
+  EXPECT_NEAR(Desirability(graph, q2, q1), 0.5, 1e-12);
+}
+
+TEST(DesirabilityTest, NoCommonAdsGivesZero) {
+  GraphBuilder builder;
+  ASSERT_TRUE(builder.AddWeightedClick("q1", "a", 0.5).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q2", "b", 0.5).ok());
+  BipartiteGraph graph = std::move(builder.Build()).value();
+  EXPECT_DOUBLE_EQ(Desirability(graph, 0, 1), 0.0);
+}
+
+SyntheticClickGraph ExperimentWorld() {
+  GeneratorOptions options;
+  options.num_queries = 2500;
+  options.num_ads = 600;
+  options.taxonomy.num_categories = 10;
+  options.taxonomy.subtopics_per_category = 6;
+  options.mean_impressions_per_query = 35.0;
+  options.seed = 5;
+  auto world = GenerateClickGraph(options);
+  EXPECT_TRUE(world.ok());
+  return std::move(world).value();
+}
+
+TEST(DesirabilityExperimentTest, SampledTrialsSatisfyInvariants) {
+  SyntheticClickGraph world = ExperimentWorld();
+  DesirabilityExperimentOptions options;
+  options.num_trials = 10;
+  options.seed = 3;
+  auto trials = SampleDesirabilityTrials(world.graph, options);
+  ASSERT_TRUE(trials.ok());
+  EXPECT_GE(trials->size(), 3u);
+
+  std::unordered_set<QueryId> q1s;
+  for (const DesirabilityTrial& trial : *trials) {
+    // Distinct anchor queries.
+    EXPECT_TRUE(q1s.insert(trial.q1).second);
+    EXPECT_NE(trial.q2, trial.q3);
+    // Both candidates co-click with q1 (sampling is done before removal).
+    EXPECT_EQ(world.graph.CountCommonAds(trial.q1, trial.q2), 1u);
+    EXPECT_EQ(world.graph.CountCommonAds(trial.q1, trial.q3), 1u);
+    // Equal degrees by protocol.
+    EXPECT_EQ(world.graph.QueryDegree(trial.q2),
+              world.graph.QueryDegree(trial.q3));
+    EXPECT_GE(world.graph.QueryDegree(trial.q2),
+              options.min_candidate_degree);
+    // Desirability values differ (there is an ordering to predict).
+    EXPECT_NE(trial.des_q2, trial.des_q3);
+    // Removed edges all belong to q1 and point at shared ads.
+    ASSERT_FALSE(trial.removed_edges.empty());
+    for (EdgeId e : trial.removed_edges) {
+      EXPECT_EQ(world.graph.edge_query(e), trial.q1);
+    }
+  }
+}
+
+TEST(DesirabilityExperimentTest, RunsAllThreeVariants) {
+  SyntheticClickGraph world = ExperimentWorld();
+  DesirabilityExperimentOptions options;
+  options.num_trials = 6;
+  options.seed = 3;
+  options.simrank.iterations = 4;
+  options.simrank.prune_threshold = 1e-6;
+  options.simrank.max_partners_per_node = 0;
+  auto results = RunDesirabilityExperiment(world.graph, options);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 3u);
+  EXPECT_EQ((*results)[0].method, "Simrank");
+  EXPECT_EQ((*results)[1].method, "evidence-based Simrank");
+  EXPECT_EQ((*results)[2].method, "weighted Simrank");
+  for (const DesirabilityResult& result : *results) {
+    EXPECT_EQ(result.trials, (*results)[0].trials);
+    EXPECT_LE(result.correct, result.trials);
+    EXPECT_GE(result.Accuracy(), 0.0);
+    EXPECT_LE(result.Accuracy(), 1.0);
+  }
+}
+
+TEST(DesirabilityExperimentTest, TinyGraphFailsGracefully) {
+  GraphBuilder builder;
+  ASSERT_TRUE(builder.AddClick("a", "x").ok());
+  BipartiteGraph graph = std::move(builder.Build()).value();
+  DesirabilityExperimentOptions options;
+  options.num_trials = 5;
+  options.max_attempts = 50;
+  EXPECT_FALSE(RunDesirabilityExperiment(graph, options).ok());
+}
+
+}  // namespace
+}  // namespace simrankpp

@@ -1,0 +1,244 @@
+// Evaluation machinery tests: editorial oracle grading, 11-point PR
+// interpolation, micro-averaged P@X, and method-level metrics with pooled
+// recall.
+#include <gtest/gtest.h>
+
+#include "eval/editorial_oracle.h"
+#include "eval/metrics.h"
+#include "eval/pr_curve.h"
+#include "synth/click_graph_generator.h"
+
+namespace simrankpp {
+namespace {
+
+// ---------------------------------------------------------------- oracle
+
+SyntheticClickGraph TinyWorld() {
+  GeneratorOptions options;
+  options.num_queries = 600;
+  options.num_ads = 200;
+  options.taxonomy.num_categories = 6;
+  options.taxonomy.subtopics_per_category = 4;
+  options.mean_impressions_per_query = 20.0;
+  options.seed = 11;
+  auto world = GenerateClickGraph(options);
+  EXPECT_TRUE(world.ok());
+  return std::move(world).value();
+}
+
+TEST(EditorialOracleTest, GradesFollowLatentRelations) {
+  SyntheticClickGraph world = TinyWorld();
+  EditorialOracle oracle(&world);
+
+  // Find exemplars per relation from the universe.
+  const QueryEntity* base = &world.query_universe[0];
+  const QueryEntity* same_intent_class = nullptr;
+  const QueryEntity* other_intent_class = nullptr;
+  const QueryEntity* same_category = nullptr;
+  const QueryEntity* unrelated = nullptr;
+  for (const QueryEntity& q : world.query_universe) {
+    if (&q == base) continue;
+    if (q.subtopic == base->subtopic) {
+      if (IntentClassOf(q.intent) == IntentClassOf(base->intent)) {
+        if (same_intent_class == nullptr) same_intent_class = &q;
+      } else if (other_intent_class == nullptr) {
+        other_intent_class = &q;
+      }
+    } else if (q.category == base->category && same_category == nullptr) {
+      same_category = &q;
+    } else if (q.category != base->category &&
+               !world.taxonomy.AreComplements(q.subtopic, base->subtopic) &&
+               unrelated == nullptr) {
+      unrelated = &q;
+    }
+  }
+  ASSERT_NE(same_intent_class, nullptr);
+  ASSERT_NE(other_intent_class, nullptr);
+  ASSERT_NE(same_category, nullptr);
+  ASSERT_NE(unrelated, nullptr);
+
+  EXPECT_EQ(oracle.Grade(base->text, same_intent_class->text),
+            EditorialGrade::kPrecise);
+  EXPECT_EQ(oracle.Grade(base->text, other_intent_class->text),
+            EditorialGrade::kApproximate);
+  EXPECT_EQ(oracle.Grade(base->text, same_category->text),
+            EditorialGrade::kMarginal);
+  EXPECT_EQ(oracle.Grade(base->text, unrelated->text),
+            EditorialGrade::kMismatch);
+}
+
+TEST(EditorialOracleTest, ComplementPairsAreMarginal) {
+  SyntheticClickGraph world = TinyWorld();
+  EditorialOracle oracle(&world);
+  for (const QueryEntity& q : world.query_universe) {
+    uint32_t complement = world.taxonomy.subtopic(q.subtopic).complement;
+    if (complement == q.subtopic) continue;
+    for (const QueryEntity& r : world.query_universe) {
+      if (r.subtopic == complement) {
+        EXPECT_EQ(oracle.Grade(q.text, r.text), EditorialGrade::kMarginal);
+        return;
+      }
+    }
+  }
+}
+
+TEST(EditorialOracleTest, UnknownTextIsMismatch) {
+  SyntheticClickGraph world = TinyWorld();
+  EditorialOracle oracle(&world);
+  EXPECT_EQ(oracle.Grade("zzz unknown", world.query_universe[0].text),
+            EditorialGrade::kMismatch);
+}
+
+TEST(JudgmentTest, RelevanceThresholds) {
+  EXPECT_TRUE(IsRelevant(EditorialGrade::kPrecise, 2));
+  EXPECT_TRUE(IsRelevant(EditorialGrade::kApproximate, 2));
+  EXPECT_FALSE(IsRelevant(EditorialGrade::kMarginal, 2));
+  EXPECT_FALSE(IsRelevant(EditorialGrade::kMismatch, 2));
+  EXPECT_TRUE(IsRelevant(EditorialGrade::kPrecise, 1));
+  EXPECT_FALSE(IsRelevant(EditorialGrade::kApproximate, 1));
+  EXPECT_STREQ(EditorialGradeName(EditorialGrade::kPrecise),
+               "Precise Match");
+}
+
+// -------------------------------------------------------------- PR curve
+
+TEST(PrCurveTest, InterpolatedPrecisionHandExample) {
+  // Ranked relevance R N R, pooled relevant = 3.
+  RankedRelevance ranked;
+  ranked.relevance = {true, false, true};
+  ranked.total_relevant = 3;
+  // Hits at ranks 1 (P=1, R=1/3) and 3 (P=2/3, R=2/3).
+  EXPECT_DOUBLE_EQ(InterpolatedPrecisionAt(ranked, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(InterpolatedPrecisionAt(ranked, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(InterpolatedPrecisionAt(ranked, 0.4), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(InterpolatedPrecisionAt(ranked, 0.6), 2.0 / 3.0);
+  // Recall 1.0 is unreachable with only 2 of 3 found.
+  EXPECT_DOUBLE_EQ(InterpolatedPrecisionAt(ranked, 0.9), 0.0);
+}
+
+TEST(PrCurveTest, ZeroRelevantGivesZeroCurve) {
+  RankedRelevance ranked;
+  ranked.relevance = {false, false};
+  ranked.total_relevant = 0;
+  EXPECT_DOUBLE_EQ(InterpolatedPrecisionAt(ranked, 0.0), 0.0);
+}
+
+TEST(PrCurveTest, ElevenPointAveragesOverScoredQueries) {
+  RankedRelevance perfect;
+  perfect.relevance = {true};
+  perfect.total_relevant = 1;
+  RankedRelevance empty_pool;  // skipped: nothing relevant exists
+  empty_pool.relevance = {false};
+  empty_pool.total_relevant = 0;
+  std::vector<double> curve = ElevenPointCurve({perfect, empty_pool});
+  ASSERT_EQ(curve.size(), 11u);
+  for (double p : curve) EXPECT_DOUBLE_EQ(p, 1.0);
+}
+
+TEST(PrCurveTest, CurveIsNonIncreasing) {
+  RankedRelevance ranked;
+  ranked.relevance = {true, false, true, false, true};
+  ranked.total_relevant = 4;
+  std::vector<double> curve = ElevenPointCurve({ranked});
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-12);
+  }
+}
+
+TEST(PrCurveTest, PrecisionAfterXMicroAverage) {
+  RankedRelevance a;  // 2 rewrites: R N
+  a.relevance = {true, false};
+  a.total_relevant = 2;
+  RankedRelevance b;  // 1 rewrite: R
+  b.relevance = {true};
+  b.total_relevant = 1;
+  std::vector<double> p = PrecisionAfterX({a, b}, 3);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);            // 2 relevant / 2 provided
+  EXPECT_DOUBLE_EQ(p[1], 2.0 / 3.0);      // 2 relevant / 3 provided
+  EXPECT_DOUBLE_EQ(p[2], 2.0 / 3.0);      // unchanged: no more rewrites
+}
+
+TEST(PrCurveTest, PrecisionAfterXEmptyInput) {
+  std::vector<double> p = PrecisionAfterX({}, 5);
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// --------------------------------------------------------------- metrics
+
+MethodReport MakeReport(const std::string& name) {
+  MethodReport report;
+  report.method = name;
+  return report;
+}
+
+GradedRewrite G(const char* text, EditorialGrade grade) {
+  return GradedRewrite{text, 0.5, grade};
+}
+
+TEST(MetricsTest, CoverageAndDepthCounts) {
+  MethodReport report = MakeReport("m");
+  report.results.push_back(
+      {"q1",
+       {G("a", EditorialGrade::kPrecise), G("b", EditorialGrade::kMismatch)}});
+  report.results.push_back({"q2", {}});
+  report.results.push_back({"q3", {G("c", EditorialGrade::kApproximate)}});
+
+  std::vector<MethodEvaluation> evals = EvaluateMethods({report});
+  ASSERT_EQ(evals.size(), 1u);
+  const MethodEvaluation& eval = evals[0];
+  EXPECT_EQ(eval.queries_total, 3u);
+  EXPECT_EQ(eval.queries_covered, 2u);
+  EXPECT_NEAR(eval.Coverage(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(eval.depth_counts[0], 1u);
+  EXPECT_EQ(eval.depth_counts[1], 1u);
+  EXPECT_EQ(eval.depth_counts[2], 1u);
+  EXPECT_NEAR(eval.DepthAtLeast(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(eval.DepthAtLeast(2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, PooledRecallAcrossMethods) {
+  // Method A finds one relevant rewrite; method B finds a different one.
+  // Pooled relevant per query = 2, so each method's curve saturates at
+  // recall 0.5.
+  MethodReport a = MakeReport("A");
+  a.results.push_back({"q", {G("first", EditorialGrade::kPrecise)}});
+  MethodReport b = MakeReport("B");
+  b.results.push_back({"q", {G("second", EditorialGrade::kPrecise)}});
+
+  std::vector<MethodEvaluation> evals = EvaluateMethods({a, b});
+  // At recall 0.5 both still have precision 1 (1 hit in 1 rank).
+  EXPECT_DOUBLE_EQ(evals[0].eleven_point[5], 1.0);
+  // At recall 0.6 neither can reach it -> 0.
+  EXPECT_DOUBLE_EQ(evals[0].eleven_point[6], 0.0);
+  EXPECT_DOUBLE_EQ(evals[1].eleven_point[6], 0.0);
+}
+
+TEST(MetricsTest, StemKeyPoolingDeduplicatesRelevantSet) {
+  // "camera store" and "camera stores" are one pooled relevant item.
+  MethodReport a = MakeReport("A");
+  a.results.push_back({"q", {G("camera store", EditorialGrade::kPrecise)}});
+  MethodReport b = MakeReport("B");
+  b.results.push_back({"q", {G("camera stores", EditorialGrade::kPrecise)}});
+  std::vector<MethodEvaluation> evals = EvaluateMethods({a, b});
+  // Pool size 1: each method reaches recall 1.0 with its single hit.
+  EXPECT_DOUBLE_EQ(evals[0].eleven_point[10], 1.0);
+  EXPECT_DOUBLE_EQ(evals[1].eleven_point[10], 1.0);
+}
+
+TEST(MetricsTest, ThresholdOneStricter) {
+  MethodReport report = MakeReport("m");
+  report.results.push_back(
+      {"q",
+       {G("a", EditorialGrade::kApproximate),
+        G("b", EditorialGrade::kPrecise)}});
+  std::vector<MethodEvaluation> evals = EvaluateMethods({report});
+  // Threshold 2: both rewrites relevant -> P@1 = 1.
+  EXPECT_DOUBLE_EQ(evals[0].precision_at_x[0], 1.0);
+  // Threshold 1: only the second -> P@1 = 0.
+  EXPECT_DOUBLE_EQ(evals[0].precision_at_x_t1[0], 0.0);
+  EXPECT_DOUBLE_EQ(evals[0].precision_at_x_t1[1], 0.5);
+}
+
+}  // namespace
+}  // namespace simrankpp

@@ -1,0 +1,341 @@
+// Unit tests for the bipartite click graph: construction, CSR invariants,
+// neighborhood queries, components, induced subgraphs, statistics, and
+// TSV round-tripping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/sample_graphs.h"
+#include "graph/components.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+
+namespace simrankpp {
+namespace {
+
+BipartiteGraph SmallGraph() {
+  GraphBuilder builder;
+  EXPECT_TRUE(builder.AddObservation("q0", "a0", {10, 4, 0.4}).ok());
+  EXPECT_TRUE(builder.AddObservation("q0", "a1", {20, 2, 0.1}).ok());
+  EXPECT_TRUE(builder.AddObservation("q1", "a1", {5, 5, 0.9}).ok());
+  EXPECT_TRUE(builder.AddObservation("q2", "a0", {8, 1, 0.2}).ok());
+  Result<BipartiteGraph> result = builder.Build();
+  EXPECT_TRUE(result.ok());
+  return std::move(result).value();
+}
+
+TEST(GraphBuilderTest, InternsLabelsOnce) {
+  GraphBuilder builder;
+  QueryId q1 = builder.AddQuery("camera");
+  QueryId q2 = builder.AddQuery("camera");
+  EXPECT_EQ(q1, q2);
+  EXPECT_EQ(builder.num_queries(), 1u);
+  AdId a1 = builder.AddAd("hp.com");
+  AdId a2 = builder.AddAd("hp.com");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(builder.num_ads(), 1u);
+}
+
+TEST(GraphBuilderTest, AccumulatesRepeatedObservations) {
+  GraphBuilder builder;
+  ASSERT_TRUE(builder.AddObservation("q", "a", {10, 2, 0.3}).ok());
+  ASSERT_TRUE(builder.AddObservation("q", "a", {5, 1, 0.5}).ok());
+  BipartiteGraph graph = std::move(builder.Build()).value();
+  ASSERT_EQ(graph.num_edges(), 1u);
+  const EdgeWeights& weights = graph.edge_weights(0);
+  EXPECT_EQ(weights.impressions, 15u);
+  EXPECT_EQ(weights.clicks, 3u);
+  EXPECT_DOUBLE_EQ(weights.expected_click_rate, 0.5);  // max kept
+}
+
+TEST(GraphBuilderTest, RejectsClicksOverImpressions) {
+  GraphBuilder builder;
+  Status status = builder.AddObservation("q", "a", {1, 2, 0.5});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectsNegativeOrNonFiniteRate) {
+  GraphBuilder builder;
+  EXPECT_FALSE(builder.AddObservation("q", "a", {1, 1, -0.5}).ok());
+  EXPECT_FALSE(
+      builder
+          .AddObservation("q", "a",
+                          {1, 1, std::numeric_limits<double>::infinity()})
+          .ok());
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeIds) {
+  GraphBuilder builder;
+  builder.AddQuery("q");
+  builder.AddAd("a");
+  EXPECT_FALSE(builder.AddObservation(QueryId{5}, AdId{0}, {1, 1, 1}).ok());
+  EXPECT_FALSE(builder.AddObservation(QueryId{0}, AdId{5}, {1, 1, 1}).ok());
+}
+
+TEST(BipartiteGraphTest, SizesAndLabels) {
+  BipartiteGraph graph = SmallGraph();
+  EXPECT_EQ(graph.num_queries(), 3u);
+  EXPECT_EQ(graph.num_ads(), 2u);
+  EXPECT_EQ(graph.num_edges(), 4u);
+  EXPECT_EQ(graph.query_label(*graph.FindQuery("q1")), "q1");
+  EXPECT_EQ(graph.ad_label(*graph.FindAd("a0")), "a0");
+  EXPECT_FALSE(graph.FindQuery("missing").has_value());
+  EXPECT_FALSE(graph.FindAd("missing").has_value());
+}
+
+TEST(BipartiteGraphTest, AdjacencySortedAndConsistent) {
+  BipartiteGraph graph = SmallGraph();
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    auto edges = graph.QueryEdges(q);
+    EXPECT_EQ(edges.size(), graph.QueryDegree(q));
+    for (size_t i = 0; i < edges.size(); ++i) {
+      EXPECT_EQ(graph.edge_query(edges[i]), q);
+      if (i > 0) {
+        EXPECT_LT(graph.edge_ad(edges[i - 1]), graph.edge_ad(edges[i]));
+      }
+    }
+  }
+  for (AdId a = 0; a < graph.num_ads(); ++a) {
+    auto edges = graph.AdEdges(a);
+    EXPECT_EQ(edges.size(), graph.AdDegree(a));
+    for (size_t i = 0; i < edges.size(); ++i) {
+      EXPECT_EQ(graph.edge_ad(edges[i]), a);
+      if (i > 0) {
+        EXPECT_LT(graph.edge_query(edges[i - 1]),
+                  graph.edge_query(edges[i]));
+      }
+    }
+  }
+}
+
+TEST(BipartiteGraphTest, BothDirectionsCoverEveryEdgeOnce) {
+  BipartiteGraph graph = SmallGraph();
+  size_t from_queries = 0, from_ads = 0;
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    from_queries += graph.QueryDegree(q);
+  }
+  for (AdId a = 0; a < graph.num_ads(); ++a) {
+    from_ads += graph.AdDegree(a);
+  }
+  EXPECT_EQ(from_queries, graph.num_edges());
+  EXPECT_EQ(from_ads, graph.num_edges());
+}
+
+TEST(BipartiteGraphTest, FindEdge) {
+  BipartiteGraph graph = SmallGraph();
+  QueryId q0 = *graph.FindQuery("q0");
+  AdId a1 = *graph.FindAd("a1");
+  auto edge = graph.FindEdge(q0, a1);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_DOUBLE_EQ(graph.edge_weights(*edge).expected_click_rate, 0.1);
+  QueryId q1 = *graph.FindQuery("q1");
+  AdId a0 = *graph.FindAd("a0");
+  EXPECT_FALSE(graph.FindEdge(q1, a0).has_value());
+}
+
+TEST(BipartiteGraphTest, WeightSums) {
+  BipartiteGraph graph = SmallGraph();
+  EXPECT_DOUBLE_EQ(graph.QueryWeightSum(*graph.FindQuery("q0")), 0.5);
+  EXPECT_DOUBLE_EQ(graph.AdWeightSum(*graph.FindAd("a1")), 1.0);
+}
+
+TEST(BipartiteGraphTest, CommonAdsAndCounts) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  QueryId camera = *graph.FindQuery("camera");
+  QueryId dc = *graph.FindQuery("digital camera");
+  QueryId pc = *graph.FindQuery("pc");
+  QueryId tv = *graph.FindQuery("tv");
+  QueryId flower = *graph.FindQuery("flower");
+
+  EXPECT_EQ(graph.CountCommonAds(camera, dc), 2u);
+  EXPECT_EQ(graph.CountCommonAds(pc, camera), 1u);
+  EXPECT_EQ(graph.CountCommonAds(pc, tv), 0u);
+  EXPECT_EQ(graph.CountCommonAds(flower, camera), 0u);
+  EXPECT_EQ(graph.CommonAds(camera, dc).size(), 2u);
+
+  AdId hp = *graph.FindAd("hp.com");
+  AdId bestbuy = *graph.FindAd("bestbuy.com");
+  EXPECT_EQ(graph.CountCommonQueries(hp, bestbuy), 2u);
+  std::vector<QueryId> common = graph.CommonQueries(hp, bestbuy);
+  ASSERT_EQ(common.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(common.begin(), common.end()));
+}
+
+TEST(BipartiteGraphTest, EmptyGraph) {
+  GraphBuilder builder;
+  BipartiteGraph graph = std::move(builder.Build()).value();
+  EXPECT_EQ(graph.num_queries(), 0u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+}
+
+// ---------------------------------------------------------- components
+
+TEST(ComponentsTest, Figure3HasTwoComponents) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  ComponentInfo info = FindConnectedComponents(graph);
+  EXPECT_EQ(info.num_components(), 2u);
+  // pc/camera/dc/tv + hp/bestbuy = 6 nodes; flower + 2 ads = 3 nodes.
+  std::vector<uint32_t> sizes = info.component_sizes;
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<uint32_t>{3, 6}));
+  EXPECT_EQ(info.component_sizes[info.giant_component], 6u);
+  // Same component for camera and bestbuy.
+  QueryId camera = *graph.FindQuery("camera");
+  AdId bestbuy = *graph.FindAd("bestbuy.com");
+  EXPECT_EQ(info.query_component[camera], info.ad_component[bestbuy]);
+  QueryId flower = *graph.FindQuery("flower");
+  EXPECT_NE(info.query_component[camera], info.query_component[flower]);
+}
+
+TEST(ComponentsTest, IsolatedAdGetsSingletonComponent) {
+  GraphBuilder builder;
+  ASSERT_TRUE(builder.AddClick("q", "a").ok());
+  builder.AddAd("lonely-ad");
+  BipartiteGraph graph = std::move(builder.Build()).value();
+  ComponentInfo info = FindConnectedComponents(graph);
+  EXPECT_EQ(info.num_components(), 2u);
+}
+
+TEST(ComponentsTest, InducedSubgraphFromQueries) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  std::vector<QueryId> keep = {*graph.FindQuery("camera"),
+                               *graph.FindQuery("digital camera")};
+  BipartiteGraph sub = std::move(InducedSubgraphFromQueries(graph, keep)).value();
+  EXPECT_EQ(sub.num_queries(), 2u);
+  EXPECT_EQ(sub.num_ads(), 2u);  // hp + bestbuy
+  EXPECT_EQ(sub.num_edges(), 4u);
+  EXPECT_TRUE(sub.FindQuery("camera").has_value());
+  EXPECT_FALSE(sub.FindQuery("pc").has_value());
+}
+
+TEST(ComponentsTest, InducedSubgraphBothSidesDropsDanglingEdges) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  std::vector<QueryId> queries = {*graph.FindQuery("camera")};
+  std::vector<AdId> ads = {*graph.FindAd("hp.com")};
+  BipartiteGraph sub =
+      std::move(InducedSubgraph(graph, queries, ads)).value();
+  EXPECT_EQ(sub.num_queries(), 1u);
+  EXPECT_EQ(sub.num_ads(), 1u);
+  EXPECT_EQ(sub.num_edges(), 1u);  // camera-bestbuy dropped
+}
+
+TEST(ComponentsTest, InducedSubgraphRejectsBadIds) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  auto result = InducedSubgraphFromQueries(graph, {QueryId{999}});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GraphBuilderTest, AddGraphMergesDisjointGraphs) {
+  GraphBuilder merged;
+  ASSERT_TRUE(merged.AddGraph(MakeFigure3Graph()).ok());
+  ASSERT_TRUE(merged.AddGraph(MakeFigure4K12()).ok());
+  BipartiteGraph graph = std::move(merged.Build()).value();
+  // Figure 3 has 5 queries / 4 ads; K12 adds the "ipod" ad and reuses
+  // pc/camera labels.
+  EXPECT_EQ(graph.num_queries(), 5u);
+  EXPECT_EQ(graph.num_ads(), 5u);
+  EXPECT_EQ(graph.num_edges(), 10u);
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(GraphStatsTest, CountsAndDegrees) {
+  GraphStats stats = ComputeGraphStats(MakeFigure3Graph());
+  EXPECT_EQ(stats.num_queries, 5u);
+  EXPECT_EQ(stats.num_ads, 4u);
+  EXPECT_EQ(stats.num_edges, 8u);
+  EXPECT_DOUBLE_EQ(stats.mean_ads_per_query, 8.0 / 5.0);
+  EXPECT_DOUBLE_EQ(stats.max_queries_per_ad, 3.0);
+  EXPECT_EQ(stats.num_components, 2u);
+  EXPECT_NEAR(stats.giant_component_fraction, 6.0 / 9.0, 1e-12);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+// ------------------------------------------------------------------ io
+
+TEST(GraphIoTest, TsvRoundTripPreservesEverything) {
+  BipartiteGraph graph = SmallGraph();
+  std::string tsv = GraphToTsv(graph);
+  BipartiteGraph loaded = std::move(GraphFromTsv(tsv)).value();
+  EXPECT_EQ(loaded.num_queries(), graph.num_queries());
+  EXPECT_EQ(loaded.num_ads(), graph.num_ads());
+  EXPECT_EQ(loaded.num_edges(), graph.num_edges());
+  QueryId q0 = *loaded.FindQuery("q0");
+  AdId a0 = *loaded.FindAd("a0");
+  auto edge = loaded.FindEdge(q0, a0);
+  ASSERT_TRUE(edge.has_value());
+  EXPECT_EQ(loaded.edge_weights(*edge).impressions, 10u);
+  EXPECT_EQ(loaded.edge_weights(*edge).clicks, 4u);
+  EXPECT_DOUBLE_EQ(loaded.edge_weights(*edge).expected_click_rate, 0.4);
+}
+
+TEST(GraphIoTest, ParsesCommentsAndBlankLines) {
+  std::string content =
+      "# comment\n"
+      "\n"
+      "camera\thp.com\t10\t3\t0.25\n";
+  BipartiteGraph graph = std::move(GraphFromTsv(content)).value();
+  EXPECT_EQ(graph.num_edges(), 1u);
+}
+
+TEST(GraphIoTest, RejectsMalformedLines) {
+  EXPECT_FALSE(GraphFromTsv("only\tthree\tfields\n").ok());
+  EXPECT_FALSE(GraphFromTsv("q\ta\tNaN?\t1\t0.5\n").ok());
+  EXPECT_FALSE(GraphFromTsv("q\ta\t1\tbad\t0.5\n").ok());
+  EXPECT_FALSE(GraphFromTsv("q\ta\t1\t1\tnot-a-number\n").ok());
+  // clicks > impressions must be rejected by the builder validation.
+  EXPECT_FALSE(GraphFromTsv("q\ta\t1\t5\t0.5\n").ok());
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  std::string path = ::testing::TempDir() + "/srpp_graph_test.tsv";
+  ASSERT_TRUE(SaveGraph(graph, path).ok());
+  BipartiteGraph loaded = std::move(LoadGraph(path)).value();
+  EXPECT_EQ(loaded.num_edges(), graph.num_edges());
+  EXPECT_TRUE(loaded.FindQuery("digital camera").has_value());
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadGraph("/nonexistent/path/graph.tsv").ok());
+}
+
+// --------------------------------------------------------- sample graphs
+
+TEST(SampleGraphsTest, Figure3MatchesPaperDescription) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  EXPECT_EQ(graph.num_queries(), 5u);
+  EXPECT_EQ(graph.num_ads(), 4u);
+  // Table 1 counts (verified via CountCommonAds in BipartiteGraphTest).
+  QueryId flower = *graph.FindQuery("flower");
+  EXPECT_EQ(graph.QueryDegree(flower), 2u);
+}
+
+TEST(SampleGraphsTest, CompleteBipartiteHasAllEdges) {
+  BipartiteGraph graph = MakeCompleteBipartite(3, 4);
+  EXPECT_EQ(graph.num_queries(), 3u);
+  EXPECT_EQ(graph.num_ads(), 4u);
+  EXPECT_EQ(graph.num_edges(), 12u);
+  for (QueryId q = 0; q < 3; ++q) EXPECT_EQ(graph.QueryDegree(q), 4u);
+  for (AdId a = 0; a < 4; ++a) EXPECT_EQ(graph.AdDegree(a), 3u);
+}
+
+TEST(SampleGraphsTest, Figure5WeightsDiffer) {
+  BipartiteGraph balanced = MakeFigure5Graph(/*balanced=*/true);
+  BipartiteGraph skewed = MakeFigure5Graph(/*balanced=*/false);
+  EXPECT_EQ(balanced.num_edges(), 2u);
+  EXPECT_EQ(skewed.num_edges(), 2u);
+  AdId ad_b = 0;
+  double w0 = balanced.edge_weights(balanced.AdEdges(ad_b)[0])
+                  .expected_click_rate;
+  double w1 = balanced.edge_weights(balanced.AdEdges(ad_b)[1])
+                  .expected_click_rate;
+  EXPECT_DOUBLE_EQ(w0, w1);
+  double s0 = skewed.edge_weights(skewed.AdEdges(0)[0]).expected_click_rate;
+  double s1 = skewed.edge_weights(skewed.AdEdges(0)[1]).expected_click_rate;
+  EXPECT_NE(s0, s1);
+}
+
+}  // namespace
+}  // namespace simrankpp

@@ -1,0 +1,163 @@
+// End-to-end integration: the full evaluation pipeline at reduced scale.
+// Checks the qualitative results the paper reports: coverage ordering
+// (Figure 8), weighted SimRank winning P@1 (Figure 9), and well-formed
+// Table 5 artifacts.
+#include <gtest/gtest.h>
+
+#include "eval/experiment_runner.h"
+#include "util/logging.h"
+
+namespace simrankpp {
+namespace {
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  // One shared (expensive) run for every assertion below.
+  static void SetUpTestSuite() {
+    SetLogLevel(LogLevel::kWarning);
+    ExperimentConfig config;
+    // Reduced scale so the suite stays fast.
+    config.generator.num_queries = 9000;
+    config.generator.num_ads = 2200;
+    config.generator.taxonomy.num_categories = 24;
+    config.generator.taxonomy.subtopics_per_category = 12;
+    config.extractor.max_nodes_per_subgraph = 2500;
+    config.extractor.min_nodes_per_subgraph = 200;
+    config.workload.sample_size = 800;
+    auto result = RunRewritingExperiment(config);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    outcome_ = new ExperimentOutcome(std::move(result).value());
+  }
+
+  static void TearDownTestSuite() {
+    delete outcome_;
+    outcome_ = nullptr;
+  }
+
+  static const ExperimentOutcome& outcome() { return *outcome_; }
+
+  const MethodEvaluation& Eval(const std::string& method) const {
+    for (const MethodEvaluation& eval : outcome().evaluations) {
+      if (eval.method == method) return eval;
+    }
+    ADD_FAILURE() << "method not found: " << method;
+    static MethodEvaluation dummy;
+    return dummy;
+  }
+
+  static ExperimentOutcome* outcome_;
+};
+
+ExperimentOutcome* ExperimentTest::outcome_ = nullptr;
+
+TEST_F(ExperimentTest, ProducesAllFourMethods) {
+  ASSERT_EQ(outcome().reports.size(), 4u);
+  EXPECT_EQ(outcome().reports[0].method, "Pearson");
+  EXPECT_EQ(outcome().reports[1].method, "Simrank");
+  EXPECT_EQ(outcome().reports[2].method, "evidence-based Simrank");
+  EXPECT_EQ(outcome().reports[3].method, "weighted Simrank");
+  EXPECT_EQ(outcome().evaluations.size(), 4u);
+}
+
+TEST_F(ExperimentTest, Table5ArtifactsWellFormed) {
+  ASSERT_GE(outcome().subgraph_stats.size(), 2u);
+  size_t previous = SIZE_MAX;
+  size_t total_queries = 0;
+  for (const GraphStats& stats : outcome().subgraph_stats) {
+    size_t size = stats.num_queries + stats.num_ads;
+    EXPECT_LE(size, previous);  // largest first, like Table 5
+    previous = size;
+    EXPECT_GT(stats.num_edges, 0u);
+    total_queries += stats.num_queries;
+  }
+  EXPECT_EQ(total_queries, outcome().dataset.num_queries());
+}
+
+TEST_F(ExperimentTest, EvalQueriesComeFromWorkloadIntersection) {
+  EXPECT_GT(outcome().eval_queries.size(), 20u);
+  EXPECT_LT(outcome().eval_queries.size(), outcome().workload_sample_size);
+  for (const std::string& query : outcome().eval_queries) {
+    EXPECT_TRUE(outcome().dataset.FindQuery(query).has_value());
+  }
+}
+
+TEST_F(ExperimentTest, Figure8CoverageOrdering) {
+  // Pearson's coverage must sit well below every SimRank variant's, and
+  // the enhanced variants must not lose coverage vs plain SimRank.
+  double pearson = Eval("Pearson").Coverage();
+  double simrank = Eval("Simrank").Coverage();
+  double evidence = Eval("evidence-based Simrank").Coverage();
+  double weighted = Eval("weighted Simrank").Coverage();
+  EXPECT_LT(pearson, simrank - 0.10);
+  EXPECT_GE(evidence, simrank - 0.02);
+  EXPECT_GE(weighted, simrank - 0.02);
+  EXPECT_GT(simrank, 0.9);
+}
+
+TEST_F(ExperimentTest, Figure9WeightedWinsPrecision) {
+  const auto& weighted = Eval("weighted Simrank").precision_at_x;
+  const auto& simrank = Eval("Simrank").precision_at_x;
+  ASSERT_EQ(weighted.size(), 5u);
+  // Weighted SimRank leads plain SimRank at every cut-off.
+  for (size_t x = 0; x < 5; ++x) {
+    EXPECT_GT(weighted[x], simrank[x]) << "P@" << (x + 1);
+  }
+}
+
+TEST_F(ExperimentTest, Figure9EvidenceAtLeastPlain) {
+  const auto& evidence = Eval("evidence-based Simrank").precision_at_x;
+  const auto& simrank = Eval("Simrank").precision_at_x;
+  // Evidence reweighting must not hurt precision (paper: small gains).
+  for (size_t x = 0; x < 5; ++x) {
+    EXPECT_GE(evidence[x], simrank[x] - 0.02) << "P@" << (x + 1);
+  }
+}
+
+TEST_F(ExperimentTest, Figure11DepthShape) {
+  // The SimRank variants provide (nearly) full depth for most queries;
+  // Pearson cannot.
+  EXPECT_GT(Eval("Simrank").DepthAtLeast(5), 0.7);
+  EXPECT_LT(Eval("Pearson").DepthAtLeast(5), 0.6);
+}
+
+TEST_F(ExperimentTest, RewritesAreGradedAndRanked) {
+  for (const MethodReport& report : outcome().reports) {
+    for (const QueryRewriteResult& result : report.results) {
+      double previous = 2.0;
+      for (const GradedRewrite& rewrite : result.rewrites) {
+        EXPECT_LE(rewrite.score, previous + 1e-12);  // descending scores
+        previous = rewrite.score;
+        int grade = static_cast<int>(rewrite.grade);
+        EXPECT_GE(grade, 1);
+        EXPECT_LE(grade, 4);
+        EXPECT_FALSE(rewrite.text.empty());
+        EXPECT_NE(rewrite.text, result.query);
+      }
+      EXPECT_LE(result.rewrites.size(), 5u);
+    }
+  }
+}
+
+TEST_F(ExperimentTest, DeterministicAcrossRuns) {
+  // Re-running the same config yields identical evaluation queries (the
+  // whole pipeline is seeded).
+  ExperimentConfig config;
+  config.generator.num_queries = 9000;
+  config.generator.num_ads = 2200;
+  config.generator.taxonomy.num_categories = 24;
+  config.generator.taxonomy.subtopics_per_category = 12;
+  config.extractor.max_nodes_per_subgraph = 2500;
+  config.extractor.min_nodes_per_subgraph = 200;
+  config.workload.sample_size = 800;
+  auto rerun = RunRewritingExperiment(config);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_EQ(rerun->eval_queries, outcome().eval_queries);
+  ASSERT_EQ(rerun->evaluations.size(), outcome().evaluations.size());
+  for (size_t i = 0; i < rerun->evaluations.size(); ++i) {
+    EXPECT_EQ(rerun->evaluations[i].queries_covered,
+              outcome().evaluations[i].queries_covered);
+  }
+}
+
+}  // namespace
+}  // namespace simrankpp

@@ -1,0 +1,102 @@
+// SimilarityMatrix store tests: symmetry, defaults, top-K retrieval,
+// determinism of ordering, and matrix comparison.
+#include <gtest/gtest.h>
+
+#include "core/similarity_matrix.h"
+
+namespace simrankpp {
+namespace {
+
+TEST(SimilarityMatrixTest, DefaultsAndSymmetry) {
+  SimilarityMatrix matrix(4);
+  EXPECT_DOUBLE_EQ(matrix.Get(1, 1), 1.0);  // self-similarity implicit
+  EXPECT_DOUBLE_EQ(matrix.Get(0, 1), 0.0);  // absent pair
+  matrix.Set(0, 1, 0.5);
+  EXPECT_DOUBLE_EQ(matrix.Get(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(matrix.Get(1, 0), 0.5);  // symmetric
+  EXPECT_EQ(matrix.num_pairs(), 1u);
+  matrix.Set(1, 0, 0.7);  // overwrite through the mirrored key
+  EXPECT_DOUBLE_EQ(matrix.Get(0, 1), 0.7);
+  EXPECT_EQ(matrix.num_pairs(), 1u);
+}
+
+TEST(SimilarityMatrixTest, SettingZeroErases) {
+  SimilarityMatrix matrix(3);
+  matrix.Set(0, 2, 0.4);
+  EXPECT_TRUE(matrix.Contains(0, 2));
+  matrix.Set(2, 0, 0.0);
+  EXPECT_FALSE(matrix.Contains(0, 2));
+  EXPECT_EQ(matrix.num_pairs(), 0u);
+}
+
+TEST(SimilarityMatrixTest, ForEachPairVisitsOncePerPair) {
+  SimilarityMatrix matrix(5);
+  matrix.Set(0, 1, 0.1);
+  matrix.Set(2, 3, 0.2);
+  matrix.Set(1, 4, 0.3);
+  size_t visits = 0;
+  double total = 0.0;
+  matrix.ForEachPair([&](uint32_t u, uint32_t v, double score) {
+    EXPECT_LT(u, v);  // canonical order
+    ++visits;
+    total += score;
+  });
+  EXPECT_EQ(visits, 3u);
+  EXPECT_NEAR(total, 0.6, 1e-12);
+}
+
+TEST(SimilarityMatrixTest, TopKOrderingAndTies) {
+  SimilarityMatrix matrix(5);
+  matrix.Set(0, 1, 0.5);
+  matrix.Set(0, 2, 0.9);
+  matrix.Set(0, 3, 0.5);  // tie with node 1 -> lower id first
+  matrix.Set(0, 4, 0.1);
+  matrix.Finalize();
+  std::vector<ScoredNode> top = matrix.TopK(0, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].node, 2u);
+  EXPECT_EQ(top[1].node, 1u);  // deterministic tie-break by id
+  EXPECT_EQ(top[2].node, 3u);
+  EXPECT_EQ(matrix.TopK(0, 100).size(), 4u);  // clipped to partner count
+  EXPECT_TRUE(matrix.TopK(4, 0).empty());
+}
+
+TEST(SimilarityMatrixTest, PartnersAreSymmetricallyIndexed) {
+  SimilarityMatrix matrix(3);
+  matrix.Set(0, 1, 0.8);
+  matrix.Finalize();
+  ASSERT_EQ(matrix.Partners(0).size(), 1u);
+  ASSERT_EQ(matrix.Partners(1).size(), 1u);
+  EXPECT_EQ(matrix.Partners(0)[0].node, 1u);
+  EXPECT_EQ(matrix.Partners(1)[0].node, 0u);
+  EXPECT_TRUE(matrix.Partners(2).empty());
+}
+
+TEST(SimilarityMatrixTest, MaxAbsDifference) {
+  SimilarityMatrix a(4), b(4);
+  a.Set(0, 1, 0.5);
+  a.Set(1, 2, 0.3);
+  b.Set(0, 1, 0.45);
+  b.Set(2, 3, 0.2);  // only in b
+  EXPECT_NEAR(a.MaxAbsDifference(b), 0.3, 1e-12);  // the (1,2) pair
+  EXPECT_NEAR(b.MaxAbsDifference(a), 0.3, 1e-12);  // symmetric measure
+  SimilarityMatrix c(4);
+  c.Set(0, 1, 0.5);
+  c.Set(1, 2, 0.3);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDifference(c), 0.0);
+}
+
+TEST(SimilarityMatrixTest, RefinalizeAfterMutation) {
+  SimilarityMatrix matrix(3);
+  matrix.Set(0, 1, 0.5);
+  matrix.Finalize();
+  EXPECT_EQ(matrix.TopK(0, 5).size(), 1u);
+  matrix.Set(0, 2, 0.9);
+  matrix.Finalize();
+  std::vector<ScoredNode> top = matrix.TopK(0, 5);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].node, 2u);
+}
+
+}  // namespace
+}  // namespace simrankpp

@@ -1,0 +1,233 @@
+// Local partitioning tests: approximate PPR invariants, conductance
+// values, sweep cuts recovering planted communities, and the five-subgraph
+// extractor's disjointness guarantees.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/sample_graphs.h"
+#include "graph/graph_builder.h"
+#include "partition/conductance.h"
+#include "partition/ppr.h"
+#include "partition/subgraph_extractor.h"
+#include "partition/sweep_cut.h"
+
+namespace simrankpp {
+namespace {
+
+// Two dense bipartite communities joined by a single bridge edge.
+BipartiteGraph TwoCommunityGraph() {
+  GraphBuilder builder;
+  for (int q = 0; q < 6; ++q) {
+    for (int a = 0; a < 5; ++a) {
+      EXPECT_TRUE(builder
+                      .AddClick("left-q" + std::to_string(q),
+                                "left-a" + std::to_string(a))
+                      .ok());
+    }
+  }
+  for (int q = 0; q < 6; ++q) {
+    for (int a = 0; a < 5; ++a) {
+      EXPECT_TRUE(builder
+                      .AddClick("right-q" + std::to_string(q),
+                                "right-a" + std::to_string(a))
+                      .ok());
+    }
+  }
+  EXPECT_TRUE(builder.AddClick("left-q0", "right-a0").ok());  // bridge
+  return std::move(builder.Build()).value();
+}
+
+TEST(UnifiedIndexTest, RoundTripsQueriesAndAds) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    EXPECT_TRUE(UnifiedIsQuery(graph, UnifiedFromQuery(q)));
+  }
+  for (AdId a = 0; a < graph.num_ads(); ++a) {
+    EXPECT_FALSE(UnifiedIsQuery(graph, UnifiedFromAd(graph, a)));
+  }
+  EXPECT_EQ(UnifiedNodeCount(graph), 9u);
+  EXPECT_EQ(UnifiedDegree(graph, UnifiedFromQuery(*graph.FindQuery("camera"))),
+            2u);
+  EXPECT_EQ(UnifiedDegree(graph, UnifiedFromAd(graph, *graph.FindAd("hp.com"))),
+            3u);
+}
+
+TEST(PprTest, MassConservation) {
+  BipartiteGraph graph = TwoCommunityGraph();
+  PprOptions options;
+  options.epsilon = 1e-8;
+  auto ppr = ApproximatePersonalizedPageRank(
+      graph, UnifiedFromQuery(*graph.FindQuery("left-q1")), options);
+  double mass = 0.0;
+  for (const auto& [node, p] : ppr) {
+    EXPECT_GT(p, 0.0);
+    mass += p;
+  }
+  // p + residual = 1; with tiny epsilon nearly all mass has settled.
+  EXPECT_LE(mass, 1.0 + 1e-9);
+  EXPECT_GT(mass, 0.9);
+}
+
+TEST(PprTest, MassConcentratesInSeedCommunity) {
+  BipartiteGraph graph = TwoCommunityGraph();
+  PprOptions options;
+  options.epsilon = 1e-7;
+  auto ppr = ApproximatePersonalizedPageRank(
+      graph, UnifiedFromQuery(*graph.FindQuery("left-q1")), options);
+  double left_mass = 0.0, right_mass = 0.0;
+  for (const auto& [node, p] : ppr) {
+    std::string label =
+        UnifiedIsQuery(graph, node)
+            ? graph.query_label(node)
+            : graph.ad_label(node - static_cast<uint32_t>(
+                                        graph.num_queries()));
+    if (label.rfind("left", 0) == 0) left_mass += p;
+    else right_mass += p;
+  }
+  EXPECT_GT(left_mass, 5.0 * right_mass);
+}
+
+TEST(PprTest, HigherEpsilonMeansSmallerSupport) {
+  BipartiteGraph graph = TwoCommunityGraph();
+  PprOptions fine;
+  fine.epsilon = 1e-8;
+  PprOptions coarse;
+  coarse.epsilon = 1e-3;
+  uint32_t seed = UnifiedFromQuery(*graph.FindQuery("left-q1"));
+  auto fine_ppr = ApproximatePersonalizedPageRank(graph, seed, fine);
+  auto coarse_ppr = ApproximatePersonalizedPageRank(graph, seed, coarse);
+  EXPECT_GE(fine_ppr.size(), coarse_ppr.size());
+}
+
+TEST(PprTest, MaxPushesCapStopsEarly) {
+  BipartiteGraph graph = TwoCommunityGraph();
+  PprOptions options;
+  options.epsilon = 1e-9;
+  options.max_pushes = 3;
+  auto ppr = ApproximatePersonalizedPageRank(
+      graph, UnifiedFromQuery(*graph.FindQuery("left-q0")), options);
+  EXPECT_LE(ppr.size(), 4u);
+}
+
+TEST(ConductanceTest, HandComputedValues) {
+  BipartiteGraph graph = TwoCommunityGraph();
+  // The left community: 6 queries + 5 ads, internal volume 6*5*2+2 ... its
+  // only outgoing edge is the bridge.
+  std::vector<uint32_t> left;
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    if (graph.query_label(q).rfind("left", 0) == 0) {
+      left.push_back(UnifiedFromQuery(q));
+    }
+  }
+  for (AdId a = 0; a < graph.num_ads(); ++a) {
+    if (graph.ad_label(a).rfind("left", 0) == 0) {
+      left.push_back(UnifiedFromAd(graph, a));
+    }
+  }
+  double phi = Conductance(graph, left);
+  // cut = 1 (the bridge); vol(left) = 30 internal edge endpoints * 2 ... =
+  // 61 (30 edges *2 + 1 bridge endpoint); vol(right) = 61.
+  EXPECT_NEAR(phi, 1.0 / 61.0, 1e-12);
+}
+
+TEST(ConductanceTest, DegenerateSets) {
+  BipartiteGraph graph = TwoCommunityGraph();
+  EXPECT_DOUBLE_EQ(Conductance(graph, {}), 1.0);
+  // The full node set has empty complement -> conductance 1 by our
+  // convention.
+  std::vector<uint32_t> all;
+  for (uint32_t u = 0; u < UnifiedNodeCount(graph); ++u) all.push_back(u);
+  EXPECT_DOUBLE_EQ(Conductance(graph, all), 1.0);
+}
+
+TEST(SweepCutTest, RecoversPlantedCommunity) {
+  BipartiteGraph graph = TwoCommunityGraph();
+  PprOptions ppr_options;
+  ppr_options.epsilon = 1e-8;
+  auto ppr = ApproximatePersonalizedPageRank(
+      graph, UnifiedFromQuery(*graph.FindQuery("left-q2")), ppr_options);
+  SweepOptions sweep_options;
+  sweep_options.min_nodes = 3;
+  SweepCutResult result = SweepCut(graph, ppr, sweep_options);
+  // The minimum-conductance prefix is exactly the left community.
+  EXPECT_EQ(result.unified_nodes.size(), 11u);
+  EXPECT_NEAR(result.conductance, 1.0 / 61.0, 1e-12);
+  for (uint32_t u : result.unified_nodes) {
+    std::string label =
+        UnifiedIsQuery(graph, u)
+            ? graph.query_label(u)
+            : graph.ad_label(u - static_cast<uint32_t>(graph.num_queries()));
+    EXPECT_EQ(label.rfind("left", 0), 0u) << label;
+  }
+}
+
+TEST(SweepCutTest, MaxNodesBoundsThePrefix) {
+  BipartiteGraph graph = TwoCommunityGraph();
+  PprOptions ppr_options;
+  ppr_options.epsilon = 1e-8;
+  auto ppr = ApproximatePersonalizedPageRank(
+      graph, UnifiedFromQuery(*graph.FindQuery("left-q2")), ppr_options);
+  SweepOptions sweep_options;
+  sweep_options.min_nodes = 2;
+  sweep_options.max_nodes = 5;
+  SweepCutResult result = SweepCut(graph, ppr, sweep_options);
+  EXPECT_LE(result.unified_nodes.size(), 5u);
+  EXPECT_GE(result.unified_nodes.size(), 2u);
+}
+
+TEST(SweepCutTest, EmptyPprGivesEmptyResult) {
+  BipartiteGraph graph = TwoCommunityGraph();
+  SweepCutResult result = SweepCut(graph, {}, SweepOptions{});
+  EXPECT_TRUE(result.unified_nodes.empty());
+}
+
+TEST(ExtractorTest, SubgraphsAreDisjointAndOrdered) {
+  BipartiteGraph graph = TwoCommunityGraph();
+  ExtractorOptions options;
+  options.num_subgraphs = 2;
+  options.min_nodes_per_subgraph = 4;
+  options.max_nodes_per_subgraph = 14;
+  options.min_queries_per_subgraph = 2;
+  options.ppr.epsilon = 1e-7;
+  auto result = ExtractSubgraphs(graph, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->size(), 1u);
+
+  std::unordered_set<std::string> seen_queries;
+  size_t previous_size = SIZE_MAX;
+  for (const ExtractedSubgraph& extracted : *result) {
+    size_t size =
+        extracted.graph.num_queries() + extracted.graph.num_ads();
+    EXPECT_LE(size, previous_size);  // largest first
+    previous_size = size;
+    for (QueryId q = 0; q < extracted.graph.num_queries(); ++q) {
+      EXPECT_TRUE(
+          seen_queries.insert(extracted.graph.query_label(q)).second)
+          << "query appears in two subgraphs: "
+          << extracted.graph.query_label(q);
+    }
+    EXPECT_GE(extracted.conductance, 0.0);
+    EXPECT_FALSE(extracted.seed_query.empty());
+  }
+}
+
+TEST(ExtractorTest, RejectsBadOptions) {
+  BipartiteGraph graph = TwoCommunityGraph();
+  ExtractorOptions options;
+  options.num_subgraphs = 0;
+  EXPECT_FALSE(ExtractSubgraphs(graph, options).ok());
+}
+
+TEST(ExtractorTest, EmptyGraphYieldsNoSubgraphs) {
+  GraphBuilder builder;
+  BipartiteGraph graph = std::move(builder.Build()).value();
+  ExtractorOptions options;
+  options.num_subgraphs = 3;
+  auto result = ExtractSubgraphs(graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+}  // namespace
+}  // namespace simrankpp

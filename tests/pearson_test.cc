@@ -1,0 +1,150 @@
+// Pearson baseline tests (Section 9.1): hand-computed correlations, range
+// and degeneracy rules, and the all-pairs enumeration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/pearson.h"
+#include "core/sample_graphs.h"
+#include "graph/graph_builder.h"
+
+namespace simrankpp {
+namespace {
+
+BipartiteGraph TwoQueryGraph(const std::vector<double>& w1,
+                             const std::vector<double>& w2) {
+  GraphBuilder builder;
+  for (size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_TRUE(builder
+                    .AddObservation("q1", "a" + std::to_string(i),
+                                    {1, 1, w1[i]})
+                    .ok());
+  }
+  for (size_t i = 0; i < w2.size(); ++i) {
+    EXPECT_TRUE(builder
+                    .AddObservation("q2", "a" + std::to_string(i),
+                                    {1, 1, w2[i]})
+                    .ok());
+  }
+  return std::move(builder.Build()).value();
+}
+
+double Pearson(const BipartiteGraph& graph) {
+  return PearsonSimilarity(graph, *graph.FindQuery("q1"),
+                           *graph.FindQuery("q2"));
+}
+
+TEST(PearsonTest, PerfectPositiveCorrelation) {
+  // Both queries' weights rise together over the shared ads.
+  BipartiteGraph graph =
+      TwoQueryGraph({0.1, 0.2, 0.3}, {0.2, 0.4, 0.6});
+  EXPECT_NEAR(Pearson(graph), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegativeCorrelation) {
+  BipartiteGraph graph =
+      TwoQueryGraph({0.1, 0.2, 0.3}, {0.6, 0.4, 0.2});
+  EXPECT_NEAR(Pearson(graph), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, HandComputedMixedCase) {
+  // w1 = {1,2,3}, w2 = {1,3,2} over three shared ads; means are 2 each.
+  // numerator = (-1)(-1) + 0*1 + 1*0 = 1; denominators sqrt(2)*sqrt(2).
+  BipartiteGraph graph = TwoQueryGraph({1, 2, 3}, {1, 3, 2});
+  EXPECT_NEAR(Pearson(graph), 0.5, 1e-12);
+}
+
+TEST(PearsonTest, SelfSimilarityIsOne) {
+  BipartiteGraph graph = TwoQueryGraph({1, 2}, {2, 1});
+  QueryId q1 = *graph.FindQuery("q1");
+  EXPECT_DOUBLE_EQ(PearsonSimilarity(graph, q1, q1), 1.0);
+}
+
+TEST(PearsonTest, NoCommonAdGivesZero) {
+  GraphBuilder builder;
+  ASSERT_TRUE(builder.AddWeightedClick("q1", "a1", 0.5).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q2", "a2", 0.5).ok());
+  BipartiteGraph graph = std::move(builder.Build()).value();
+  EXPECT_DOUBLE_EQ(Pearson(graph), 0.0);
+}
+
+TEST(PearsonTest, DegreeOneQueryDegenerates) {
+  // A degree-1 query's centered weight over its only (shared) ad is 0 by
+  // definition of the mean, so the correlation is undefined -> 0. This is
+  // the effect that caps Pearson's query coverage (Figure 8).
+  GraphBuilder builder;
+  ASSERT_TRUE(builder.AddWeightedClick("q1", "shared", 0.7).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q2", "shared", 0.9).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q2", "other", 0.1).ok());
+  BipartiteGraph graph = std::move(builder.Build()).value();
+  EXPECT_DOUBLE_EQ(Pearson(graph), 0.0);
+}
+
+TEST(PearsonTest, ConstantWeightsDegenerate) {
+  // Zero variance over the common ads (relative to the full-edge means)
+  // can still be nonzero if the query has other edges; a query whose
+  // common-ad weights all equal its overall mean degenerates.
+  BipartiteGraph graph = TwoQueryGraph({0.5, 0.5}, {0.2, 0.8});
+  EXPECT_DOUBLE_EQ(Pearson(graph), 0.0);
+}
+
+TEST(PearsonTest, MeanUsesAllEdgesNotJustCommon) {
+  // q1 has an extra private ad that shifts its mean; verify the paper's
+  // definition (w-bar over ALL of a query's edges).
+  GraphBuilder builder;
+  ASSERT_TRUE(builder.AddWeightedClick("q1", "shared1", 0.4).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q1", "shared2", 0.6).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q1", "private", 0.8).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q2", "shared1", 0.1).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q2", "shared2", 0.3).ok());
+  BipartiteGraph graph = std::move(builder.Build()).value();
+  // mean(q1) = 0.6 over {0.4, 0.6, 0.8}; mean(q2) = 0.2.
+  // centered over common: q1 {-0.2, 0.0}, q2 {-0.1, +0.1}.
+  // numerator = 0.02; denom = sqrt(0.04 * 0.02).
+  double expected = 0.02 / std::sqrt(0.04 * 0.02);
+  EXPECT_NEAR(Pearson(graph), expected, 1e-12);
+}
+
+TEST(PearsonMatrixTest, EnumeratesOnlyCommonAdPairs) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  SimilarityMatrix matrix = ComputePearsonSimilarities(graph);
+  QueryId pc = *graph.FindQuery("pc");
+  QueryId tv = *graph.FindQuery("tv");
+  QueryId flower = *graph.FindQuery("flower");
+  QueryId camera = *graph.FindQuery("camera");
+  // pc-tv share no ad: absent from the matrix.
+  EXPECT_FALSE(matrix.Contains(pc, tv));
+  EXPECT_FALSE(matrix.Contains(pc, flower));
+  // camera-flower share no ad either.
+  EXPECT_FALSE(matrix.Contains(camera, flower));
+}
+
+TEST(PearsonMatrixTest, MatrixMatchesPointFunction) {
+  GraphBuilder builder;
+  ASSERT_TRUE(builder.AddWeightedClick("q1", "a", 0.2).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q1", "b", 0.8).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q2", "a", 0.3).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q2", "b", 0.6).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q3", "b", 0.5).ok());
+  ASSERT_TRUE(builder.AddWeightedClick("q3", "c", 0.1).ok());
+  BipartiteGraph graph = std::move(builder.Build()).value();
+  SimilarityMatrix matrix = ComputePearsonSimilarities(graph);
+  for (QueryId a = 0; a < graph.num_queries(); ++a) {
+    for (QueryId b = 0; b < graph.num_queries(); ++b) {
+      if (a == b) continue;
+      EXPECT_NEAR(matrix.Get(a, b), PearsonSimilarity(graph, a, b), 1e-12);
+    }
+  }
+}
+
+TEST(PearsonMatrixTest, ScoresWithinMinusOneToOne) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  SimilarityMatrix matrix = ComputePearsonSimilarities(graph);
+  matrix.ForEachPair([](uint32_t, uint32_t, double score) {
+    EXPECT_GE(score, -1.0 - 1e-12);
+    EXPECT_LE(score, 1.0 + 1e-12);
+  });
+}
+
+}  // namespace
+}  // namespace simrankpp

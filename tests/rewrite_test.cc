@@ -1,0 +1,196 @@
+// Rewrite front-end tests: bid database, the selection pipeline (top-100,
+// stem dedup, bid filter, top-5) with per-candidate audit outcomes, and
+// the QueryRewriter facade.
+#include <gtest/gtest.h>
+
+#include "core/sample_graphs.h"
+#include "graph/graph_builder.h"
+#include "rewrite/pipeline.h"
+#include "rewrite/rewriter.h"
+
+namespace simrankpp {
+namespace {
+
+TEST(BidDatabaseTest, NormalizesLookups) {
+  BidDatabase bids;
+  bids.AddBid("Digital  Camera");
+  EXPECT_TRUE(bids.HasBid("digital camera"));
+  EXPECT_TRUE(bids.HasBid(" DIGITAL CAMERA "));
+  EXPECT_FALSE(bids.HasBid("camera digital"));  // order matters
+  EXPECT_FALSE(bids.HasBid("camera"));
+  EXPECT_EQ(bids.size(), 1u);
+}
+
+TEST(BidDatabaseTest, ConstructFromPreNormalizedSet) {
+  BidDatabase bids({"camera", "digital camera"});
+  EXPECT_TRUE(bids.HasBid("Camera"));
+  EXPECT_EQ(bids.size(), 2u);
+}
+
+// A graph whose labels exercise dedup: "camera" and "cameras" stem the
+// same; scores are planted directly in the matrix.
+struct PipelineFixture {
+  PipelineFixture() {
+    GraphBuilder builder;
+    for (const char* q : {"camera", "cameras", "digital camera",
+                          "camera store", "tv", "flower", "pc"}) {
+      builder.AddQuery(q);
+    }
+    EXPECT_TRUE(builder.AddClick("camera", "ad").ok());
+    graph = std::move(builder.Build()).value();
+    matrix = SimilarityMatrix(graph.num_queries());
+  }
+
+  QueryId Q(const char* label) { return *graph.FindQuery(label); }
+
+  BipartiteGraph graph;
+  SimilarityMatrix matrix{0};
+};
+
+TEST(PipelineTest, RanksByScoreAndCapsDepth) {
+  PipelineFixture f;
+  f.matrix.Set(f.Q("camera"), f.Q("digital camera"), 0.9);
+  f.matrix.Set(f.Q("camera"), f.Q("tv"), 0.7);
+  f.matrix.Set(f.Q("camera"), f.Q("flower"), 0.5);
+  f.matrix.Set(f.Q("camera"), f.Q("pc"), 0.3);
+  f.matrix.Finalize();
+
+  RewritePipelineOptions options;
+  options.max_rewrites = 2;
+  options.apply_bid_filter = false;
+  std::vector<RewriteCandidate> rewrites =
+      SelectRewrites(f.graph, f.matrix, f.Q("camera"), nullptr, options);
+  ASSERT_EQ(rewrites.size(), 2u);
+  EXPECT_EQ(rewrites[0].text, "digital camera");
+  EXPECT_EQ(rewrites[1].text, "tv");
+}
+
+TEST(PipelineTest, DedupDropsStemDuplicates) {
+  PipelineFixture f;
+  f.matrix.Set(f.Q("camera"), f.Q("cameras"), 0.95);  // dup of the query
+  f.matrix.Set(f.Q("camera"), f.Q("digital camera"), 0.9);
+  f.matrix.Finalize();
+
+  RewritePipelineOptions options;
+  options.apply_bid_filter = false;
+  std::vector<RewriteCandidate> rewrites =
+      SelectRewrites(f.graph, f.matrix, f.Q("camera"), nullptr, options);
+  ASSERT_EQ(rewrites.size(), 1u);
+  EXPECT_EQ(rewrites[0].text, "digital camera");
+}
+
+TEST(PipelineTest, DedupDropsLaterDuplicateCandidates) {
+  PipelineFixture f;
+  // "camera store" vs a stem-equal variant placed lower.
+  GraphBuilder builder;
+  builder.AddQuery("q");
+  builder.AddQuery("camera store");
+  builder.AddQuery("camera stores");
+  builder.AddQuery("tv");
+  BipartiteGraph graph = std::move(builder.Build()).value();
+  SimilarityMatrix matrix(graph.num_queries());
+  QueryId q = *graph.FindQuery("q");
+  matrix.Set(q, *graph.FindQuery("camera store"), 0.9);
+  matrix.Set(q, *graph.FindQuery("camera stores"), 0.8);
+  matrix.Set(q, *graph.FindQuery("tv"), 0.7);
+  matrix.Finalize();
+
+  RewritePipelineOptions options;
+  options.apply_bid_filter = false;
+  std::vector<RewriteCandidate> rewrites =
+      SelectRewrites(graph, matrix, q, nullptr, options);
+  ASSERT_EQ(rewrites.size(), 2u);
+  EXPECT_EQ(rewrites[0].text, "camera store");
+  EXPECT_EQ(rewrites[1].text, "tv");
+}
+
+TEST(PipelineTest, BidFilterRemovesUnbidTerms) {
+  PipelineFixture f;
+  f.matrix.Set(f.Q("camera"), f.Q("digital camera"), 0.9);
+  f.matrix.Set(f.Q("camera"), f.Q("tv"), 0.7);
+  f.matrix.Finalize();
+
+  BidDatabase bids;
+  bids.AddBid("tv");
+  RewritePipelineOptions options;
+  std::vector<RewriteCandidate> rewrites =
+      SelectRewrites(f.graph, f.matrix, f.Q("camera"), &bids, options);
+  ASSERT_EQ(rewrites.size(), 1u);
+  EXPECT_EQ(rewrites[0].text, "tv");
+}
+
+TEST(PipelineTest, NonPositiveScoresNeverSurface) {
+  PipelineFixture f;
+  f.matrix.Set(f.Q("camera"), f.Q("tv"), -0.8);  // Pearson can be negative
+  f.matrix.Set(f.Q("camera"), f.Q("pc"), 0.4);
+  f.matrix.Finalize();
+  RewritePipelineOptions options;
+  options.apply_bid_filter = false;
+  std::vector<RewriteCandidate> rewrites =
+      SelectRewrites(f.graph, f.matrix, f.Q("camera"), nullptr, options);
+  ASSERT_EQ(rewrites.size(), 1u);
+  EXPECT_EQ(rewrites[0].text, "pc");
+}
+
+TEST(PipelineTest, MaxCandidatesLimitsConsideration) {
+  PipelineFixture f;
+  f.matrix.Set(f.Q("camera"), f.Q("tv"), 0.9);
+  f.matrix.Set(f.Q("camera"), f.Q("pc"), 0.8);
+  f.matrix.Set(f.Q("camera"), f.Q("flower"), 0.7);
+  f.matrix.Finalize();
+  RewritePipelineOptions options;
+  options.max_candidates = 2;
+  options.apply_bid_filter = false;
+  std::vector<RewriteCandidate> rewrites =
+      SelectRewrites(f.graph, f.matrix, f.Q("camera"), nullptr, options);
+  EXPECT_EQ(rewrites.size(), 2u);  // flower never considered
+}
+
+TEST(PipelineTest, AuditReportsDropReasons) {
+  PipelineFixture f;
+  f.matrix.Set(f.Q("camera"), f.Q("cameras"), 0.95);
+  f.matrix.Set(f.Q("camera"), f.Q("digital camera"), 0.9);
+  f.matrix.Set(f.Q("camera"), f.Q("tv"), 0.8);
+  f.matrix.Set(f.Q("camera"), f.Q("pc"), 0.7);
+  f.matrix.Finalize();
+
+  BidDatabase bids;
+  bids.AddBid("digital camera");
+  bids.AddBid("pc");
+  RewritePipelineOptions options;
+  options.max_rewrites = 1;
+  std::vector<AuditedCandidate> audit =
+      AuditRewrites(f.graph, f.matrix, f.Q("camera"), &bids, options);
+  ASSERT_EQ(audit.size(), 4u);
+  EXPECT_EQ(audit[0].outcome, DropReason::kDuplicateOfQuery);   // cameras
+  EXPECT_EQ(audit[1].outcome, DropReason::kKept);               // digital camera
+  EXPECT_EQ(audit[2].outcome, DropReason::kNoBid);              // tv
+  EXPECT_EQ(audit[3].outcome, DropReason::kBeyondDepth);        // pc
+  EXPECT_STREQ(DropReasonName(audit[3].outcome), "beyond-depth");
+}
+
+TEST(RewriterTest, EndToEndOnFigure3) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  SimilarityMatrix matrix(graph.num_queries());
+  QueryId camera = *graph.FindQuery("camera");
+  matrix.Set(camera, *graph.FindQuery("digital camera"), 0.62);
+  matrix.Set(camera, *graph.FindQuery("tv"), 0.61);
+  matrix.Set(camera, *graph.FindQuery("pc"), 0.60);
+
+  RewritePipelineOptions options;
+  options.apply_bid_filter = false;
+  QueryRewriter rewriter("test", &graph, std::move(matrix), nullptr,
+                         options);
+  auto by_text = rewriter.RewritesFor("camera");
+  ASSERT_TRUE(by_text.ok());
+  ASSERT_EQ(by_text->size(), 3u);
+  EXPECT_EQ((*by_text)[0].text, "digital camera");
+  EXPECT_EQ(rewriter.method_name(), "test");
+
+  auto missing = rewriter.RewritesFor("no such query");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace simrankpp

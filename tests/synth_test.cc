@@ -1,0 +1,279 @@
+// Synthetic world tests: taxonomy structure, text generation, generator
+// determinism and structural statistics (the Section 9.2 power laws), bid
+// generation, and workload sampling.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "synth/bid_generator.h"
+#include "synth/click_graph_generator.h"
+#include "synth/click_model.h"
+#include "synth/topic_model.h"
+#include "synth/workload.h"
+#include "text/normalize.h"
+
+namespace simrankpp {
+namespace {
+
+GeneratorOptions SmallWorldOptions(uint64_t seed = 7) {
+  GeneratorOptions options;
+  options.num_queries = 3000;
+  options.num_ads = 900;
+  options.taxonomy.num_categories = 12;
+  options.taxonomy.subtopics_per_category = 8;
+  options.mean_impressions_per_query = 25.0;
+  options.seed = seed;
+  return options;
+}
+
+TEST(TopicTaxonomyTest, SizesAndCategories) {
+  TopicTaxonomy taxonomy =
+      TopicTaxonomy::Generate({/*num_categories=*/10,
+                               /*subtopics_per_category=*/6, /*seed=*/1});
+  EXPECT_EQ(taxonomy.num_categories(), 10u);
+  EXPECT_EQ(taxonomy.num_subtopics(), 60u);
+  for (uint32_t s = 0; s < taxonomy.num_subtopics(); ++s) {
+    EXPECT_EQ(taxonomy.subtopic(s).id, s);
+    EXPECT_LT(taxonomy.subtopic(s).category, 10u);
+    EXPECT_FALSE(taxonomy.subtopic(s).noun.empty());
+  }
+}
+
+TEST(TopicTaxonomyTest, NounsAreUniqueAcrossSubtopics) {
+  TopicTaxonomy taxonomy = TopicTaxonomy::Generate(
+      {/*num_categories=*/40, /*subtopics_per_category=*/20, /*seed=*/1});
+  std::unordered_set<std::string> nouns;
+  for (uint32_t s = 0; s < taxonomy.num_subtopics(); ++s) {
+    EXPECT_TRUE(nouns.insert(taxonomy.subtopic(s).noun).second)
+        << "duplicate noun: " << taxonomy.subtopic(s).noun;
+  }
+}
+
+TEST(TopicTaxonomyTest, ComplementsAreSymmetricCrossCategory) {
+  TopicTaxonomy taxonomy = TopicTaxonomy::Generate(
+      {/*num_categories=*/8, /*subtopics_per_category=*/5, /*seed=*/1});
+  for (uint32_t s = 0; s < taxonomy.num_subtopics(); ++s) {
+    uint32_t complement = taxonomy.subtopic(s).complement;
+    if (complement == s) continue;  // unpaired trailing category
+    EXPECT_TRUE(taxonomy.AreComplements(s, complement));
+    EXPECT_TRUE(taxonomy.AreComplements(complement, s));
+    EXPECT_NE(taxonomy.subtopic(s).category,
+              taxonomy.subtopic(complement).category);
+  }
+  EXPECT_FALSE(taxonomy.AreComplements(0, 0));
+}
+
+TEST(IntentTest, WeightsPositiveAndClassesDefined) {
+  for (uint32_t i = 0; i < NumIntents(); ++i) {
+    EXPECT_GT(IntentWeight(i), 0.0);
+    IntentClass klass = IntentClassOf(i);
+    EXPECT_TRUE(klass == IntentClass::kInformational ||
+                klass == IntentClass::kTransactional);
+  }
+  EXPECT_EQ(IntentClassOf(0), IntentClass::kInformational);  // core
+}
+
+TEST(RenderQueryTextTest, TemplatesApply) {
+  EXPECT_EQ(RenderQueryText("camera", 0, false), "camera");
+  EXPECT_EQ(RenderQueryText("camera", 0, true), "cameras");
+  EXPECT_EQ(RenderQueryText("camera", 1, false), "buy camera");
+  EXPECT_EQ(RenderQueryText("camera", 1, true), "buy cameras");
+}
+
+TEST(PluralizeTest, EnglishRules) {
+  EXPECT_EQ(Pluralize("camera"), "cameras");
+  EXPECT_EQ(Pluralize("box"), "boxes");
+  EXPECT_EQ(Pluralize("lens"), "lenses");
+  EXPECT_EQ(Pluralize("battery"), "batteries");
+  EXPECT_EQ(Pluralize("day"), "days");
+  EXPECT_EQ(Pluralize("digital camera"), "digital cameras");
+}
+
+TEST(ClickModelTest, PositionBiasDecreases) {
+  ClickModelOptions options;
+  double previous = 2.0;
+  for (size_t pos = 0; pos < options.num_positions; ++pos) {
+    double bias = PositionBias(pos, options);
+    EXPECT_LT(bias, previous);
+    EXPECT_GT(bias, 0.0);
+    previous = bias;
+  }
+  EXPECT_DOUBLE_EQ(PositionBias(0, options), 1.0);
+}
+
+TEST(ClickModelTest, RelevanceFollowsTopicRelation) {
+  TopicTaxonomy taxonomy = TopicTaxonomy::Generate(
+      {/*num_categories=*/4, /*subtopics_per_category=*/3, /*seed=*/1});
+  ClickModelOptions options;
+  QueryEntity query;
+  query.subtopic = 0;
+  query.category = 0;
+  AdEntity same_subtopic{.label = "x", .subtopic = 0, .category = 0};
+  AdEntity same_category{.label = "x", .subtopic = 1, .category = 0};
+  AdEntity complement{.label = "x",
+                      .subtopic = taxonomy.subtopic(0).complement,
+                      .category = taxonomy.subtopic(
+                          taxonomy.subtopic(0).complement).category};
+  AdEntity unrelated{.label = "x", .subtopic = 7, .category = 2};
+
+  double r_sub = LatentRelevance(taxonomy, query, same_subtopic, options);
+  double r_cat = LatentRelevance(taxonomy, query, same_category, options);
+  double r_comp = LatentRelevance(taxonomy, query, complement, options);
+  double r_none = LatentRelevance(taxonomy, query, unrelated, options);
+  EXPECT_GT(r_sub, r_cat);
+  EXPECT_GT(r_sub, r_comp);
+  EXPECT_GT(r_cat, r_none);
+  EXPECT_GT(r_comp, r_none);
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  auto a = GenerateClickGraph(SmallWorldOptions(42));
+  auto b = GenerateClickGraph(SmallWorldOptions(42));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->graph.num_queries(), b->graph.num_queries());
+  EXPECT_EQ(a->graph.num_edges(), b->graph.num_edges());
+  EXPECT_EQ(GraphToTsv(a->graph), GraphToTsv(b->graph));
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto a = GenerateClickGraph(SmallWorldOptions(1));
+  auto b = GenerateClickGraph(SmallWorldOptions(2));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(GraphToTsv(a->graph), GraphToTsv(b->graph));
+}
+
+TEST(GeneratorTest, GraphOnlyContainsClickedQueries) {
+  auto world = GenerateClickGraph(SmallWorldOptions());
+  ASSERT_TRUE(world.ok());
+  EXPECT_GT(world->graph.num_queries(), 0u);
+  EXPECT_LT(world->graph.num_queries(), world->query_universe.size());
+  // Every graph query exists in the universe.
+  for (QueryId q = 0; q < world->graph.num_queries(); ++q) {
+    EXPECT_NE(world->FindQueryEntity(world->graph.query_label(q)), nullptr);
+  }
+  // Every graph query has at least one edge (one click).
+  for (QueryId q = 0; q < world->graph.num_queries(); ++q) {
+    EXPECT_GE(world->graph.QueryDegree(q), 1u);
+  }
+}
+
+TEST(GeneratorTest, EdgeWeightsWellFormed) {
+  auto world = GenerateClickGraph(SmallWorldOptions());
+  ASSERT_TRUE(world.ok());
+  for (EdgeId e = 0; e < world->graph.num_edges(); ++e) {
+    const EdgeWeights& w = world->graph.edge_weights(e);
+    EXPECT_GE(w.clicks, 1u);
+    EXPECT_LE(w.clicks, w.impressions);
+    EXPECT_GE(w.expected_click_rate, 0.0);
+    EXPECT_LE(w.expected_click_rate, 1.0);
+  }
+}
+
+TEST(GeneratorTest, StructureMatchesSection92) {
+  auto world = GenerateClickGraph(SmallWorldOptions());
+  ASSERT_TRUE(world.ok());
+  GraphStats stats = ComputeGraphStats(world->graph);
+  // Power-law diagnostics fit with positive exponents on all three
+  // distributions the paper reports.
+  EXPECT_GT(stats.ads_per_query_exponent, 0.2);
+  EXPECT_GT(stats.queries_per_ad_exponent, 0.2);
+  EXPECT_GT(stats.clicks_per_edge_exponent, 0.2);
+  // A dominant giant component with satellites.
+  EXPECT_GT(stats.num_components, 1u);
+  EXPECT_GT(stats.giant_component_fraction, 0.25);
+  // Heavy-tailed degrees: max far above mean.
+  EXPECT_GT(stats.max_ads_per_query, 4.0 * stats.mean_ads_per_query);
+}
+
+TEST(GeneratorTest, RejectsDegenerateOptions) {
+  GeneratorOptions options;
+  options.num_queries = 0;
+  EXPECT_FALSE(GenerateClickGraph(options).ok());
+  options = GeneratorOptions();
+  options.p_show_same_subtopic = 0.9;
+  options.p_show_complement = 0.2;  // sums over 1 with category share
+  EXPECT_FALSE(GenerateClickGraph(options).ok());
+}
+
+TEST(BidGeneratorTest, PopularQueriesBidMoreOften) {
+  auto world = GenerateClickGraph(SmallWorldOptions());
+  ASSERT_TRUE(world.ok());
+  BidGeneratorOptions options;
+  options.base_bid_probability = 0.1;
+  options.popularity_boost = 0.8;
+  auto bids = GenerateBidSet(*world, options);
+  EXPECT_GT(bids.size(), 0u);
+  EXPECT_LT(bids.size(), world->query_universe.size());
+
+  // Split the universe at the popularity median and compare hit rates.
+  std::vector<double> pops;
+  for (const auto& q : world->query_universe) pops.push_back(q.popularity);
+  std::nth_element(pops.begin(), pops.begin() + pops.size() / 2, pops.end());
+  double median = pops[pops.size() / 2];
+  size_t popular_bids = 0, popular_total = 0, rare_bids = 0, rare_total = 0;
+  for (const auto& q : world->query_universe) {
+    bool has_bid = bids.count(NormalizeQuery(q.text)) > 0;
+    if (q.popularity >= median) {
+      ++popular_total;
+      popular_bids += has_bid;
+    } else {
+      ++rare_total;
+      rare_bids += has_bid;
+    }
+  }
+  double popular_rate = static_cast<double>(popular_bids) / popular_total;
+  double rare_rate = static_cast<double>(rare_bids) / rare_total;
+  EXPECT_GT(popular_rate, rare_rate + 0.1);
+}
+
+TEST(WorkloadTest, SampleSizeAndDistinctness) {
+  auto world = GenerateClickGraph(SmallWorldOptions());
+  ASSERT_TRUE(world.ok());
+  WorkloadOptions options;
+  options.sample_size = 300;
+  std::vector<uint32_t> sample = SampleWorkload(*world, options);
+  EXPECT_EQ(sample.size(), 300u);
+  std::unordered_set<uint32_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), sample.size());
+}
+
+TEST(WorkloadTest, SampleIsPopularityBiased) {
+  auto world = GenerateClickGraph(SmallWorldOptions());
+  ASSERT_TRUE(world.ok());
+  WorkloadOptions options;
+  options.sample_size = 200;
+  std::vector<uint32_t> sample = SampleWorkload(*world, options);
+  double sampled_mean = 0.0;
+  for (uint32_t i : sample) {
+    sampled_mean += world->query_universe[i].popularity;
+  }
+  sampled_mean /= sample.size();
+  double universe_mean = 0.0;
+  for (const auto& q : world->query_universe) {
+    universe_mean += q.popularity;
+  }
+  universe_mean /= world->query_universe.size();
+  EXPECT_GT(sampled_mean, 2.0 * universe_mean);
+}
+
+TEST(WorkloadTest, FilterKeepsOnlyDatasetQueries) {
+  auto world = GenerateClickGraph(SmallWorldOptions());
+  ASSERT_TRUE(world.ok());
+  WorkloadOptions options;
+  options.sample_size = 500;
+  std::vector<uint32_t> sample = SampleWorkload(*world, options);
+  std::vector<std::string> kept =
+      FilterWorkloadToGraph(*world, world->graph, sample);
+  EXPECT_LE(kept.size(), sample.size());
+  EXPECT_GT(kept.size(), 0u);
+  for (const std::string& text : kept) {
+    EXPECT_TRUE(world->graph.FindQuery(text).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace simrankpp
