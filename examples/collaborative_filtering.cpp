@@ -4,7 +4,8 @@
 // SimRank finds taste-alike users and similar movies, and a tiny
 // recommender suggests unseen movies through similar users.
 //
-//   ./build/examples/collaborative_filtering
+//   ./build/examples/example_collaborative_filtering
+//   (configure with -DSIMRANKPP_BUILD_EXAMPLES=ON)
 #include <algorithm>
 #include <cstdio>
 

@@ -3,8 +3,9 @@
 // similarity scores and top rewrites for "camera".
 //
 // Build & run:
-//   cmake -B build -G Ninja && cmake --build build --target quickstart
-//   ./build/examples/quickstart
+//   cmake -B build -S . -DSIMRANKPP_BUILD_EXAMPLES=ON
+//   cmake --build build --target example_quickstart
+//   ./build/examples/example_quickstart
 #include <cstdio>
 
 #include "core/dense_engine.h"

@@ -3,7 +3,8 @@
 // query rewrites against a bid database — then show, for a handful of
 // live queries, the rewrites and which of them carry active bids.
 //
-//   ./build/examples/sponsored_search
+//   ./build/examples/example_sponsored_search
+//   (configure with -DSIMRANKPP_BUILD_EXAMPLES=ON)
 #include <cstdio>
 
 #include "core/simrank_engine.h"

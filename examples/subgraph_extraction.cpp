@@ -3,7 +3,8 @@
 // carve out five disjoint evaluation subgraphs with Andersen-Chung-Lang
 // local partitioning.
 //
-//   ./build/examples/subgraph_extraction
+//   ./build/examples/example_subgraph_extraction
+//   (configure with -DSIMRANKPP_BUILD_EXAMPLES=ON)
 #include <cstdio>
 
 #include "graph/graph_stats.h"

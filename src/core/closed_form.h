@@ -1,7 +1,9 @@
-// Closed-form and recurrence solutions for SimRank on complete bipartite
-// graphs K_{m,n} (paper, Appendix A / Theorem A.1). These provide exact
-// reference values the iterative engines are tested against, and power the
-// theorem property tests.
+/// @file closed_form.h
+/// @brief Closed-form and recurrence solutions for SimRank on complete
+/// bipartite graphs K_{m,n} (paper, Appendix A / Theorem A.1).
+///
+/// These provide exact reference values the iterative engines are tested
+/// against, and power the theorem property tests.
 #ifndef SIMRANKPP_CORE_CLOSED_FORM_H_
 #define SIMRANKPP_CORE_CLOSED_FORM_H_
 

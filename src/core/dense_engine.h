@@ -1,7 +1,10 @@
-// Exact dense-matrix SimRank engine. Stores full |Q|x|Q| and |A|x|A|
-// score matrices and iterates with the intermediate-product trick
-// (T = A * S per side), giving O(edges * nodes) work per iteration instead
-// of the naive O(pairs * degree^2).
+/// @file dense_engine.h
+/// @brief Exact dense-matrix SimRank engine.
+///
+/// Stores full |Q|x|Q| and |A|x|A| score matrices and iterates with the
+/// intermediate-product trick (T = A * S per side), giving
+/// O(edges * nodes) work per iteration instead of the naive
+/// O(pairs * degree^2).
 #ifndef SIMRANKPP_CORE_DENSE_ENGINE_H_
 #define SIMRANKPP_CORE_DENSE_ENGINE_H_
 

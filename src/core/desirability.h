@@ -1,9 +1,11 @@
-// The desirability score of Section 9.3:
-//   des(q1, q2) = sum over i in E(q1) ∩ E(q2) of w(q2, i) / |E(q2)|.
-// It quantifies, from the click-graph evidence alone, how good a rewrite
-// q2 is for q1; the edge-removal experiment (Figure 12) tests whether each
-// similarity method predicts the desirability ordering after the direct
-// evidence is deleted.
+/// @file desirability.h
+/// @brief The desirability score of Section 9.3:
+///   des(q1, q2) = sum over i in E(q1) ∩ E(q2) of w(q2, i) / |E(q2)|.
+///
+/// It quantifies, from the click-graph evidence alone, how good a rewrite
+/// q2 is for q1; the edge-removal experiment (Figure 12) tests whether each
+/// similarity method predicts the desirability ordering after the direct
+/// evidence is deleted.
 #ifndef SIMRANKPP_CORE_DESIRABILITY_H_
 #define SIMRANKPP_CORE_DESIRABILITY_H_
 

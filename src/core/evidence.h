@@ -1,7 +1,9 @@
-// The "evidence of similarity" metric of Section 7. Evidence grows with
-// the number of common neighbors and approaches 1, so that pairs connected
-// through many distinct ads (strong direct evidence) outrank pairs whose
-// SimRank score rests on a single shared neighbor.
+/// @file evidence.h
+/// @brief The "evidence of similarity" metric of Section 7.
+///
+/// Evidence grows with the number of common neighbors and approaches 1, so
+/// that pairs connected through many distinct ads (strong direct evidence)
+/// outrank pairs whose SimRank score rests on a single shared neighbor.
 #ifndef SIMRANKPP_CORE_EVIDENCE_H_
 #define SIMRANKPP_CORE_EVIDENCE_H_
 

@@ -1,6 +1,9 @@
-// The naive similarity of Section 3 (Table 1): count the ads two queries
-// have in common. Kept as a reference point; it cannot see past direct
-// co-clicks (it scores "pc"-"tv" as 0 in Fig. 3).
+/// @file naive_similarity.h
+/// @brief The naive similarity of Section 3 (Table 1): count the ads two
+/// queries have in common.
+///
+/// Kept as a reference point; it cannot see past direct co-clicks (it
+/// scores "pc"-"tv" as 0 in Fig. 3).
 #ifndef SIMRANKPP_CORE_NAIVE_SIMILARITY_H_
 #define SIMRANKPP_CORE_NAIVE_SIMILARITY_H_
 

@@ -1,6 +1,8 @@
-// The Pearson-correlation baseline of Section 9.1. Pearson can only score
-// query pairs that share at least one ad, which is what limits its query
-// coverage in the evaluation (Figure 8).
+/// @file pearson.h
+/// @brief The Pearson-correlation baseline of Section 9.1.
+///
+/// Pearson can only score query pairs that share at least one ad, which is
+/// what limits its query coverage in the evaluation (Figure 8).
 #ifndef SIMRANKPP_CORE_PEARSON_H_
 #define SIMRANKPP_CORE_PEARSON_H_
 

@@ -1,12 +1,15 @@
-// Monte-Carlo verification of the random-surfer semantics of Section 5.
-// SimRank's score s(a, b) equals the expected decayed meeting indicator of
-// two synchronized uniform random walks started at a and b: each step both
-// surfers hop to a uniform random neighbor on the opposite side, the
-// accumulated product gains the departing side's decay factor (C2 when
-// leaving the ad side, C1 when leaving the query side), and the trial
-// pays out the product the first time the surfers coincide.
-// The estimator converges to the fixed-point SimRank score, giving an
-// independent end-to-end check of the iterative engines.
+/// @file random_walk.h
+/// @brief Monte-Carlo verification of the random-surfer semantics of
+/// Section 5.
+///
+/// SimRank's score s(a, b) equals the expected decayed meeting indicator of
+/// two synchronized uniform random walks started at a and b: each step both
+/// surfers hop to a uniform random neighbor on the opposite side, the
+/// accumulated product gains the departing side's decay factor (C2 when
+/// leaving the ad side, C1 when leaving the query side), and the trial
+/// pays out the product the first time the surfers coincide.
+/// The estimator converges to the fixed-point SimRank score, giving an
+/// independent end-to-end check of the iterative engines.
 #ifndef SIMRANKPP_CORE_RANDOM_WALK_H_
 #define SIMRANKPP_CORE_RANDOM_WALK_H_
 

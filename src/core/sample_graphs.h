@@ -1,6 +1,8 @@
-// The worked example graphs from the paper (Figures 3-6) plus complete
-// bipartite generators. Benches and tests reproduce the paper's tables
-// directly from these.
+/// @file sample_graphs.h
+/// @brief The worked example graphs from the paper (Figures 3-6) plus
+/// complete bipartite generators.
+///
+/// Benches and tests reproduce the paper's tables directly from these.
 #ifndef SIMRANKPP_CORE_SAMPLE_GRAPHS_H_
 #define SIMRANKPP_CORE_SAMPLE_GRAPHS_H_
 

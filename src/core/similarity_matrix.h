@@ -1,7 +1,10 @@
-// Sparse symmetric store for pairwise similarity scores over one node set
-// (query-query or ad-ad). Self-similarity is implicitly 1 and never stored;
-// absent pairs read as 0. After Finalize(), per-node partner lists support
-// ranked top-K retrieval, which is what the rewriting front-end consumes.
+/// @file similarity_matrix.h
+/// @brief Sparse symmetric store for pairwise similarity scores over one
+/// node set (query-query or ad-ad).
+///
+/// Self-similarity is implicitly 1 and never stored; absent pairs read as
+/// 0. After Finalize(), per-node partner lists support ranked top-K
+/// retrieval, which is what the rewriting front-end consumes.
 #ifndef SIMRANKPP_CORE_SIMILARITY_MATRIX_H_
 #define SIMRANKPP_CORE_SIMILARITY_MATRIX_H_
 

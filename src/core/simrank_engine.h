@@ -1,12 +1,14 @@
-// Abstract interface shared by the SimRank computation engines. Two
-// implementations exist:
-//  - DenseSimRankEngine: exact dense-matrix iteration, O((|Q|+|A|)^2)
-//    memory; the reference implementation for small graphs and for
-//    validating the sparse engine.
-//  - SparseSimRankEngine: threshold-pruned pair maps, scaling to the
-//    Table-5-sized subgraphs the evaluation uses.
-// Both implement the same three variants (plain / evidence-based /
-// weighted, see SimRankVariant) with identical read-side semantics.
+/// @file simrank_engine.h
+/// @brief Abstract interface shared by the SimRank computation engines.
+///
+/// Two implementations exist:
+///  - DenseSimRankEngine: exact dense-matrix iteration, O((|Q|+|A|)^2)
+///    memory; the reference implementation for small graphs and for
+///    validating the sparse engine.
+///  - SparseSimRankEngine: threshold-pruned pair maps, scaling to the
+///    Table-5-sized subgraphs the evaluation uses.
+/// Both implement the same three variants (plain / evidence-based /
+/// weighted, see SimRankVariant) with identical read-side semantics.
 #ifndef SIMRANKPP_CORE_SIMRANK_ENGINE_H_
 #define SIMRANKPP_CORE_SIMRANK_ENGINE_H_
 

@@ -1,4 +1,6 @@
-// Options shared by all SimRank engine variants.
+/// @file simrank_options.h
+/// @brief Options and post-run diagnostics shared by all SimRank engine
+/// variants (decay factors, iteration budget, evidence formula, pruning).
 #ifndef SIMRANKPP_CORE_SIMRANK_OPTIONS_H_
 #define SIMRANKPP_CORE_SIMRANK_OPTIONS_H_
 

@@ -1,9 +1,12 @@
-// Threshold-pruned sparse SimRank engine. Scores live in one symmetric
-// pair map per side; candidate pairs are discovered by expanding two hops
-// through the graph and through the previous iteration's scored pairs, so
-// only pairs that can receive mass are ever touched. Pruning (score
-// threshold + per-node partner cap) keeps memory bounded on power-law
-// click graphs, which is how SimRank is deployed at the paper's scale.
+/// @file sparse_engine.h
+/// @brief Threshold-pruned sparse SimRank engine.
+///
+/// Scores live in one symmetric pair map per side; candidate pairs are
+/// discovered by expanding two hops through the graph and through the
+/// previous iteration's scored pairs, so only pairs that can receive mass
+/// are ever touched. Pruning (score threshold + per-node partner cap)
+/// keeps memory bounded on power-law click graphs, which is how SimRank is
+/// deployed at the paper's scale.
 #ifndef SIMRANKPP_CORE_SPARSE_ENGINE_H_
 #define SIMRANKPP_CORE_SPARSE_ENGINE_H_
 

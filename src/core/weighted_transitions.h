@@ -1,13 +1,15 @@
-// The weighted-SimRank transition model of Section 8.2. For an edge from
-// node alpha to neighbor i, the revised random walk uses
-//   p(alpha, i) = spread(i) * normalized_weight(alpha, i)
-//   spread(i) = exp(-variance(i))
-//   normalized_weight(alpha, i) = w(alpha,i) / sum_{j in E(alpha)} w(alpha,j)
-// with the leftover probability mass 1 - sum_i p(alpha, i) staying on
-// alpha (self-transition). variance(i) is the variance of the expected
-// click rates of the edges incident to i, which realizes the two
-// consistency rules of Definition 8.1: low-variance (balanced) neighbors
-// and heavier edges both push similarity up.
+/// @file weighted_transitions.h
+/// @brief The weighted-SimRank transition model of Section 8.2.
+///
+/// For an edge from node alpha to neighbor i, the revised random walk uses
+///   p(alpha, i) = spread(i) * normalized_weight(alpha, i)
+///   spread(i) = exp(-variance(i))
+///   normalized_weight(alpha, i) = w(alpha,i) / sum_{j in E(alpha)} w(alpha,j)
+/// with the leftover probability mass 1 - sum_i p(alpha, i) staying on
+/// alpha (self-transition). variance(i) is the variance of the expected
+/// click rates of the edges incident to i, which realizes the two
+/// consistency rules of Definition 8.1: low-variance (balanced) neighbors
+/// and heavier edges both push similarity up.
 #ifndef SIMRANKPP_CORE_WEIGHTED_TRANSITIONS_H_
 #define SIMRANKPP_CORE_WEIGHTED_TRANSITIONS_H_
 
