@@ -1,0 +1,173 @@
+// Thread-scaling benchmark for the SimRank engines: runs the dense and
+// sparse engines across a list of thread counts on a seeded synthetic
+// click graph, prints per-count wall time and speedup, and cross-checks
+// that every thread count exported bit-identical scores (exit 1 if not).
+//
+// Vendored timing harness (Stopwatch + TablePrinter) — deliberately no
+// google-benchmark dependency so CI can always execute it.
+//
+//   bench_perf_threads [--smoke] [--threads 1,2,4,8] [--repeats N]
+//
+// --smoke shrinks the graphs and repeats so the binary finishes in a few
+// seconds; CI runs it as an executable smoke test.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/dense_engine.h"
+#include "core/sparse_engine.h"
+#include "synth/click_graph_generator.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace simrankpp {
+namespace {
+
+BipartiteGraph BenchGraph(size_t num_queries) {
+  GeneratorOptions options;
+  options.num_queries = num_queries;
+  options.num_ads = num_queries / 3;
+  options.taxonomy.num_categories = 16;
+  options.taxonomy.subtopics_per_category = 10;
+  options.mean_impressions_per_query = 25.0;
+  options.seed = 99;
+  auto world = GenerateClickGraph(options);
+  SRPP_CHECK(world.ok());
+  return std::move(world)->graph;
+}
+
+SimRankOptions BenchOptions(size_t num_threads) {
+  SimRankOptions options;
+  options.variant = SimRankVariant::kSimRank;
+  options.iterations = 5;
+  options.prune_threshold = 1e-4;
+  options.max_partners_per_node = 200;
+  options.num_threads = num_threads;
+  return options;
+}
+
+struct Sample {
+  size_t threads = 0;
+  double best_seconds = 0.0;
+  SimilarityMatrix query_scores;
+  SimilarityMatrix ad_scores;
+};
+
+template <typename Engine>
+std::vector<Sample> RunScaling(const BipartiteGraph& graph,
+                               const std::vector<size_t>& thread_counts,
+                               size_t repeats) {
+  std::vector<Sample> samples;
+  for (size_t threads : thread_counts) {
+    Sample sample;
+    sample.threads = threads;
+    for (size_t r = 0; r < repeats; ++r) {
+      Engine engine(BenchOptions(threads));
+      Stopwatch timer;
+      SRPP_CHECK(engine.Run(graph).ok());
+      double elapsed = timer.ElapsedSeconds();
+      if (r == 0 || elapsed < sample.best_seconds) {
+        sample.best_seconds = elapsed;
+      }
+      if (r == 0) {
+        sample.query_scores = engine.ExportQueryScores(0.0);
+        sample.ad_scores = engine.ExportAdScores(0.0);
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+// Prints the table and returns false when any thread count diverged from
+// the single-thread export (the determinism guarantee).
+bool Report(const char* engine_name, const BipartiteGraph& graph,
+            const std::vector<Sample>& samples) {
+  TablePrinter table(StringPrintf("%s engine, %zu queries / %zu edges",
+                                  engine_name, graph.num_queries(),
+                                  graph.num_edges()));
+  table.SetHeader({"threads", "best ms", "speedup", "identical"});
+  bool all_identical = true;
+  const Sample& base = samples.front();
+  for (const Sample& sample : samples) {
+    bool identical =
+        sample.query_scores.num_pairs() == base.query_scores.num_pairs() &&
+        sample.query_scores.MaxAbsDifference(base.query_scores) == 0.0 &&
+        sample.ad_scores.num_pairs() == base.ad_scores.num_pairs() &&
+        sample.ad_scores.MaxAbsDifference(base.ad_scores) == 0.0;
+    all_identical = all_identical && identical;
+    table.AddRow({std::to_string(sample.threads),
+                  FormatDouble(sample.best_seconds * 1e3, 1),
+                  FormatDouble(base.best_seconds / sample.best_seconds, 2),
+                  identical ? "yes" : "NO"});
+  }
+  table.Print();
+  return all_identical;
+}
+
+const char* FlagValue(int argc, char** argv, const char* name,
+                      const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> ParseThreadList(const char* spec) {
+  std::vector<size_t> counts;
+  for (const char* p = spec; *p != '\0';) {
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(p, &end, 10);
+    if (end == p) break;
+    counts.push_back(static_cast<size_t>(value));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return counts;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = HasFlag(argc, argv, "--smoke");
+  std::vector<size_t> thread_counts = ParseThreadList(
+      FlagValue(argc, argv, "--threads", smoke ? "1,2" : "1,2,4,8"));
+  size_t repeats = std::strtoull(
+      FlagValue(argc, argv, "--repeats", smoke ? "1" : "3"), nullptr, 10);
+  if (thread_counts.empty() || repeats == 0) {
+    std::fprintf(stderr,
+                 "usage: bench_perf_threads [--smoke] [--threads 1,2,4,8] "
+                 "[--repeats N]\n");
+    return 2;
+  }
+
+  BipartiteGraph dense_graph = BenchGraph(smoke ? 300 : 1200);
+  BipartiteGraph sparse_graph = BenchGraph(smoke ? 500 : 4000);
+
+  bool ok = true;
+  ok &= Report("dense", dense_graph,
+               RunScaling<DenseSimRankEngine>(dense_graph, thread_counts,
+                                              repeats));
+  ok &= Report("sparse", sparse_graph,
+               RunScaling<SparseSimRankEngine>(sparse_graph, thread_counts,
+                                               repeats));
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: exported scores differ across thread counts\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace simrankpp
+
+int main(int argc, char** argv) { return simrankpp::Main(argc, argv); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "core/evidence.h"
 #include "core/weighted_transitions.h"
@@ -58,6 +59,13 @@ Status DenseSimRankEngine::Run(const BipartiteGraph& graph) {
   }
 
   stats_ = SimRankStats();
+  size_t threads = ResolveThreadCount(options_.num_threads);
+  stats_.threads_used = threads;
+  // One pool for the whole run: spawning threads per iteration would cost
+  // more than the row updates themselves on small graphs.
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  pool_ = pool.get();
   for (size_t iter = 0; iter < options_.iterations; ++iter) {
     double delta = IterateOnce(graph);
     stats_.last_delta = delta;
@@ -67,6 +75,7 @@ Status DenseSimRankEngine::Run(const BipartiteGraph& graph) {
       break;
     }
   }
+  pool_ = nullptr;
 
   size_t query_pairs = 0;
   for (size_t q = 0; q < nq; ++q) {
@@ -240,17 +249,18 @@ double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph) {
     }
   };
 
-  if (options_.num_threads == 1) {
+  // Each task writes disjoint rows of its output and the per-row delta
+  // slots, so any chunking yields bit-identical results.
+  if (pool_ == nullptr) {
     compute_t_rows(0, nq_);
     compute_u_rows(0, na_);
     compute_query_rows(0, nq_);
     compute_ad_rows(0, na_);
   } else {
-    ThreadPool pool(options_.num_threads);
-    pool.ParallelFor(nq_, compute_t_rows);
-    pool.ParallelFor(na_, compute_u_rows);
-    pool.ParallelFor(nq_, compute_query_rows);
-    pool.ParallelFor(na_, compute_ad_rows);
+    pool_->ParallelFor(nq_, compute_t_rows);
+    pool_->ParallelFor(na_, compute_u_rows);
+    pool_->ParallelFor(nq_, compute_query_rows);
+    pool_->ParallelFor(na_, compute_ad_rows);
   }
 
   query_scores_ = std::move(new_query);

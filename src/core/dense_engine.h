@@ -14,6 +14,8 @@
 
 namespace simrankpp {
 
+class ThreadPool;
+
 /// \brief Reference SimRank engine; exact, quadratic memory.
 ///
 /// Refuses graphs whose score matrices would exceed ~1 GiB; use the sparse
@@ -41,6 +43,9 @@ class DenseSimRankEngine : public SimRankEngine {
   SimRankOptions options_;
   SimRankStats stats_;
   const BipartiteGraph* graph_ = nullptr;
+  // Worker pool for the row-partitioned updates; owned by Run() and alive
+  // across all iterations, null when running single-threaded.
+  ThreadPool* pool_ = nullptr;
 
   size_t nq_ = 0;
   size_t na_ = 0;

@@ -43,8 +43,9 @@ Status SimRankOptions::Validate() const {
 std::string SimRankStats::ToString() const {
   return StringPrintf(
       "iterations=%zu last_delta=%.3e query_pairs=%zu ad_pairs=%zu "
-      "elapsed=%.3fs",
-      iterations_run, last_delta, query_pairs, ad_pairs, elapsed_seconds);
+      "threads=%zu elapsed=%.3fs",
+      iterations_run, last_delta, query_pairs, ad_pairs, threads_used,
+      elapsed_seconds);
 }
 
 }  // namespace simrankpp

@@ -68,7 +68,10 @@ struct SimRankOptions {
   size_t max_partners_per_node = 1000;
 
   /// Worker threads for the iteration loops (0 = hardware concurrency,
-  /// 1 = single-threaded).
+  /// 1 = single-threaded). Both engines shard work deterministically —
+  /// the partition never depends on the thread count and per-shard
+  /// results are merged in a fixed order — so exported scores are
+  /// bit-identical for every value of this knob.
   size_t num_threads = 1;
 
   /// \brief Validates ranges (decays in (0,1], thresholds >= 0, ...).
@@ -83,6 +86,9 @@ struct SimRankStats {
   /// Stored query-query / ad-ad pairs after pruning.
   size_t query_pairs = 0;
   size_t ad_pairs = 0;
+  /// Worker threads the run actually used (num_threads resolved against
+  /// hardware concurrency).
+  size_t threads_used = 0;
   double elapsed_seconds = 0.0;
 
   std::string ToString() const;

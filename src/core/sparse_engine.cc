@@ -2,13 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "core/evidence.h"
 #include "core/weighted_transitions.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace simrankpp {
+
+namespace {
+
+// Shards per UpdateSide pass. Fixed (not a multiple of the thread count)
+// so the node partition — and therefore the merged score map — is the
+// same for every num_threads setting; 64 keeps all realistic pools busy
+// while staying coarse enough that per-shard buffers amortize.
+constexpr size_t kShardChunks = 64;
+
+}  // namespace
 
 SparseSimRankEngine::SparseSimRankEngine(SimRankOptions options)
     : options_(std::move(options)) {}
@@ -31,6 +43,12 @@ Status SparseSimRankEngine::Run(const BipartiteGraph& graph) {
   }
 
   stats_ = SimRankStats();
+  size_t threads = ResolveThreadCount(options_.num_threads);
+  stats_.threads_used = threads;
+  // One pool for the whole run; UpdateSide shards across it.
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+  pool_ = pool.get();
   for (size_t iter = 0; iter < options_.iterations; ++iter) {
     // Jacobi: both sides update from the previous iteration's maps.
     Adjacency ad_adjacency = BuildAdjacency(ad_scores_, graph.num_ads());
@@ -57,6 +75,7 @@ Status SparseSimRankEngine::Run(const BipartiteGraph& graph) {
     }
   }
 
+  pool_ = nullptr;
   stats_.query_pairs = query_scores_.size();
   stats_.ad_pairs = ad_scores_.size();
   stats_.elapsed_seconds = timer.ElapsedSeconds();
@@ -104,8 +123,6 @@ SparseSimRankEngine::PairMap SparseSimRankEngine::UpdateSide(
   };
 
   // Per-node pass: find candidate partners u' > u and score the pair.
-  std::vector<std::vector<std::pair<uint64_t, double>>> emitted(
-      options_.num_threads == 1 ? 1 : 0);
   auto process_range = [&](size_t begin, size_t end,
                            std::vector<std::pair<uint64_t, double>>* out) {
     std::vector<uint32_t> candidates;
@@ -163,36 +180,28 @@ SparseSimRankEngine::PairMap SparseSimRankEngine::UpdateSide(
     }
   };
 
-  PairMap result;
-  if (options_.num_threads == 1) {
-    process_range(0, n, &emitted[0]);
-    result.reserve(emitted[0].size());
-    for (const auto& [key, value] : emitted[0]) result.emplace(key, value);
+  // Shard nodes into per-chunk output buffers and merge them in chunk
+  // order. The chunk count is a function of n only — never of the thread
+  // count — and every pair is scored wholly inside one chunk, so the
+  // merged map is built from the same (key, value) sequence for any
+  // num_threads: results are bit-identical with no atomics on scores.
+  size_t num_chunks = std::min<size_t>(std::max<size_t>(n, 1), kShardChunks);
+  std::vector<std::vector<std::pair<uint64_t, double>>> partials(num_chunks);
+  auto run_chunk = [&](size_t chunk, size_t begin, size_t end) {
+    process_range(begin, end, &partials[chunk]);
+  };
+  if (pool_ == nullptr) {
+    ThreadPool::SerialForChunked(n, num_chunks, run_chunk);
   } else {
-    ThreadPool pool(options_.num_threads);
-    size_t chunks = pool.num_threads() * 4;
-    size_t chunk_size = (n + chunks - 1) / chunks;
-    std::vector<std::vector<std::pair<uint64_t, double>>> partials;
-    if (chunk_size > 0) {
-      for (size_t begin = 0; begin < n; begin += chunk_size) {
-        partials.emplace_back();
-      }
-      size_t idx = 0;
-      for (size_t begin = 0; begin < n; begin += chunk_size, ++idx) {
-        size_t end = std::min(begin + chunk_size, n);
-        auto* out = &partials[idx];
-        pool.Submit([&process_range, begin, end, out] {
-          process_range(begin, end, out);
-        });
-      }
-      pool.WaitIdle();
-    }
-    size_t total = 0;
-    for (const auto& part : partials) total += part.size();
-    result.reserve(total);
-    for (const auto& part : partials) {
-      for (const auto& [key, value] : part) result.emplace(key, value);
-    }
+    pool_->ParallelForChunked(n, num_chunks, run_chunk);
+  }
+
+  PairMap result;
+  size_t total = 0;
+  for (const auto& part : partials) total += part.size();
+  result.reserve(total);
+  for (const auto& part : partials) {
+    for (const auto& [key, value] : part) result.emplace(key, value);
   }
   return result;
 }
@@ -204,8 +213,15 @@ void SparseSimRankEngine::ApplyPartnerCap(PairMap* map, size_t n) const {
   std::vector<uint32_t> partner_count(n, 0);
   for (const auto& [key, score] : *map) {
     (void)score;
-    ++partner_count[static_cast<uint32_t>(key >> 32)];
-    ++partner_count[static_cast<uint32_t>(key & 0xffffffffu)];
+    uint32_t u = static_cast<uint32_t>(key >> 32);
+    uint32_t v = static_cast<uint32_t>(key & 0xffffffffu);
+    // Both sides' maps index raw node ids; a map passed with the wrong
+    // side's n would silently read/write past the per-node arrays below.
+    SRPP_CHECK(u < n && v < n)
+        << "ApplyPartnerCap: pair (" << u << ", " << v
+        << ") out of range for n=" << n;
+    ++partner_count[u];
+    ++partner_count[v];
   }
   bool any_over = false;
   for (uint32_t c : partner_count) {

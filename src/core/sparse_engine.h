@@ -17,6 +17,8 @@
 
 namespace simrankpp {
 
+class ThreadPool;
+
 /// \brief Scalable SimRank engine with score pruning.
 class SparseSimRankEngine : public SimRankEngine {
  public:
@@ -68,6 +70,9 @@ class SparseSimRankEngine : public SimRankEngine {
   SimRankOptions options_;
   SimRankStats stats_;
   const BipartiteGraph* graph_ = nullptr;
+  // Worker pool for sharded candidate generation; owned by Run() and
+  // alive across all iterations, null when running single-threaded.
+  ThreadPool* pool_ = nullptr;
   PairMap query_scores_;
   PairMap ad_scores_;
   std::vector<double> w_q2a_;

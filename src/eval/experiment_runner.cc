@@ -27,7 +27,10 @@ ExperimentConfig::ExperimentConfig() {
   simrank.iterations = 7;
   simrank.prune_threshold = 1e-4;
   simrank.max_partners_per_node = 200;
-  simrank.num_threads = 0;  // use all cores
+  // All cores; exported scores are bit-identical for any thread count, so
+  // the seeded experiment stays reproducible (see docs/ARCHITECTURE.md,
+  // "Threading model").
+  simrank.num_threads = 0;
 
   min_export_score = 1e-5;
 }

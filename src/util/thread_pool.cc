@@ -4,10 +4,13 @@
 
 namespace simrankpp {
 
+size_t ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
-  }
+  num_threads = ResolveThreadCount(num_threads);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { WorkerLoop(); });
@@ -36,16 +39,92 @@ void ThreadPool::WaitIdle() {
   all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+namespace {
+
+// The one chunk-partition definition shared by the pooled and serial
+// drivers: clamps the requested chunk count, sizes chunks evenly, and
+// re-derives the count so no trailing chunk is empty (e.g. count=5,
+// num_chunks=4 gives chunk_size=2 and only 3 nonempty chunks).
+struct ChunkPartition {
+  size_t chunk_size = 0;
+  size_t num_chunks = 0;
+};
+
+ChunkPartition MakePartition(size_t count, size_t requested_chunks) {
+  ChunkPartition partition;
+  requested_chunks = std::clamp<size_t>(requested_chunks, 1, count);
+  partition.chunk_size = (count + requested_chunks - 1) / requested_chunks;
+  partition.num_chunks =
+      (count + partition.chunk_size - 1) / partition.chunk_size;
+  return partition;
+}
+
+}  // namespace
+
+void ThreadPool::SerialForChunked(
+    size_t count, size_t num_chunks,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (count == 0) return;
+  ChunkPartition partition = MakePartition(count, num_chunks);
+  for (size_t chunk = 0; chunk < partition.num_chunks; ++chunk) {
+    size_t begin = chunk * partition.chunk_size;
+    size_t end = std::min(begin + partition.chunk_size, count);
+    fn(chunk, begin, end);
+  }
+}
+
+bool ThreadPool::RunOneChunk(Batch& batch) {
+  size_t index = batch.next.fetch_add(1, std::memory_order_relaxed);
+  if (index >= batch.num_chunks) return false;
+  size_t begin = index * batch.chunk_size;
+  size_t end = std::min(begin + batch.chunk_size, batch.count);
+  (*batch.fn)(index, begin, end);
+  {
+    std::lock_guard<std::mutex> lock(batch.mu);
+    if (++batch.done == batch.num_chunks) batch.done_cv.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::ParallelForChunked(
+    size_t count, size_t num_chunks,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (count == 0) return;
+  ChunkPartition partition = MakePartition(count, num_chunks);
+
+  auto batch = std::make_shared<Batch>();
+  batch->fn = &fn;  // outlives the batch: we block below until done
+  batch->count = count;
+  batch->chunk_size = partition.chunk_size;
+  batch->num_chunks = partition.num_chunks;
+
+  // One helper task per worker that could usefully participate; each runs
+  // chunks until the batch is drained. A helper that gets popped after the
+  // last chunk was claimed exits immediately.
+  size_t helpers = std::min(partition.num_chunks, threads_.size());
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([batch] {
+      while (RunOneChunk(*batch)) {
+      }
+    });
+  }
+  // The submitting thread works instead of blocking. Once this loop exits,
+  // every chunk has been claimed by a thread that is actively running it,
+  // so the wait below always makes progress — including when this thread
+  // is itself a pool worker (nested call) and every other worker is busy.
+  while (RunOneChunk(*batch)) {
+  }
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock,
+                      [&] { return batch->done == batch->num_chunks; });
+}
+
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) return;
-  size_t chunks = std::min(count, threads_.size() * 4);
-  size_t chunk_size = (count + chunks - 1) / chunks;
-  for (size_t begin = 0; begin < count; begin += chunk_size) {
-    size_t end = std::min(begin + chunk_size, count);
-    Submit([&fn, begin, end] { fn(begin, end); });
-  }
-  WaitIdle();
+  std::function<void(size_t, size_t, size_t)> chunk_fn =
+      [&fn](size_t, size_t begin, size_t end) { fn(begin, end); };
+  ParallelForChunked(count, threads_.size() * 4, chunk_fn);
 }
 
 void ThreadPool::WorkerLoop() {

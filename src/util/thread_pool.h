@@ -3,9 +3,11 @@
 #ifndef SIMRANKPP_UTIL_THREAD_POOL_H_
 #define SIMRANKPP_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -13,11 +15,22 @@
 
 namespace simrankpp {
 
+/// \brief Resolves a requested thread count to an effective one:
+/// 0 selects std::thread::hardware_concurrency() (minimum 1).
+size_t ResolveThreadCount(size_t requested);
+
 /// \brief Fixed pool of worker threads consuming a FIFO task queue.
 ///
 /// Tasks must not throw (the library is exception-free on hot paths).
-/// `WaitIdle` blocks until every submitted task has finished, providing the
-/// barrier the iterative engines need between SimRank iterations.
+///
+/// `ParallelFor` / `ParallelForChunked` are the barrier primitives the
+/// iterative engines use between SimRank iterations. Each call tracks its
+/// own chunks with a private completion latch — not global pool quiescence
+/// — so concurrent calls from different threads never observe each other,
+/// and the submitting thread claims and runs chunks of its own batch
+/// instead of blocking. By the time the submitter waits on the latch every
+/// chunk is claimed by some actively running thread, so a nested call from
+/// inside a pool task cannot deadlock on the queue it was popped from.
 class ThreadPool {
  public:
   /// \param num_threads 0 selects std::thread::hardware_concurrency().
@@ -31,15 +44,60 @@ class ThreadPool {
   void Submit(std::function<void()> task);
 
   /// \brief Blocks until the queue is empty and all workers are idle.
+  ///
+  /// Global-quiescence barrier for `Submit`-style use from a single
+  /// coordinating thread. Must not be called from inside a pool task, and
+  /// says nothing about which batch finished when several threads submit
+  /// concurrently — the ParallelFor family with its per-batch latch is the
+  /// right tool there.
   void WaitIdle();
 
   /// \brief Partitions [0, count) into roughly even chunks and runs
   /// `fn(begin, end)` on the pool, blocking until all chunks finish.
+  /// Safe to call concurrently from several threads and from inside a
+  /// pool task (the submitting thread runs chunks while it waits).
   void ParallelFor(size_t count, const std::function<void(size_t, size_t)>& fn);
+
+  /// \brief Like ParallelFor but with a caller-chosen chunk count:
+  /// runs `fn(chunk_index, begin, end)` for each of the `num_chunks`
+  /// contiguous chunks of [0, count). Because the partition depends only
+  /// on (count, num_chunks) — never on the pool size — callers can shard
+  /// work into per-chunk buffers and merge them in chunk order for results
+  /// that are identical for any thread count.
+  void ParallelForChunked(
+      size_t count, size_t num_chunks,
+      const std::function<void(size_t, size_t, size_t)>& fn);
+
+  /// \brief Runs the exact chunk partition of ParallelForChunked serially
+  /// on the calling thread, no pool involved. Single-threaded code paths
+  /// that must match a pooled ParallelForChunked bit-for-bit (the sparse
+  /// engine's sharded reduction) use this so both paths share one
+  /// partition definition.
+  static void SerialForChunked(
+      size_t count, size_t num_chunks,
+      const std::function<void(size_t, size_t, size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }
 
  private:
+  // One ParallelFor* call: chunks are claimed via `next`, completion is
+  // tracked by a private latch (`done` under `mu`). Heap-allocated and
+  // shared with helper tasks so a helper popped after the batch finished
+  // still sees a live (exhausted) batch.
+  struct Batch {
+    const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
+    size_t count = 0;
+    size_t chunk_size = 0;
+    size_t num_chunks = 0;
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t done = 0;
+  };
+
+  // Claims and runs one chunk; false when the batch is exhausted.
+  static bool RunOneChunk(Batch& batch);
+
   void WorkerLoop();
 
   std::vector<std::thread> threads_;

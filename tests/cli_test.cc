@@ -1,0 +1,122 @@
+// In-process tests of the simrankpp CLI (tools/cli.cc): argument-parsing
+// failures by subcommand, and a TSV round-trip driving
+// generate -> stats -> similar on a small synthetic graph.
+#include "cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/graph_io.h"
+
+namespace simrankpp {
+namespace {
+
+// Builds a mutable argv (the CLI takes char**) and runs the CLI.
+int RunCliWith(std::vector<std::string> args) {
+  args.insert(args.begin(), "simrankpp");
+  std::vector<std::vector<char>> storage;
+  storage.reserve(args.size());
+  std::vector<char*> argv;
+  for (const std::string& arg : args) {
+    storage.emplace_back(arg.begin(), arg.end());
+    storage.back().push_back('\0');
+    argv.push_back(storage.back().data());
+  }
+  return RunCli(static_cast<int>(argv.size()), argv.data());
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CliArgsTest, NoArgumentsIsUsageError) { EXPECT_EQ(RunCliWith({}), 2); }
+
+TEST(CliArgsTest, UnknownCommandIsUsageError) {
+  EXPECT_EQ(RunCliWith({"frobnicate"}), 2);
+  EXPECT_EQ(RunCliWith({"frobnicate", "graph.tsv"}), 2);
+}
+
+TEST(CliArgsTest, CommandsRequiringAPathRejectBareInvocation) {
+  EXPECT_EQ(RunCliWith({"stats"}), 2);
+  EXPECT_EQ(RunCliWith({"similar"}), 2);
+  EXPECT_EQ(RunCliWith({"rewrite"}), 2);
+  EXPECT_EQ(RunCliWith({"extract"}), 2);
+}
+
+TEST(CliArgsTest, GenerateWithoutOutIsUsageError) {
+  EXPECT_EQ(RunCliWith({"generate"}), 2);
+  EXPECT_EQ(RunCliWith({"generate", "--queries", "100"}), 2);
+}
+
+TEST(CliArgsTest, SimilarWithoutQueryIsUsageError) {
+  EXPECT_EQ(RunCliWith({"similar", "graph.tsv"}), 2);
+  EXPECT_EQ(RunCliWith({"rewrite", "graph.tsv"}), 2);
+}
+
+TEST(CliArgsTest, MissingGraphFileIsRuntimeError) {
+  EXPECT_EQ(RunCliWith({"stats", TempPath("no_such_graph.tsv")}), 1);
+}
+
+class CliRoundTripTest : public ::testing::Test {
+ protected:
+  // generate once for the whole suite; stats/similar read the artifact.
+  static void SetUpTestSuite() {
+    graph_path_ = new std::string(TempPath("cli_round_trip.tsv"));
+    ASSERT_EQ(RunCliWith({"generate", "--queries", "1200", "--ads", "400", "--seed",
+                   "11", "--out", *graph_path_}),
+              0);
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(graph_path_->c_str());
+    delete graph_path_;
+    graph_path_ = nullptr;
+  }
+
+  static std::string* graph_path_;
+};
+
+std::string* CliRoundTripTest::graph_path_ = nullptr;
+
+TEST_F(CliRoundTripTest, GeneratedTsvLoadsBack) {
+  Result<BipartiteGraph> graph = LoadGraph(*graph_path_);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  // The generator keeps only queries that actually received clicks, so
+  // the realized count sits below the requested 1200.
+  EXPECT_GT(graph->num_queries(), 100u);
+  EXPECT_LE(graph->num_queries(), 1200u);
+  EXPECT_GT(graph->num_edges(), graph->num_queries());
+}
+
+TEST_F(CliRoundTripTest, StatsReadsGeneratedGraph) {
+  EXPECT_EQ(RunCliWith({"stats", *graph_path_}), 0);
+}
+
+TEST_F(CliRoundTripTest, SimilarFindsNeighborsForARealQuery) {
+  Result<BipartiteGraph> graph = LoadGraph(*graph_path_);
+  ASSERT_TRUE(graph.ok());
+  const std::string& query = graph->query_label(0);
+  EXPECT_EQ(RunCliWith({"similar", *graph_path_, "--query", query, "--method",
+                 "simrank", "--top", "5"}),
+            0);
+}
+
+TEST_F(CliRoundTripTest, SimilarUnknownQueryFails) {
+  EXPECT_EQ(RunCliWith({"similar", *graph_path_, "--query",
+                 "query text that the generator cannot emit"}),
+            1);
+}
+
+TEST_F(CliRoundTripTest, SimilarUnknownMethodFails) {
+  Result<BipartiteGraph> graph = LoadGraph(*graph_path_);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(RunCliWith({"similar", *graph_path_, "--query", graph->query_label(0),
+                 "--method", "bogus"}),
+            1);
+}
+
+}  // namespace
+}  // namespace simrankpp

@@ -11,6 +11,7 @@
 #include "core/naive_similarity.h"
 #include "core/sample_graphs.h"
 #include "core/sparse_engine.h"
+#include "graph/graph_builder.h"
 
 namespace simrankpp {
 namespace {
@@ -345,6 +346,45 @@ TEST(SparsePruningTest, PartnerCapBoundsPerNodeFanout) {
   // require the cap to have reduced the total count below the full
   // 12*11/2 = 66.
   EXPECT_LE(matrix.num_pairs(), 66u);
+}
+
+TEST(SparsePruningTest, PartnerCapAppliesOnAdSide) {
+  // Ads a-d score (a,c) = (b,d) = 0.4 and (c,d) = 0.2 after one
+  // iteration; with cap 1 the (c,d) pair is below the cutoff of both of
+  // its endpoints and must be dropped, while a and b (under the cap) keep
+  // their pairs. One iteration: both runs then cap the identical pre-cap
+  // map, so surviving scores can be compared exactly.
+  GraphBuilder builder;
+  ASSERT_TRUE(builder.AddClick("q1", "a").ok());
+  ASSERT_TRUE(builder.AddClick("q1", "c").ok());
+  ASSERT_TRUE(builder.AddClick("q2", "b").ok());
+  ASSERT_TRUE(builder.AddClick("q2", "d").ok());
+  ASSERT_TRUE(builder.AddClick("q3", "c").ok());
+  ASSERT_TRUE(builder.AddClick("q3", "d").ok());
+  BipartiteGraph graph = std::move(builder.Build()).value();
+  SimRankOptions uncapped_options = PaperOptions(1);
+  SimRankOptions capped_options = PaperOptions(1);
+  capped_options.max_partners_per_node = 1;
+  SparseSimRankEngine uncapped(uncapped_options);
+  SparseSimRankEngine capped(capped_options);
+  ASSERT_TRUE(uncapped.Run(graph).ok());
+  ASSERT_TRUE(capped.Run(graph).ok());
+
+  EXPECT_LT(capped.stats().ad_pairs, uncapped.stats().ad_pairs);
+  EXPECT_GT(capped.stats().ad_pairs, 0u);
+  // Every surviving pair ranks first for at least one of its endpoints:
+  // with cap 1 each ad keeps only its single best partner (union-keep).
+  SimilarityMatrix kept = capped.ExportAdScores(0.0);
+  SimilarityMatrix full = uncapped.ExportAdScores(0.0);
+  full.Finalize();
+  kept.ForEachPair([&](uint32_t a, uint32_t b, double score) {
+    EXPECT_DOUBLE_EQ(score, full.Get(a, b));
+    bool best_of_a = full.TopK(a, 1)[0].score <= score;
+    bool best_of_b = full.TopK(b, 1)[0].score <= score;
+    EXPECT_TRUE(best_of_a || best_of_b)
+        << "pair (" << a << ", " << b << ") survives without ranking "
+        << "first for either endpoint";
+  });
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+// Determinism of the parallel iteration paths: both engines must produce
+// bit-identical exported scores for every num_threads setting, because
+// work is sharded by a partition that never depends on the thread count
+// and per-shard results merge in a fixed order (no atomics on scores).
+#include <gtest/gtest.h>
+
+#include "core/dense_engine.h"
+#include "core/sparse_engine.h"
+#include "synth/click_graph_generator.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace simrankpp {
+namespace {
+
+// Seeded stand-in for the experiment click graph, scaled down so the
+// dense engine stays fast.
+BipartiteGraph SeededGraph() {
+  GeneratorOptions options;
+  options.num_queries = 400;
+  options.num_ads = 130;
+  options.taxonomy.num_categories = 8;
+  options.taxonomy.subtopics_per_category = 6;
+  options.mean_impressions_per_query = 25.0;
+  options.seed = 2024;
+  auto world = GenerateClickGraph(options);
+  SRPP_CHECK(world.ok());
+  return std::move(world)->graph;
+}
+
+SimRankOptions ThreadedOptions(SimRankVariant variant, size_t num_threads) {
+  SimRankOptions options;
+  options.variant = variant;
+  options.iterations = 5;
+  options.prune_threshold = 1e-5;
+  options.max_partners_per_node = 50;
+  options.num_threads = num_threads;
+  return options;
+}
+
+// Exact equality: same stored pairs, each score bit-identical.
+void ExpectIdentical(const SimilarityMatrix& a, const SimilarityMatrix& b) {
+  EXPECT_EQ(a.num_pairs(), b.num_pairs());
+  EXPECT_EQ(a.MaxAbsDifference(b), 0.0);
+}
+
+template <typename Engine>
+void CheckThreadCountInvariance(SimRankVariant variant) {
+  BipartiteGraph graph = SeededGraph();
+  Engine reference(ThreadedOptions(variant, 1));
+  ASSERT_TRUE(reference.Run(graph).ok());
+  EXPECT_EQ(reference.stats().threads_used, 1u);
+  SimilarityMatrix reference_queries = reference.ExportQueryScores(0.0);
+  SimilarityMatrix reference_ads = reference.ExportAdScores(0.0);
+  EXPECT_GT(reference_queries.num_pairs(), 0u);
+  EXPECT_GT(reference_ads.num_pairs(), 0u);
+
+  for (size_t num_threads : {size_t{4}, size_t{0}}) {
+    Engine engine(ThreadedOptions(variant, num_threads));
+    ASSERT_TRUE(engine.Run(graph).ok());
+    EXPECT_EQ(engine.stats().threads_used, ResolveThreadCount(num_threads));
+    ExpectIdentical(engine.ExportQueryScores(0.0), reference_queries);
+    ExpectIdentical(engine.ExportAdScores(0.0), reference_ads);
+  }
+}
+
+TEST(ThreadingTest, DenseSimRankBitIdenticalAcrossThreadCounts) {
+  CheckThreadCountInvariance<DenseSimRankEngine>(SimRankVariant::kSimRank);
+}
+
+TEST(ThreadingTest, DenseWeightedBitIdenticalAcrossThreadCounts) {
+  CheckThreadCountInvariance<DenseSimRankEngine>(SimRankVariant::kWeighted);
+}
+
+TEST(ThreadingTest, SparseSimRankBitIdenticalAcrossThreadCounts) {
+  CheckThreadCountInvariance<SparseSimRankEngine>(SimRankVariant::kSimRank);
+}
+
+TEST(ThreadingTest, SparseEvidenceBitIdenticalAcrossThreadCounts) {
+  CheckThreadCountInvariance<SparseSimRankEngine>(SimRankVariant::kEvidence);
+}
+
+TEST(ThreadingTest, SparseWeightedBitIdenticalAcrossThreadCounts) {
+  CheckThreadCountInvariance<SparseSimRankEngine>(SimRankVariant::kWeighted);
+}
+
+TEST(ThreadingTest, StatsReportThreadsUsed) {
+  BipartiteGraph graph = SeededGraph();
+  SparseSimRankEngine engine(ThreadedOptions(SimRankVariant::kSimRank, 3));
+  ASSERT_TRUE(engine.Run(graph).ok());
+  EXPECT_EQ(engine.stats().threads_used, 3u);
+  EXPECT_NE(engine.stats().ToString().find("threads=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simrankpp

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include "util/csv_writer.h"
 #include "util/histogram.h"
@@ -411,6 +412,121 @@ TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturns) {
   ThreadPool pool(2);
   pool.WaitIdle();  // must not deadlock
   SUCCEED();
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_EQ(ResolveThreadCount(3), 3u);
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ThreadPool(0).num_threads(), ResolveThreadCount(0));
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedCoversRangeAndChunksOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(500);
+  std::vector<std::atomic<int>> chunk_hits(7);
+  pool.ParallelForChunked(500, 7,
+                          [&](size_t chunk, size_t begin, size_t end) {
+                            ASSERT_LT(chunk, 7u);
+                            ASSERT_LT(begin, end);
+                            chunk_hits[chunk].fetch_add(1);
+                            for (size_t i = begin; i < end; ++i) {
+                              hits[i].fetch_add(1);
+                            }
+                          });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  for (const auto& c : chunk_hits) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForChunkedPartitionIgnoresThreadCount) {
+  // The chunk boundaries must depend only on (count, num_chunks) — this
+  // is what lets the sparse engine produce bit-identical score maps for
+  // any thread count.
+  auto boundaries = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> chunks(5);
+    pool.ParallelForChunked(103, 5,
+                            [&](size_t chunk, size_t begin, size_t end) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              chunks[chunk] = {begin, end};
+                            });
+    return chunks;
+  };
+  EXPECT_EQ(boundaries(1), boundaries(4));
+}
+
+// Regression: ParallelFor used to block on global pool quiescence, so a
+// nested call from inside a pool task deadlocked (the worker could not
+// drain the queue it was blocked in).
+TEST(ThreadPoolTest, NestedParallelForFromPoolTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.ParallelFor(4, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(32, [&](size_t inner_begin, size_t inner_end) {
+        for (size_t j = inner_begin; j < inner_end; ++j) {
+          counter.fetch_add(1);
+        }
+      });
+    }
+  });
+  EXPECT_EQ(counter.load(), 4 * 32);
+}
+
+TEST(ThreadPoolTest, ParallelForFromSubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    pool.ParallelFor(64, [&](size_t begin, size_t end) {
+      counter.fetch_add(static_cast<int>(end - begin));
+    });
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+// Regression: WaitIdle waited on *global* quiescence, so two concurrent
+// ParallelFor calls could return before their own chunks finished (or
+// long after). Each call must track exactly its own batch.
+TEST(ThreadPoolTest, ConcurrentParallelForFromTwoThreads) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> first(777);
+  std::vector<std::atomic<int>> second(777);
+  auto mark = [&pool](std::vector<std::atomic<int>>* cells) {
+    pool.ParallelFor(cells->size(), [cells](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) (*cells)[i].fetch_add(1);
+    });
+    // The batch latch guarantees every chunk of *this* call is done here.
+    for (const auto& cell : *cells) EXPECT_EQ(cell.load(), 1);
+  };
+  std::thread t1(mark, &first);
+  std::thread t2(mark, &second);
+  t1.join();
+  t2.join();
+}
+
+TEST(ThreadPoolTest, StressManyConcurrentAndNestedBatches) {
+  ThreadPool pool(4);
+  std::atomic<int64_t> total{0};
+  auto hammer = [&](size_t rounds) {
+    for (size_t r = 0; r < rounds; ++r) {
+      size_t count = 1 + (r * 37) % 253;  // varying, odd-sized ranges
+      pool.ParallelFor(count, [&](size_t begin, size_t end) {
+        if ((begin + end) % 3 == 0) {
+          pool.ParallelFor(5, [&](size_t b, size_t e) {
+            total.fetch_add(static_cast<int64_t>(e - b) * 0);  // just churn
+          });
+        }
+        total.fetch_add(static_cast<int64_t>(end - begin));
+      });
+    }
+  };
+  std::vector<std::thread> callers;
+  int64_t expected = 0;
+  for (size_t r = 0; r < 40; ++r) expected += 1 + (r * 37) % 253;
+  for (int i = 0; i < 3; ++i) callers.emplace_back(hammer, 40);
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 3 * expected);
 }
 
 // ----------------------------------------------------------------- Stats

@@ -1,0 +1,17 @@
+/// @file cli.h
+/// @brief Entry point of the simrankpp command-line tool, exposed as a
+/// library function so tests can drive argument parsing and the TSV
+/// round-trip in-process.
+#ifndef SIMRANKPP_TOOLS_CLI_H_
+#define SIMRANKPP_TOOLS_CLI_H_
+
+namespace simrankpp {
+
+/// \brief Runs the CLI exactly as `main` would: argv[0] is the program
+/// name, argv[1] the subcommand. Returns the process exit code
+/// (0 success, 1 runtime failure, 2 usage error).
+int RunCli(int argc, char** argv);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_TOOLS_CLI_H_

@@ -1,230 +1,5 @@
-// simrankpp command-line tool.
-//
-//   simrankpp generate --queries N --ads M --seed S --out graph.tsv
-//       Generate a synthetic click graph and write it as TSV.
-//   simrankpp stats <graph.tsv>
-//       Print structural statistics (Table-5 style).
-//   simrankpp similar <graph.tsv> --query TEXT [--method M] [--top K]
-//       Print the K most similar queries under a method
-//       (simrank | evidence | weighted | pearson).
-//   simrankpp rewrite <graph.tsv> --query TEXT [--method M]
-//       Run the full rewrite pipeline (no bid filter from the CLI).
-//   simrankpp extract <graph.tsv> [--subgraphs N] [--out-prefix P]
-//       Carve disjoint subgraphs via local partitioning; write P1.tsv...
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
+// Thin executable wrapper; the implementation lives in cli.cc so the
+// test suite can exercise the CLI in-process.
+#include "cli.h"
 
-#include "core/pearson.h"
-#include "core/simrank_engine.h"
-#include "graph/graph_io.h"
-#include "graph/graph_stats.h"
-#include "partition/subgraph_extractor.h"
-#include "rewrite/rewriter.h"
-#include "synth/click_graph_generator.h"
-#include "util/logging.h"
-#include "util/string_util.h"
-#include "util/table_printer.h"
-
-namespace simrankpp {
-namespace {
-
-int Usage() {
-  std::fprintf(
-      stderr,
-      "usage:\n"
-      "  simrankpp generate [--queries N] [--ads M] [--seed S] --out F\n"
-      "  simrankpp stats <graph.tsv>\n"
-      "  simrankpp similar <graph.tsv> --query TEXT [--method M] [--top K]\n"
-      "  simrankpp rewrite <graph.tsv> --query TEXT [--method M]\n"
-      "  simrankpp extract <graph.tsv> [--subgraphs N] [--out-prefix P]\n"
-      "methods: simrank | evidence | weighted (default) | pearson\n");
-  return 2;
-}
-
-// Minimal flag scanner: --name value pairs after the positional args.
-const char* FlagValue(int argc, char** argv, const char* name,
-                      const char* fallback) {
-  for (int i = 0; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  }
-  return fallback;
-}
-
-Result<SimilarityMatrix> ComputeScores(const BipartiteGraph& graph,
-                                       const std::string& method) {
-  if (method == "pearson") return ComputePearsonSimilarities(graph);
-  SimRankOptions options;
-  if (method == "simrank") {
-    options.variant = SimRankVariant::kSimRank;
-  } else if (method == "evidence") {
-    options.variant = SimRankVariant::kEvidence;
-  } else if (method == "weighted") {
-    options.variant = SimRankVariant::kWeighted;
-    options.prune_threshold = 1e-5;
-  } else {
-    return Status::InvalidArgument("unknown method: " + method);
-  }
-  options.num_threads = 0;
-  SRPP_ASSIGN_OR_RETURN(std::unique_ptr<SimRankEngine> engine,
-                        CreateSimRankEngine(EngineKind::kSparse, options));
-  SRPP_RETURN_NOT_OK(engine->Run(graph));
-  std::fprintf(stderr, "engine: %s\n", engine->stats().ToString().c_str());
-  return engine->ExportQueryScores(1e-6);
-}
-
-int CmdGenerate(int argc, char** argv) {
-  const char* out = FlagValue(argc, argv, "--out", nullptr);
-  if (out == nullptr) return Usage();
-  GeneratorOptions options;
-  options.num_queries =
-      std::strtoull(FlagValue(argc, argv, "--queries", "22000"), nullptr, 10);
-  options.num_ads =
-      std::strtoull(FlagValue(argc, argv, "--ads", "7000"), nullptr, 10);
-  options.seed =
-      std::strtoull(FlagValue(argc, argv, "--seed", "2024"), nullptr, 10);
-  Result<SyntheticClickGraph> world = GenerateClickGraph(options);
-  if (!world.ok()) {
-    std::fprintf(stderr, "%s\n", world.status().ToString().c_str());
-    return 1;
-  }
-  if (Status status = SaveGraph(world->graph, out); !status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
-  std::printf("wrote %s: %zu queries, %zu ads, %zu edges (seed %llu)\n", out,
-              world->graph.num_queries(), world->graph.num_ads(),
-              world->graph.num_edges(),
-              static_cast<unsigned long long>(options.seed));
-  return 0;
-}
-
-int CmdStats(const std::string& path) {
-  Result<BipartiteGraph> graph = LoadGraph(path);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("%s", ComputeGraphStats(*graph).ToString().c_str());
-  return 0;
-}
-
-int CmdSimilar(const std::string& path, int argc, char** argv) {
-  const char* query_text = FlagValue(argc, argv, "--query", nullptr);
-  if (query_text == nullptr) return Usage();
-  std::string method = FlagValue(argc, argv, "--method", "weighted");
-  size_t top = std::strtoull(FlagValue(argc, argv, "--top", "10"), nullptr, 10);
-
-  Result<BipartiteGraph> graph = LoadGraph(path);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
-  }
-  std::optional<QueryId> q = graph->FindQuery(query_text);
-  if (!q.has_value()) {
-    std::fprintf(stderr, "query not in graph: %s\n", query_text);
-    return 1;
-  }
-  Result<SimilarityMatrix> scores = ComputeScores(*graph, method);
-  if (!scores.ok()) {
-    std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
-    return 1;
-  }
-  scores->Finalize();
-  TablePrinter table(StringPrintf("most similar to \"%s\" (%s)", query_text,
-                                  method.c_str()));
-  table.SetHeader({"rank", "query", "score"});
-  size_t rank = 0;
-  for (const ScoredNode& node : scores->TopK(*q, top)) {
-    table.AddRow({std::to_string(++rank), graph->query_label(node.node),
-                  FormatDouble(node.score, 5)});
-  }
-  table.Print();
-  return 0;
-}
-
-int CmdRewrite(const std::string& path, int argc, char** argv) {
-  const char* query_text = FlagValue(argc, argv, "--query", nullptr);
-  if (query_text == nullptr) return Usage();
-  std::string method = FlagValue(argc, argv, "--method", "weighted");
-
-  Result<BipartiteGraph> graph = LoadGraph(path);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
-  }
-  Result<SimilarityMatrix> scores = ComputeScores(*graph, method);
-  if (!scores.ok()) {
-    std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
-    return 1;
-  }
-  RewritePipelineOptions pipeline;
-  pipeline.apply_bid_filter = false;  // no bid DB from the CLI
-  QueryRewriter rewriter(method, &*graph, std::move(scores).value(), nullptr,
-                         pipeline);
-  Result<std::vector<RewriteCandidate>> rewrites =
-      rewriter.RewritesFor(query_text);
-  if (!rewrites.ok()) {
-    std::fprintf(stderr, "%s\n", rewrites.status().ToString().c_str());
-    return 1;
-  }
-  for (const RewriteCandidate& rewrite : *rewrites) {
-    std::printf("%-32s %.5f\n", rewrite.text.c_str(), rewrite.score);
-  }
-  if (rewrites->empty()) std::printf("(no rewrites)\n");
-  return 0;
-}
-
-int CmdExtract(const std::string& path, int argc, char** argv) {
-  Result<BipartiteGraph> graph = LoadGraph(path);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
-    return 1;
-  }
-  ExtractorOptions options;
-  options.num_subgraphs = std::strtoull(
-      FlagValue(argc, argv, "--subgraphs", "5"), nullptr, 10);
-  options.min_nodes_per_subgraph = 200;
-  options.max_nodes_per_subgraph = 8000;
-  options.ppr.epsilon = 5e-7;
-  std::string prefix = FlagValue(argc, argv, "--out-prefix", "subgraph");
-  Result<std::vector<ExtractedSubgraph>> subgraphs =
-      ExtractSubgraphs(*graph, options);
-  if (!subgraphs.ok()) {
-    std::fprintf(stderr, "%s\n", subgraphs.status().ToString().c_str());
-    return 1;
-  }
-  size_t index = 0;
-  for (const ExtractedSubgraph& extracted : *subgraphs) {
-    std::string out = StringPrintf("%s%zu.tsv", prefix.c_str(), ++index);
-    if (Status status = SaveGraph(extracted.graph, out); !status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
-    }
-    std::printf("%s: %zu queries, %zu ads, %zu edges (conductance %.4f)\n",
-                out.c_str(), extracted.graph.num_queries(),
-                extracted.graph.num_ads(), extracted.graph.num_edges(),
-                extracted.conductance);
-  }
-  return 0;
-}
-
-int Main(int argc, char** argv) {
-  SetLogLevel(LogLevel::kWarning);
-  if (argc < 2) return Usage();
-  std::string command = argv[1];
-  if (command == "generate") return CmdGenerate(argc - 2, argv + 2);
-  if (argc < 3) return Usage();
-  std::string path = argv[2];
-  if (command == "stats") return CmdStats(path);
-  if (command == "similar") return CmdSimilar(path, argc - 3, argv + 3);
-  if (command == "rewrite") return CmdRewrite(path, argc - 3, argv + 3);
-  if (command == "extract") return CmdExtract(path, argc - 3, argv + 3);
-  return Usage();
-}
-
-}  // namespace
-}  // namespace simrankpp
-
-int main(int argc, char** argv) { return simrankpp::Main(argc, argv); }
+int main(int argc, char** argv) { return simrankpp::RunCli(argc, argv); }
