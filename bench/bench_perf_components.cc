@@ -1,11 +1,18 @@
-// google-benchmark microbenchmarks for the supporting substrates: graph
-// construction, PPR push, Pearson, Porter stemming, and the click-graph
-// generator itself.
-#include <benchmark/benchmark.h>
+// Supporting-substrate micro-benchmarks on the vendored timing harness
+// (perf_harness.h, no google-benchmark dependency): click-graph
+// generation, graph rebuild, PPR push, Pearson all-pairs, Porter
+// stemming, and the snapshot save/load path the serving split rides on.
+//
+//   bench_perf_components [--smoke] [--repeats N]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "core/pearson.h"
+#include "core/snapshot.h"
 #include "graph/graph_builder.h"
 #include "partition/ppr.h"
+#include "perf_harness.h"
 #include "synth/click_graph_generator.h"
 #include "text/porter_stemmer.h"
 #include "util/logging.h"
@@ -13,90 +20,110 @@
 namespace simrankpp {
 namespace {
 
-const BipartiteGraph& SharedGraph() {
-  static BipartiteGraph graph = [] {
-    GeneratorOptions options;
-    options.num_queries = 8000;
-    options.num_ads = 2500;
-    options.taxonomy.num_categories = 24;
-    options.taxonomy.subtopics_per_category = 12;
-    options.mean_impressions_per_query = 25.0;
-    options.seed = 77;
-    auto world = GenerateClickGraph(options);
-    SRPP_CHECK(world.ok());
-    return std::move(world)->graph;
-  }();
-  return graph;
-}
-
-void BM_ClickGraphGeneration(benchmark::State& state) {
+BipartiteGraph SharedGraph(bool smoke) {
   GeneratorOptions options;
-  options.num_queries = static_cast<size_t>(state.range(0));
-  options.num_ads = options.num_queries / 3;
-  options.taxonomy.num_categories = 16;
-  options.taxonomy.subtopics_per_category = 10;
-  options.seed = 5;
-  for (auto _ : state) {
-    auto world = GenerateClickGraph(options);
-    benchmark::DoNotOptimize(world);
-  }
+  options.num_queries = smoke ? 1500 : 8000;
+  options.num_ads = smoke ? 500 : 2500;
+  options.taxonomy.num_categories = 24;
+  options.taxonomy.subtopics_per_category = 12;
+  options.mean_impressions_per_query = 25.0;
+  options.seed = 77;
+  auto world = GenerateClickGraph(options);
+  SRPP_CHECK(world.ok());
+  return std::move(world)->graph;
 }
-BENCHMARK(BM_ClickGraphGeneration)
-    ->Arg(2000)
-    ->Arg(8000)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_GraphRebuild(benchmark::State& state) {
-  const BipartiteGraph& graph = SharedGraph();
-  for (auto _ : state) {
+int Main(int argc, char** argv) {
+  bool smoke = bench::HasFlag(argc, argv, "--smoke");
+  size_t repeats = std::strtoull(
+      bench::FlagValue(argc, argv, "--repeats", smoke ? "1" : "3"), nullptr,
+      10);
+  if (repeats == 0) {
+    std::fprintf(stderr,
+                 "usage: bench_perf_components [--smoke] [--repeats N]\n");
+    return 2;
+  }
+
+  BipartiteGraph graph = SharedGraph(smoke);
+  bench::PerfTable table(
+      "component benchmarks, shared graph " +
+          std::to_string(graph.num_queries()) + "q/" +
+          std::to_string(graph.num_edges()) + "e",
+      repeats);
+
+  for (size_t size : smoke ? std::vector<size_t>{2000}
+                           : std::vector<size_t>{2000, 8000}) {
+    table.Run("generate/" + std::to_string(size), [&] {
+      GeneratorOptions options;
+      options.num_queries = size;
+      options.num_ads = size / 3;
+      options.taxonomy.num_categories = 16;
+      options.taxonomy.subtopics_per_category = 10;
+      options.seed = 5;
+      auto world = GenerateClickGraph(options);
+      SRPP_CHECK(world.ok());
+      return std::to_string(world->graph.num_edges()) + " edges";
+    });
+  }
+
+  table.Run("graph rebuild", [&] {
     GraphBuilder builder;
-    benchmark::DoNotOptimize(builder.AddGraph(graph));
+    SRPP_CHECK(builder.AddGraph(graph).ok());
     auto rebuilt = builder.Build();
-    benchmark::DoNotOptimize(rebuilt);
-  }
-  state.counters["edges"] = static_cast<double>(graph.num_edges());
-}
-BENCHMARK(BM_GraphRebuild)->Unit(benchmark::kMillisecond);
+    SRPP_CHECK(rebuilt.ok());
+    return std::to_string(rebuilt->num_edges()) + " edges";
+  });
 
-void BM_ApproximatePpr(benchmark::State& state) {
-  const BipartiteGraph& graph = SharedGraph();
-  PprOptions options;
-  options.epsilon = 1.0 / static_cast<double>(state.range(0));
-  uint32_t seed_node = 0;
-  size_t support = 0;
-  for (auto _ : state) {
-    auto ppr = ApproximatePersonalizedPageRank(graph, seed_node, options);
-    support = ppr.size();
-    benchmark::DoNotOptimize(ppr);
+  for (double epsilon : {1e-5, 1e-7}) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "ppr push eps=%g", epsilon);
+    table.Run(name, [&] {
+      PprOptions options;
+      options.epsilon = epsilon;
+      auto ppr = ApproximatePersonalizedPageRank(graph, 0, options);
+      return "support=" + std::to_string(ppr.size());
+    });
   }
-  state.counters["support"] = static_cast<double>(support);
-}
-BENCHMARK(BM_ApproximatePpr)
-    ->Arg(100000)    // epsilon 1e-5
-    ->Arg(10000000)  // epsilon 1e-7
-    ->Unit(benchmark::kMillisecond);
 
-void BM_PearsonAllPairs(benchmark::State& state) {
-  const BipartiteGraph& graph = SharedGraph();
-  for (auto _ : state) {
+  table.Run("pearson all-pairs", [&] {
     SimilarityMatrix matrix = ComputePearsonSimilarities(graph);
-    benchmark::DoNotOptimize(matrix);
-  }
-}
-BENCHMARK(BM_PearsonAllPairs)->Unit(benchmark::kMillisecond);
+    return "pairs=" + std::to_string(matrix.num_pairs());
+  });
 
-void BM_PorterStemmer(benchmark::State& state) {
-  const char* words[] = {"cameras",     "relational",   "vietnamization",
-                         "adjustable",  "hopefulness",  "batteries",
-                         "controlling", "conflated",    "sensibilities",
-                         "photography", "troubleshoot", "electricity"};
-  size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(PorterStem(words[i % 12]));
-    ++i;
+  table.Run("porter stemmer x1M", [&] {
+    const char* words[] = {"cameras",     "relational",   "vietnamization",
+                           "adjustable",  "hopefulness",  "batteries",
+                           "controlling", "conflated",    "sensibilities",
+                           "photography", "troubleshoot", "electricity"};
+    size_t total = 0;
+    for (size_t i = 0; i < 1000000; ++i) {
+      total += PorterStem(words[i % 12]).size();
+    }
+    return "chars=" + std::to_string(total);
+  });
+
+  // Snapshot save/load round trip over the Pearson scores: the on-disk
+  // path a serving process pays at startup.
+  {
+    SimilarityMatrix scores = ComputePearsonSimilarities(graph);
+    std::string path = "/tmp/bench_perf_components.snapshot";
+    table.Run("snapshot save", [&] {
+      SRPP_CHECK(SaveSnapshot(scores, "Pearson", path).ok());
+      return "pairs=" + std::to_string(scores.num_pairs());
+    });
+    table.Run("snapshot load", [&] {
+      auto loaded = LoadSnapshot(path);
+      SRPP_CHECK(loaded.ok());
+      return "pairs=" + std::to_string(loaded->matrix.num_pairs());
+    });
+    std::remove(path.c_str());
   }
+
+  table.Print();
+  return 0;
 }
-BENCHMARK(BM_PorterStemmer);
 
 }  // namespace
 }  // namespace simrankpp
+
+int main(int argc, char** argv) { return simrankpp::Main(argc, argv); }

@@ -1,9 +1,19 @@
-// google-benchmark microbenchmarks of the SimRank engines: dense vs
-// sparse across graph sizes and variants, and the effect of pruning.
-#include <benchmark/benchmark.h>
+// Engine micro-benchmarks on the vendored timing harness (perf_harness.h,
+// no google-benchmark dependency): dense vs sparse across graph sizes,
+// the three variants on the sparse engine, and a pruning-threshold sweep
+// with the surviving pair counts.
+//
+//   bench_perf_engines [--smoke] [--repeats N]
+//
+// --smoke shrinks the graphs and repeats so the binary finishes in a few
+// seconds; CI runs it as an executable smoke test.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "core/dense_engine.h"
 #include "core/sparse_engine.h"
+#include "perf_harness.h"
 #include "synth/click_graph_generator.h"
 #include "util/logging.h"
 
@@ -32,67 +42,92 @@ SimRankOptions BenchOptions(SimRankVariant variant) {
   return options;
 }
 
-void BM_DenseEngine(benchmark::State& state) {
-  BipartiteGraph graph = BenchGraph(static_cast<size_t>(state.range(0)));
-  SimRankOptions options = BenchOptions(SimRankVariant::kSimRank);
-  for (auto _ : state) {
-    DenseSimRankEngine engine(options);
-    benchmark::DoNotOptimize(engine.Run(graph));
-  }
-  state.SetLabel(std::to_string(graph.num_queries()) + "q/" +
-                 std::to_string(graph.num_edges()) + "e");
+std::string GraphNote(const BipartiteGraph& graph) {
+  return std::to_string(graph.num_queries()) + "q/" +
+         std::to_string(graph.num_edges()) + "e";
 }
-BENCHMARK(BM_DenseEngine)->Arg(500)->Arg(1500)->Unit(benchmark::kMillisecond);
 
-void BM_SparseEngine(benchmark::State& state) {
-  BipartiteGraph graph = BenchGraph(static_cast<size_t>(state.range(0)));
-  SimRankOptions options = BenchOptions(SimRankVariant::kSimRank);
-  for (auto _ : state) {
-    SparseSimRankEngine engine(options);
-    benchmark::DoNotOptimize(engine.Run(graph));
+int Main(int argc, char** argv) {
+  bool smoke = bench::HasFlag(argc, argv, "--smoke");
+  size_t repeats = std::strtoull(
+      bench::FlagValue(argc, argv, "--repeats", smoke ? "1" : "3"), nullptr,
+      10);
+  if (repeats == 0) {
+    std::fprintf(stderr, "usage: bench_perf_engines [--smoke] [--repeats N]\n");
+    return 2;
   }
-  state.SetLabel(std::to_string(graph.num_queries()) + "q/" +
-                 std::to_string(graph.num_edges()) + "e");
-}
-BENCHMARK(BM_SparseEngine)
-    ->Arg(500)
-    ->Arg(1500)
-    ->Arg(4000)
-    ->Unit(benchmark::kMillisecond);
 
-void BM_SparseEngineVariants(benchmark::State& state) {
-  BipartiteGraph graph = BenchGraph(1500);
-  SimRankOptions options =
-      BenchOptions(static_cast<SimRankVariant>(state.range(0)));
-  for (auto _ : state) {
-    SparseSimRankEngine engine(options);
-    benchmark::DoNotOptimize(engine.Run(graph));
+  // Dense engine across sizes.
+  {
+    bench::PerfTable table("dense engine, plain SimRank", repeats);
+    for (size_t size : smoke ? std::vector<size_t>{300}
+                             : std::vector<size_t>{500, 1500}) {
+      BipartiteGraph graph = BenchGraph(size);
+      table.Run("dense/" + std::to_string(size), [&] {
+        DenseSimRankEngine engine(BenchOptions(SimRankVariant::kSimRank));
+        SRPP_CHECK(engine.Run(graph).ok());
+        return GraphNote(graph);
+      });
+    }
+    table.Print();
   }
-  state.SetLabel(SimRankVariantName(options.variant));
-}
-BENCHMARK(BM_SparseEngineVariants)
-    ->Arg(static_cast<int>(SimRankVariant::kSimRank))
-    ->Arg(static_cast<int>(SimRankVariant::kEvidence))
-    ->Arg(static_cast<int>(SimRankVariant::kWeighted))
-    ->Unit(benchmark::kMillisecond);
 
-void BM_SparsePruningSweep(benchmark::State& state) {
-  BipartiteGraph graph = BenchGraph(1500);
-  SimRankOptions options = BenchOptions(SimRankVariant::kSimRank);
-  options.prune_threshold = 1.0 / static_cast<double>(state.range(0));
-  size_t pairs = 0;
-  for (auto _ : state) {
-    SparseSimRankEngine engine(options);
-    benchmark::DoNotOptimize(engine.Run(graph));
-    pairs = engine.stats().query_pairs;
+  // Sparse engine across sizes.
+  {
+    bench::PerfTable table("sparse engine, plain SimRank", repeats);
+    for (size_t size : smoke ? std::vector<size_t>{500}
+                             : std::vector<size_t>{500, 1500, 4000}) {
+      BipartiteGraph graph = BenchGraph(size);
+      table.Run("sparse/" + std::to_string(size), [&] {
+        SparseSimRankEngine engine(BenchOptions(SimRankVariant::kSimRank));
+        SRPP_CHECK(engine.Run(graph).ok());
+        return GraphNote(graph);
+      });
+    }
+    table.Print();
   }
-  state.counters["query_pairs"] = static_cast<double>(pairs);
+
+  // Variants on one sparse graph.
+  {
+    BipartiteGraph graph = BenchGraph(smoke ? 500 : 1500);
+    bench::PerfTable table("sparse engine variants, " + GraphNote(graph),
+                           repeats);
+    for (SimRankVariant variant :
+         {SimRankVariant::kSimRank, SimRankVariant::kEvidence,
+          SimRankVariant::kWeighted}) {
+      table.Run(SimRankVariantName(variant), [&] {
+        SparseSimRankEngine engine(BenchOptions(variant));
+        SRPP_CHECK(engine.Run(graph).ok());
+        return std::string("pairs=") +
+               std::to_string(engine.stats().query_pairs);
+      });
+    }
+    table.Print();
+  }
+
+  // Pruning sweep: threshold vs surviving pairs.
+  {
+    BipartiteGraph graph = BenchGraph(smoke ? 500 : 1500);
+    bench::PerfTable table("sparse pruning sweep, " + GraphNote(graph),
+                           repeats);
+    for (double threshold : {1e-2, 1e-4, 1e-6}) {
+      SimRankOptions options = BenchOptions(SimRankVariant::kSimRank);
+      options.prune_threshold = threshold;
+      char name[32];
+      std::snprintf(name, sizeof(name), "threshold=%g", threshold);
+      table.Run(name, [&] {
+        SparseSimRankEngine engine(options);
+        SRPP_CHECK(engine.Run(graph).ok());
+        return std::string("query_pairs=") +
+               std::to_string(engine.stats().query_pairs);
+      });
+    }
+    table.Print();
+  }
+  return 0;
 }
-BENCHMARK(BM_SparsePruningSweep)
-    ->Arg(100)      // threshold 1e-2
-    ->Arg(10000)    // threshold 1e-4
-    ->Arg(1000000)  // threshold 1e-6
-    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace simrankpp
+
+int main(int argc, char** argv) { return simrankpp::Main(argc, argv); }

@@ -3,7 +3,7 @@
 // click graph, prints per-count wall time and speedup, and cross-checks
 // that every thread count exported bit-identical scores (exit 1 if not).
 //
-// Vendored timing harness (Stopwatch + TablePrinter) — deliberately no
+// Vendored timing harness (perf_harness.h) — deliberately no
 // google-benchmark dependency so CI can always execute it.
 //
 //   bench_perf_threads [--smoke] [--threads 1,2,4,8] [--repeats N]
@@ -12,12 +12,12 @@
 // seconds; CI runs it as an executable smoke test.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/dense_engine.h"
 #include "core/sparse_engine.h"
+#include "perf_harness.h"
 #include "synth/click_graph_generator.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -109,39 +109,13 @@ bool Report(const char* engine_name, const BipartiteGraph& graph,
   return all_identical;
 }
 
-const char* FlagValue(int argc, char** argv, const char* name,
-                      const char* fallback) {
-  for (int i = 0; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
-  }
-  return fallback;
-}
-
-bool HasFlag(int argc, char** argv, const char* name) {
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], name) == 0) return true;
-  }
-  return false;
-}
-
-std::vector<size_t> ParseThreadList(const char* spec) {
-  std::vector<size_t> counts;
-  for (const char* p = spec; *p != '\0';) {
-    char* end = nullptr;
-    unsigned long long value = std::strtoull(p, &end, 10);
-    if (end == p) break;
-    counts.push_back(static_cast<size_t>(value));
-    p = (*end == ',') ? end + 1 : end;
-  }
-  return counts;
-}
-
 int Main(int argc, char** argv) {
-  bool smoke = HasFlag(argc, argv, "--smoke");
-  std::vector<size_t> thread_counts = ParseThreadList(
-      FlagValue(argc, argv, "--threads", smoke ? "1,2" : "1,2,4,8"));
+  bool smoke = bench::HasFlag(argc, argv, "--smoke");
+  std::vector<size_t> thread_counts = bench::ParseSizeList(
+      bench::FlagValue(argc, argv, "--threads", smoke ? "1,2" : "1,2,4,8"));
   size_t repeats = std::strtoull(
-      FlagValue(argc, argv, "--repeats", smoke ? "1" : "3"), nullptr, 10);
+      bench::FlagValue(argc, argv, "--repeats", smoke ? "1" : "3"), nullptr,
+      10);
   if (thread_counts.empty() || repeats == 0) {
     std::fprintf(stderr,
                  "usage: bench_perf_threads [--smoke] [--threads 1,2,4,8] "

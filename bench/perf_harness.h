@@ -1,0 +1,92 @@
+// Vendored micro-benchmark harness shared by the bench_perf_* binaries:
+// flag parsing and a best-of-N timing loop built on Stopwatch. Replaces
+// the former google-benchmark dependency so CI can always build AND
+// execute these benches (every one supports --smoke for a seconds-long
+// run). Deliberately tiny: wall-clock best-of-N is all the perf tracking
+// here needs, and the table output matches the rest of the repo.
+#ifndef SIMRANKPP_BENCH_PERF_HARNESS_H_
+#define SIMRANKPP_BENCH_PERF_HARNESS_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace simrankpp {
+namespace bench {
+
+// Minimal flag scanner: --name value pairs anywhere in argv.
+inline const char* FlagValue(int argc, char** argv, const char* name,
+                             const char* fallback) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+inline bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+// Parses "1,2,4,8" into a list of sizes.
+inline std::vector<size_t> ParseSizeList(const char* spec) {
+  std::vector<size_t> values;
+  for (const char* p = spec; *p != '\0';) {
+    char* end = nullptr;
+    unsigned long long value = std::strtoull(p, &end, 10);
+    if (end == p) break;
+    values.push_back(static_cast<size_t>(value));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return values;
+}
+
+// Runs `fn` `repeats` times and returns the best wall-clock seconds.
+// Best-of-N (not mean) because scheduling noise only ever adds time.
+inline double BestSeconds(size_t repeats, const std::function<void()>& fn) {
+  double best = 0.0;
+  for (size_t r = 0; r < repeats; ++r) {
+    Stopwatch timer;
+    fn();
+    double elapsed = timer.ElapsedSeconds();
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+// Accumulates (case, best ms, note) rows and prints one table. The
+// `repeats` knob applies to every case added through Run.
+class PerfTable {
+ public:
+  PerfTable(std::string title, size_t repeats)
+      : table_(std::move(title)), repeats_(repeats) {
+    table_.SetHeader({"case", "best ms", "note"});
+  }
+
+  // Times `fn` and records a row; `note` carries the case's size/label
+  // (edges, pairs, ...), often produced by the run itself.
+  void Run(const std::string& name, const std::function<std::string()>& fn) {
+    std::string note;
+    double best = BestSeconds(repeats_, [&] { note = fn(); });
+    table_.AddRow({name, FormatDouble(best * 1e3, 2), note});
+  }
+
+  void Print() { table_.Print(); }
+
+ private:
+  TablePrinter table_;
+  size_t repeats_;
+};
+
+}  // namespace bench
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_BENCH_PERF_HARNESS_H_

@@ -12,7 +12,7 @@
 #include "core/pearson.h"
 #include "core/sample_graphs.h"
 #include "graph/graph_builder.h"
-#include "rewrite/rewriter.h"
+#include "rewrite/rewrite_service.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -90,21 +90,28 @@ int main() {
               "weights degenerate its correlations).\n\n",
               pearson.num_pairs());
 
-  // 4. Rewrites for "camera" via the front-end pipeline (no bid filter in
-  //    this toy example).
+  // 4. Rewrites for "camera" via the serving façade: the builder picks
+  //    the engine from the registry by name, runs it, and produces an
+  //    immutable RewriteService (no bid filter in this toy example).
   SimRankOptions options;
   options.variant = SimRankVariant::kWeighted;
   options.iterations = 25;
-  DenseSimRankEngine engine(options);
-  (void)engine.Run(graph);
   RewritePipelineOptions pipeline;
   pipeline.apply_bid_filter = false;
-  QueryRewriter rewriter("weighted Simrank", &graph,
-                         engine.ExportQueryScores(1e-9), nullptr, pipeline);
-  auto rewrites = rewriter.RewritesFor("camera");
+  auto service = RewriteServiceBuilder()
+                     .WithGraph(&graph)
+                     .WithEngine("dense", options)
+                     .WithMinScore(1e-9)
+                     .WithPipelineOptions(pipeline)
+                     .Build();
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
+  auto rewrites = (*service)->TopK("camera", 5);
   if (rewrites.ok()) {
     std::printf("Top rewrites for \"camera\" (%s):\n",
-                rewriter.method_name().c_str());
+                (*service)->Stats().method_name.c_str());
     for (const RewriteCandidate& rewrite : *rewrites) {
       std::printf("  %-16s score %.3f\n", rewrite.text.c_str(),
                   rewrite.score);

@@ -1,14 +1,14 @@
 // Sponsored-search front-end demo (the Figure 2 architecture): generate a
-// synthetic click log, compute weighted SimRank similarities, and serve
-// query rewrites against a bid database — then show, for a handful of
-// live queries, the rewrites and which of them carry active bids.
+// synthetic click log, build a RewriteService that computes weighted
+// SimRank through the engine registry, and serve query rewrites against a
+// bid database — then show, for a handful of live queries, the rewrites
+// and which of them carry active bids.
 //
 //   ./build/examples/example_sponsored_search
 //   (configure with -DSIMRANKPP_BUILD_EXAMPLES=ON)
 #include <cstdio>
 
-#include "core/simrank_engine.h"
-#include "rewrite/rewriter.h"
+#include "rewrite/rewrite_service.h"
 #include "synth/bid_generator.h"
 #include "synth/click_graph_generator.h"
 #include "synth/workload.h"
@@ -40,26 +40,29 @@ int main() {
   BidDatabase bids(GenerateBidSet(world, BidGeneratorOptions{}));
   std::printf("bid database: %zu bid terms\n", bids.size());
 
-  // 3. Weighted SimRank over the click graph (the paper's best method).
+  // 3-4. The serving front-end: one builder assembles the engine (picked
+  // from the registry by name), the bid database, and the pipeline into
+  // an immutable, thread-safe service.
   SimRankOptions options;
   options.variant = SimRankVariant::kWeighted;
   options.iterations = 7;
   options.prune_threshold = 1e-5;
   options.num_threads = 0;
-  auto engine_result = CreateSimRankEngine(EngineKind::kSparse, options);
-  if (!engine_result.ok()) return 1;
-  std::unique_ptr<SimRankEngine> engine = std::move(engine_result).value();
   timer.Reset();
-  if (Status status = engine->Run(world.graph); !status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  auto service_result = RewriteServiceBuilder()
+                            .WithGraph(&world.graph)
+                            .WithEngine("sparse", options)
+                            .WithMinScore(1e-5)
+                            .WithBidDatabase(&bids)
+                            .WithPipelineOptions(RewritePipelineOptions{})
+                            .Build();
+  if (!service_result.ok()) {
+    std::fprintf(stderr, "%s\n", service_result.status().ToString().c_str());
     return 1;
   }
-  std::printf("weighted Simrank: %s\n", engine->stats().ToString().c_str());
-
-  // 4. The serving front-end.
-  QueryRewriter rewriter("weighted Simrank", &world.graph,
-                         engine->ExportQueryScores(1e-5), &bids,
-                         RewritePipelineOptions{});
+  RewriteService& service = **service_result;
+  std::printf("weighted Simrank: %s\n",
+              service.Stats().engine_stats.ToString().c_str());
 
   // 5. Rewrite a few live-traffic queries.
   WorkloadOptions workload;
@@ -72,7 +75,7 @@ int main() {
   size_t shown = 0;
   std::printf("\nincoming query -> rewrites (all carry active bids):\n");
   for (const std::string& query : live) {
-    auto rewrites = rewriter.RewritesFor(query);
+    auto rewrites = service.TopK(query, 5);
     if (!rewrites.ok() || rewrites->empty()) continue;
     std::printf("  %-28s ->", query.c_str());
     for (const RewriteCandidate& rewrite : *rewrites) {
@@ -82,15 +85,24 @@ int main() {
     if (++shown == 8) break;
   }
 
-  // 6. Coverage over the whole live sample.
-  size_t covered = 0;
+  // 6. Coverage over the whole live sample, served as one batch on the
+  // shared thread pool.
+  std::vector<QueryId> live_ids;
+  live_ids.reserve(live.size());
   for (const std::string& query : live) {
-    auto rewrites = rewriter.RewritesFor(query);
-    if (rewrites.ok() && !rewrites->empty()) ++covered;
+    if (auto q = world.graph.FindQuery(query); q.has_value()) {
+      live_ids.push_back(*q);
+    }
+  }
+  auto batched = service.TopKBatch(live_ids, 5);
+  size_t covered = 0;
+  for (const auto& rewrites : batched) {
+    if (!rewrites.empty()) ++covered;
   }
   std::printf(
       "\ncoverage: %zu of %zu live queries in the click graph received at "
       "least one\nbid-backed rewrite.\n",
-      covered, live.size());
+      covered, live_ids.size());
+  std::printf("service: %s\n", service.Stats().ToString().c_str());
   return 0;
 }

@@ -60,12 +60,16 @@ Status DenseSimRankEngine::Run(const BipartiteGraph& graph) {
 
   stats_ = SimRankStats();
   size_t threads = ResolveThreadCount(options_.num_threads);
-  stats_.threads_used = threads;
-  // One pool for the whole run: spawning threads per iteration would cost
-  // more than the row updates themselves on small graphs.
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-  pool_ = pool.get();
+  // Borrow the process-wide pool for the whole run, capped at `threads`
+  // participants: spawning threads per Run would cost more than the row
+  // updates themselves on small graphs, and a service computing several
+  // engines concurrently keeps one fixed set of workers. threads_used
+  // reports what can actually participate: the caller plus at most the
+  // pool's workers, never more than the request.
+  max_participants_ = threads;
+  pool_ = threads > 1 ? &SharedThreadPool() : nullptr;
+  stats_.threads_used =
+      pool_ == nullptr ? 1 : std::min(threads, pool_->num_threads() + 1);
   for (size_t iter = 0; iter < options_.iterations; ++iter) {
     double delta = IterateOnce(graph);
     stats_.last_delta = delta;
@@ -257,10 +261,10 @@ double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph) {
     compute_query_rows(0, nq_);
     compute_ad_rows(0, na_);
   } else {
-    pool_->ParallelFor(nq_, compute_t_rows);
-    pool_->ParallelFor(na_, compute_u_rows);
-    pool_->ParallelFor(nq_, compute_query_rows);
-    pool_->ParallelFor(na_, compute_ad_rows);
+    pool_->ParallelFor(nq_, compute_t_rows, max_participants_);
+    pool_->ParallelFor(na_, compute_u_rows, max_participants_);
+    pool_->ParallelFor(nq_, compute_query_rows, max_participants_);
+    pool_->ParallelFor(na_, compute_ad_rows, max_participants_);
   }
 
   query_scores_ = std::move(new_query);

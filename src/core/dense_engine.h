@@ -43,9 +43,10 @@ class DenseSimRankEngine : public SimRankEngine {
   SimRankOptions options_;
   SimRankStats stats_;
   const BipartiteGraph* graph_ = nullptr;
-  // Worker pool for the row-partitioned updates; owned by Run() and alive
-  // across all iterations, null when running single-threaded.
+  // The process-wide shared pool, borrowed for the duration of Run() with
+  // at most max_participants_ threads; null when running single-threaded.
   ThreadPool* pool_ = nullptr;
+  size_t max_participants_ = 0;
 
   size_t nq_ = 0;
   size_t na_ = 0;

@@ -51,15 +51,9 @@ class SimRankEngine {
   virtual const SimRankOptions& options() const = 0;
 };
 
-/// \brief Which engine implementation to instantiate.
-enum class EngineKind {
-  kDense,
-  kSparse,
-};
-
-/// \brief Creates an engine. Returns an error for invalid options.
-Result<std::unique_ptr<SimRankEngine>> CreateSimRankEngine(
-    EngineKind kind, const SimRankOptions& options);
+// Engine instantiation is name-based: see core/engine_registry.h for
+// CreateSimRankEngine("dense" | "sparse" | ..., options) and for
+// registering new implementations without touching this header.
 
 }  // namespace simrankpp
 

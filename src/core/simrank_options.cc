@@ -26,16 +26,20 @@ Status SimRankOptions::Validate() const {
         StringPrintf("C2 must be in (0, 1], got %f", c2));
   }
   if (iterations == 0) {
-    return Status::InvalidArgument("iterations must be positive");
+    return Status::InvalidArgument("iterations must be positive, got 0");
   }
   if (convergence_epsilon < 0.0) {
-    return Status::InvalidArgument("convergence_epsilon must be >= 0");
+    return Status::InvalidArgument(StringPrintf(
+        "convergence_epsilon must be >= 0, got %f", convergence_epsilon));
   }
   if (zero_evidence_floor < 0.0 || zero_evidence_floor > 1.0) {
-    return Status::InvalidArgument("zero_evidence_floor must be in [0, 1]");
+    return Status::InvalidArgument(StringPrintf(
+        "zero_evidence_floor must be in [0, 1], got %f",
+        zero_evidence_floor));
   }
   if (prune_threshold < 0.0) {
-    return Status::InvalidArgument("prune_threshold must be >= 0");
+    return Status::InvalidArgument(StringPrintf(
+        "prune_threshold must be >= 0, got %f", prune_threshold));
   }
   return Status::OK();
 }

@@ -68,10 +68,12 @@ struct SimRankOptions {
   size_t max_partners_per_node = 1000;
 
   /// Worker threads for the iteration loops (0 = hardware concurrency,
-  /// 1 = single-threaded). Both engines shard work deterministically —
-  /// the partition never depends on the thread count and per-shard
-  /// results are merged in a fixed order — so exported scores are
-  /// bit-identical for every value of this knob.
+  /// 1 = single-threaded). Engines borrow the process-wide shared pool
+  /// (SharedThreadPool) capped at this many participating threads rather
+  /// than constructing their own. Both engines shard work
+  /// deterministically — the partition never depends on the thread count
+  /// and per-shard results are merged in a fixed order — so exported
+  /// scores are bit-identical for every value of this knob.
   size_t num_threads = 1;
 
   /// \brief Validates ranges (decays in (0,1], thresholds >= 0, ...).
@@ -86,8 +88,10 @@ struct SimRankStats {
   /// Stored query-query / ad-ad pairs after pruning.
   size_t query_pairs = 0;
   size_t ad_pairs = 0;
-  /// Worker threads the run actually used (num_threads resolved against
-  /// hardware concurrency).
+  /// Threads that actually participated in the run: the resolved
+  /// num_threads request, clamped to the shared pool's workers plus the
+  /// calling thread (requests beyond hardware concurrency cannot
+  /// oversubscribe the shared pool).
   size_t threads_used = 0;
   double elapsed_seconds = 0.0;
 

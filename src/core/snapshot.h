@@ -1,0 +1,65 @@
+/// @file snapshot.h
+/// @brief Binary snapshot format for SimilarityMatrix.
+///
+/// A snapshot separates the offline SimRank computation from the serving
+/// path (the paper's Figure 2 split): `compute` writes the finalized
+/// query-query scores to disk, and a serving process reloads them into a
+/// RewriteService without re-running any engine. The format is versioned,
+/// checksummed, and byte-deterministic — the same matrix always serializes
+/// to the same bytes, and a round trip reproduces every score
+/// bit-for-bit. See docs/SNAPSHOT_FORMAT.md for the exact layout.
+#ifndef SIMRANKPP_CORE_SNAPSHOT_H_
+#define SIMRANKPP_CORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/similarity_matrix.h"
+#include "util/status.h"
+
+namespace simrankpp {
+
+/// \brief Current writer version. Readers accept exactly this version and
+/// reject anything else with a clear error (the format carries no
+/// compatibility shims yet).
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// \brief Header fields of a snapshot file, readable without trusting the
+/// payload (ReadSnapshotInfo still verifies the checksum).
+struct SnapshotInfo {
+  uint32_t version = 0;
+  /// The similarity method that produced the scores ("weighted Simrank",
+  /// "Pearson", ...), as recorded by the writer.
+  std::string method_name;
+  uint64_t num_nodes = 0;
+  uint64_t num_pairs = 0;
+  /// FNV-1a 64 over everything before the trailing checksum field.
+  uint64_t checksum = 0;
+  uint64_t file_bytes = 0;
+};
+
+/// \brief A loaded snapshot: the method label plus the scores.
+struct SimilaritySnapshot {
+  std::string method_name;
+  SimilarityMatrix matrix;
+};
+
+/// \brief Writes `matrix` (with its producing method's name) to `path`.
+/// The stored pair order is canonical (ascending node-pair key), so equal
+/// matrices produce identical files. IOError on filesystem failures.
+Status SaveSnapshot(const SimilarityMatrix& matrix,
+                    const std::string& method_name, const std::string& path);
+
+/// \brief Reads a snapshot back. The returned matrix is not finalized
+/// (call Finalize() before TopK). Fails with a descriptive Status — never
+/// crashes — on missing files (IOError), foreign or truncated files,
+/// version mismatches, and checksum failures (InvalidArgument).
+Result<SimilaritySnapshot> LoadSnapshot(const std::string& path);
+
+/// \brief Reads and verifies the header + checksum only (the pair payload
+/// is scanned for the checksum but not materialized into a matrix).
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_SNAPSHOT_H_

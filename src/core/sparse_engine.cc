@@ -44,11 +44,15 @@ Status SparseSimRankEngine::Run(const BipartiteGraph& graph) {
 
   stats_ = SimRankStats();
   size_t threads = ResolveThreadCount(options_.num_threads);
-  stats_.threads_used = threads;
-  // One pool for the whole run; UpdateSide shards across it.
-  std::unique_ptr<ThreadPool> pool;
-  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
-  pool_ = pool.get();
+  // Borrow the process-wide pool (capped at `threads` participants) for
+  // the whole run; UpdateSide shards across it. Concurrent Runs share the
+  // same workers without observing each other's batches. threads_used
+  // reports what can actually participate: the caller plus at most the
+  // pool's workers, never more than the request.
+  max_participants_ = threads;
+  pool_ = threads > 1 ? &SharedThreadPool() : nullptr;
+  stats_.threads_used =
+      pool_ == nullptr ? 1 : std::min(threads, pool_->num_threads() + 1);
   for (size_t iter = 0; iter < options_.iterations; ++iter) {
     // Jacobi: both sides update from the previous iteration's maps.
     Adjacency ad_adjacency = BuildAdjacency(ad_scores_, graph.num_ads());
@@ -193,7 +197,7 @@ SparseSimRankEngine::PairMap SparseSimRankEngine::UpdateSide(
   if (pool_ == nullptr) {
     ThreadPool::SerialForChunked(n, num_chunks, run_chunk);
   } else {
-    pool_->ParallelForChunked(n, num_chunks, run_chunk);
+    pool_->ParallelForChunked(n, num_chunks, run_chunk, max_participants_);
   }
 
   PairMap result;

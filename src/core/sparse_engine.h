@@ -70,9 +70,10 @@ class SparseSimRankEngine : public SimRankEngine {
   SimRankOptions options_;
   SimRankStats stats_;
   const BipartiteGraph* graph_ = nullptr;
-  // Worker pool for sharded candidate generation; owned by Run() and
-  // alive across all iterations, null when running single-threaded.
+  // The process-wide shared pool, borrowed for the duration of Run() with
+  // at most max_participants_ threads; null when running single-threaded.
   ThreadPool* pool_ = nullptr;
+  size_t max_participants_ = 0;
   PairMap query_scores_;
   PairMap ad_scores_;
   std::vector<double> w_q2a_;

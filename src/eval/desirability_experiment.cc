@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/desirability.h"
+#include "core/engine_registry.h"
 #include "graph/graph_builder.h"
 #include "util/random.h"
 

@@ -37,9 +37,10 @@ struct DesirabilityExperimentOptions {
   /// whose similarities are identically zero.
   size_t max_path_hops = 10;
   /// Engine + SimRank parameters shared by all three variants (the
-  /// variant field itself is overridden per method).
+  /// variant field itself is overridden per method). The engine is
+  /// selected by registry name (core/engine_registry.h).
   SimRankOptions simrank;
-  EngineKind engine = EngineKind::kSparse;
+  std::string engine = "sparse";
   uint64_t seed = 123;
 };
 

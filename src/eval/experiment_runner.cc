@@ -3,7 +3,7 @@
 #include "core/pearson.h"
 #include "eval/editorial_oracle.h"
 #include "graph/graph_builder.h"
-#include "rewrite/rewriter.h"
+#include "rewrite/rewrite_service.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -37,16 +37,15 @@ ExperimentConfig::ExperimentConfig() {
 
 namespace {
 
+// Serves every evaluation query against a built RewriteService and grades
+// the rewrites. The service's configured pipeline depth applies
+// (RewritesFor semantics == TopK at max_rewrites).
 Result<MethodReport> BuildReport(
-    const std::string& method_name, const BipartiteGraph& dataset,
-    SimilarityMatrix similarities, const BidDatabase& bids,
-    const RewritePipelineOptions& pipeline,
+    const RewriteService& service, size_t depth,
     const std::vector<std::string>& eval_queries,
     const EditorialOracle& oracle) {
-  QueryRewriter rewriter(method_name, &dataset, std::move(similarities),
-                         &bids, pipeline);
   MethodReport report;
-  report.method = method_name;
+  report.method = service.Stats().method_name;
   report.results.reserve(eval_queries.size());
   for (const std::string& query : eval_queries) {
     QueryRewriteResult result;
@@ -54,7 +53,7 @@ Result<MethodReport> BuildReport(
     // Every eval query is in the dataset by construction of the workload
     // filter, so a lookup failure is a programming error.
     SRPP_ASSIGN_OR_RETURN(std::vector<RewriteCandidate> rewrites,
-                          rewriter.RewritesFor(query));
+                          service.TopK(query, depth));
     for (const RewriteCandidate& candidate : rewrites) {
       GradedRewrite graded;
       graded.text = candidate.text;
@@ -110,13 +109,21 @@ Result<ExperimentOutcome> RunRewritingExperiment(
 
   EditorialOracle oracle(&outcome.world);
 
-  // 4. The four methods.
+  // 4. The four methods, each behind a RewriteService built for it.
   if (config.include_pearson) {
     SRPP_ASSIGN_OR_RETURN(
+        std::unique_ptr<RewriteService> service,
+        RewriteServiceBuilder()
+            .WithGraph(&outcome.dataset)
+            .WithSimilarities(ComputePearsonSimilarities(outcome.dataset),
+                              "Pearson")
+            .WithBidDatabase(&bids)
+            .WithPipelineOptions(config.pipeline)
+            .Build());
+    SRPP_ASSIGN_OR_RETURN(
         MethodReport report,
-        BuildReport("Pearson", outcome.dataset,
-                    ComputePearsonSimilarities(outcome.dataset), bids,
-                    config.pipeline, outcome.eval_queries, oracle));
+        BuildReport(*service, config.pipeline.max_rewrites,
+                    outcome.eval_queries, oracle));
     outcome.reports.push_back(std::move(report));
   }
 
@@ -132,16 +139,20 @@ Result<ExperimentOutcome> RunRewritingExperiment(
       // prune proportionally lower to retain the same effective depth.
       engine_options.prune_threshold = config.simrank.prune_threshold * 0.1;
     }
-    SRPP_ASSIGN_OR_RETURN(std::unique_ptr<SimRankEngine> engine,
-                          CreateSimRankEngine(config.engine, engine_options));
-    SRPP_RETURN_NOT_OK(engine->Run(outcome.dataset));
+    SRPP_ASSIGN_OR_RETURN(std::unique_ptr<RewriteService> service,
+                          RewriteServiceBuilder()
+                              .WithGraph(&outcome.dataset)
+                              .WithEngine(config.engine, engine_options)
+                              .WithMinScore(config.min_export_score)
+                              .WithBidDatabase(&bids)
+                              .WithPipelineOptions(config.pipeline)
+                              .Build());
     SRPP_LOG_INFO << SimRankVariantName(variant) << ": "
-                  << engine->stats().ToString();
+                  << service->Stats().engine_stats.ToString();
     SRPP_ASSIGN_OR_RETURN(
         MethodReport report,
-        BuildReport(SimRankVariantName(variant), outcome.dataset,
-                    engine->ExportQueryScores(config.min_export_score), bids,
-                    config.pipeline, outcome.eval_queries, oracle));
+        BuildReport(*service, config.pipeline.max_rewrites,
+                    outcome.eval_queries, oracle));
     outcome.reports.push_back(std::move(report));
   }
 

@@ -32,9 +32,10 @@ struct ExperimentConfig {
   BidGeneratorOptions bids;
   WorkloadOptions workload;
 
-  /// Engine parameters; the variant field is overridden per method.
+  /// Engine parameters; the variant field is overridden per method. The
+  /// engine is selected by registry name (core/engine_registry.h).
   SimRankOptions simrank;
-  EngineKind engine = EngineKind::kSparse;
+  std::string engine = "sparse";
   RewritePipelineOptions pipeline;
 
   /// Scores below this are not materialized into rewriter input.

@@ -1,0 +1,177 @@
+#include "rewrite/rewrite_service.h"
+
+#include <utility>
+
+#include "core/engine_registry.h"
+#include "core/snapshot.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace simrankpp {
+
+std::string RewriteServiceStats::ToString() const {
+  return StringPrintf(
+      "method=\"%s\" source=%s%s%s queries=%zu pairs=%zu served=%llu",
+      method_name.c_str(), source.c_str(),
+      engine_name.empty() ? "" : " engine=", engine_name.c_str(),
+      num_queries, similarity_pairs,
+      static_cast<unsigned long long>(queries_served));
+}
+
+RewriteService::RewriteService(const BipartiteGraph* graph,
+                               QueryRewriter rewriter,
+                               RewriteServiceStats base_stats)
+    : graph_(graph),
+      rewriter_(std::move(rewriter)),
+      base_stats_(std::move(base_stats)) {}
+
+std::vector<RewriteCandidate> RewriteService::TopK(QueryId query,
+                                                   size_t k) const {
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return rewriter_.TopK(query, k);
+}
+
+Result<std::vector<RewriteCandidate>> RewriteService::TopK(
+    std::string_view query_text, size_t k) const {
+  std::optional<QueryId> q = graph_->FindQuery(std::string(query_text));
+  if (!q.has_value()) {
+    return Status::NotFound("query not present in the click graph: " +
+                            std::string(query_text));
+  }
+  return TopK(*q, k);
+}
+
+std::vector<std::vector<RewriteCandidate>> RewriteService::TopKBatch(
+    std::span<const QueryId> queries, size_t k) const {
+  std::vector<std::vector<RewriteCandidate>> results(queries.size());
+  // Each slot is written by exactly one task, so the batch output is
+  // position-identical to a serial loop regardless of scheduling.
+  SharedThreadPool().ParallelFor(
+      queries.size(), [this, &queries, &results, k](size_t begin,
+                                                    size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          results[i] = rewriter_.TopK(queries[i], k);
+        }
+      });
+  queries_served_.fetch_add(queries.size(), std::memory_order_relaxed);
+  return results;
+}
+
+RewriteServiceStats RewriteService::Stats() const {
+  RewriteServiceStats stats = base_stats_;
+  stats.queries_served = queries_served_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Status RewriteService::SaveSnapshot(const std::string& path) const {
+  return simrankpp::SaveSnapshot(rewriter_.similarities(),
+                                 base_stats_.method_name, path);
+}
+
+RewriteServiceBuilder& RewriteServiceBuilder::WithGraph(
+    const BipartiteGraph* graph) {
+  graph_ = graph;
+  return *this;
+}
+
+RewriteServiceBuilder& RewriteServiceBuilder::WithEngine(
+    std::string engine_name, SimRankOptions options) {
+  engine_name_ = std::move(engine_name);
+  engine_options_ = options;
+  return *this;
+}
+
+RewriteServiceBuilder& RewriteServiceBuilder::WithSnapshot(std::string path) {
+  snapshot_path_ = std::move(path);
+  return *this;
+}
+
+RewriteServiceBuilder& RewriteServiceBuilder::WithSimilarities(
+    SimilarityMatrix similarities, std::string method_name) {
+  similarities_ = std::move(similarities);
+  method_name_ = std::move(method_name);
+  return *this;
+}
+
+RewriteServiceBuilder& RewriteServiceBuilder::WithBidDatabase(
+    const BidDatabase* bids) {
+  bids_ = bids;
+  return *this;
+}
+
+RewriteServiceBuilder& RewriteServiceBuilder::WithPipelineOptions(
+    RewritePipelineOptions options) {
+  pipeline_ = options;
+  return *this;
+}
+
+RewriteServiceBuilder& RewriteServiceBuilder::WithMinScore(double min_score) {
+  min_score_ = min_score;
+  return *this;
+}
+
+Result<std::unique_ptr<RewriteService>> RewriteServiceBuilder::Build() {
+  if (graph_ == nullptr) {
+    return Status::InvalidArgument(
+        "RewriteServiceBuilder: a graph is required (WithGraph)");
+  }
+  int sources = (engine_name_.has_value() ? 1 : 0) +
+                (snapshot_path_.has_value() ? 1 : 0) +
+                (similarities_.has_value() ? 1 : 0);
+  if (sources != 1) {
+    return Status::InvalidArgument(StringPrintf(
+        "RewriteServiceBuilder: exactly one score source is required "
+        "(WithEngine / WithSnapshot / WithSimilarities), got %d",
+        sources));
+  }
+
+  RewriteServiceStats stats;
+  stats.num_queries = graph_->num_queries();
+
+  SimilarityMatrix scores;
+  if (engine_name_.has_value()) {
+    SRPP_ASSIGN_OR_RETURN(
+        std::unique_ptr<SimRankEngine> engine,
+        CreateSimRankEngine(*engine_name_, engine_options_));
+    SRPP_RETURN_NOT_OK(engine->Run(*graph_));
+    scores = engine->ExportQueryScores(min_score_);
+    stats.source = "engine";
+    stats.engine_name = *engine_name_;
+    stats.engine_stats = engine->stats();
+    stats.method_name = SimRankVariantName(engine_options_.variant);
+  } else if (snapshot_path_.has_value()) {
+    SRPP_ASSIGN_OR_RETURN(SimilaritySnapshot snapshot,
+                          LoadSnapshot(*snapshot_path_));
+    if (snapshot.matrix.num_nodes() != graph_->num_queries()) {
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot %s covers %zu nodes but the graph has %zu queries — "
+          "it was computed on a different graph",
+          snapshot_path_->c_str(), snapshot.matrix.num_nodes(),
+          graph_->num_queries()));
+    }
+    scores = std::move(snapshot.matrix);
+    stats.source = "snapshot";
+    stats.method_name = std::move(snapshot.method_name);
+  } else {
+    if (similarities_->num_nodes() != graph_->num_queries()) {
+      return Status::InvalidArgument(StringPrintf(
+          "similarity matrix covers %zu nodes but the graph has %zu "
+          "queries",
+          similarities_->num_nodes(), graph_->num_queries()));
+    }
+    scores = std::move(*similarities_);
+    similarities_.reset();
+    stats.source = "matrix";
+    stats.method_name = method_name_;
+  }
+  stats.similarity_pairs = scores.num_pairs();
+
+  // QueryRewriter finalizes the matrix; after Build() every lookup path
+  // reads immutable state only.
+  QueryRewriter rewriter(stats.method_name, graph_, std::move(scores), bids_,
+                         pipeline_);
+  return std::unique_ptr<RewriteService>(new RewriteService(
+      graph_, std::move(rewriter), std::move(stats)));
+}
+
+}  // namespace simrankpp

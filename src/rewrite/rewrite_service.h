@@ -1,0 +1,147 @@
+/// @file rewrite_service.h
+/// @brief The serving-layer façade: one object that answers "rewrites for
+/// q" at serving time (the query-rewriting front-end of the paper's
+/// Figure 2).
+///
+/// A RewriteService is built once — from an engine run, a precomputed
+/// similarity matrix, or a snapshot file written by an earlier process —
+/// and then serves lookups from any number of threads. It composes the
+/// existing QueryRewriter/pipeline as a thin inner layer; what it adds is
+/// the assembly (engine registry + snapshot I/O + bid database + pipeline
+/// options behind one builder), batched retrieval on the process-wide
+/// shared thread pool, and serving statistics.
+#ifndef SIMRANKPP_REWRITE_REWRITE_SERVICE_H_
+#define SIMRANKPP_REWRITE_REWRITE_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/simrank_options.h"
+#include "graph/bipartite_graph.h"
+#include "rewrite/bid_database.h"
+#include "rewrite/rewriter.h"
+#include "util/status.h"
+
+namespace simrankpp {
+
+/// \brief A point-in-time view of a service's configuration and counters.
+struct RewriteServiceStats {
+  /// Similarity method behind the scores ("weighted Simrank", ...).
+  std::string method_name;
+  /// Registry name of the engine that computed the scores in-process;
+  /// empty when the scores came from a snapshot or a caller matrix.
+  std::string engine_name;
+  /// Where the scores came from: "engine", "snapshot", or "matrix".
+  std::string source;
+  size_t num_queries = 0;
+  size_t similarity_pairs = 0;
+  /// Engine diagnostics when source == "engine"; default elsewhere.
+  SimRankStats engine_stats;
+  /// Queries answered so far via TopK/TopKBatch (monotonic).
+  uint64_t queries_served = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Immutable, thread-safe query-rewriting service.
+///
+/// All lookup state (graph pointer, finalized scores, bid set, pipeline
+/// options) is fixed at Build() time; concurrent TopK/TopKBatch calls
+/// never mutate anything but the served-queries counter.
+class RewriteService {
+ public:
+  /// \brief Top-k rewrites for a query node, best first. Runs the full
+  /// selection pipeline (dedup, bid filter, score floor) with the depth
+  /// overridden to k; returns fewer than k when fewer candidates survive
+  /// and an empty list for an out-of-range id.
+  std::vector<RewriteCandidate> TopK(QueryId query, size_t k) const;
+
+  /// \brief Top-k rewrites for a query by text. NotFound when the query
+  /// never appeared in the click graph.
+  Result<std::vector<RewriteCandidate>> TopK(std::string_view query_text,
+                                             size_t k) const;
+
+  /// \brief TopK for a batch of queries, parallelized on the process-wide
+  /// shared thread pool. results[i] corresponds to queries[i]; the output
+  /// is identical to calling TopK per query in order.
+  std::vector<std::vector<RewriteCandidate>> TopKBatch(
+      std::span<const QueryId> queries, size_t k) const;
+
+  /// \brief Current configuration + serving counters.
+  RewriteServiceStats Stats() const;
+
+  /// \brief Writes the service's similarity scores as a snapshot that a
+  /// fresh process can load into an identical service.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// \brief The inner rewriter (fixed pipeline depth, direct access to
+  /// the similarity matrix).
+  const QueryRewriter& rewriter() const { return rewriter_; }
+
+  const BipartiteGraph& graph() const { return *graph_; }
+
+ private:
+  friend class RewriteServiceBuilder;
+
+  RewriteService(const BipartiteGraph* graph, QueryRewriter rewriter,
+                 RewriteServiceStats base_stats);
+
+  const BipartiteGraph* graph_;
+  QueryRewriter rewriter_;
+  RewriteServiceStats base_stats_;
+  mutable std::atomic<uint64_t> queries_served_{0};
+};
+
+/// \brief Assembles a RewriteService from a graph, a score source, and
+/// the serving configuration.
+///
+/// Exactly one score source must be set:
+///  - WithEngine(name, options): create the engine through the registry,
+///    Run it on the graph, and export query scores (offline + serving in
+///    one process);
+///  - WithSnapshot(path): load scores computed by an earlier process;
+///  - WithSimilarities(matrix, method): adopt caller-computed scores
+///    (e.g. the Pearson baseline).
+/// The graph must be set and must outlive the service, as must the bid
+/// database when one is provided.
+class RewriteServiceBuilder {
+ public:
+  RewriteServiceBuilder& WithGraph(const BipartiteGraph* graph);
+  RewriteServiceBuilder& WithEngine(std::string engine_name,
+                                    SimRankOptions options);
+  RewriteServiceBuilder& WithSnapshot(std::string path);
+  RewriteServiceBuilder& WithSimilarities(SimilarityMatrix similarities,
+                                          std::string method_name);
+  /// \param bids may be null (disables the bid filter).
+  RewriteServiceBuilder& WithBidDatabase(const BidDatabase* bids);
+  RewriteServiceBuilder& WithPipelineOptions(RewritePipelineOptions options);
+  /// \brief Engine scores below this are not materialized (engine source
+  /// only; default 1e-6).
+  RewriteServiceBuilder& WithMinScore(double min_score);
+
+  /// \brief Validates the configuration, runs the engine or loads the
+  /// snapshot as configured, and produces the immutable service.
+  /// InvalidArgument on a missing graph, zero or multiple score sources,
+  /// or a snapshot whose node count does not match the graph.
+  Result<std::unique_ptr<RewriteService>> Build();
+
+ private:
+  const BipartiteGraph* graph_ = nullptr;
+  std::optional<std::string> engine_name_;
+  SimRankOptions engine_options_;
+  std::optional<std::string> snapshot_path_;
+  std::optional<SimilarityMatrix> similarities_;
+  std::string method_name_;
+  const BidDatabase* bids_ = nullptr;
+  RewritePipelineOptions pipeline_;
+  double min_score_ = 1e-6;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_REWRITE_REWRITE_SERVICE_H_

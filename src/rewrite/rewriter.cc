@@ -1,5 +1,7 @@
 #include "rewrite/rewriter.h"
 
+#include <algorithm>
+
 namespace simrankpp {
 
 QueryRewriter::QueryRewriter(std::string method_name,
@@ -27,6 +29,16 @@ Result<std::vector<RewriteCandidate>> QueryRewriter::RewritesFor(
                             std::string(query_text));
   }
   return RewritesFor(*q);
+}
+
+std::vector<RewriteCandidate> QueryRewriter::TopK(QueryId q, size_t k) const {
+  if (q >= graph_->num_queries() || k == 0) return {};
+  RewritePipelineOptions options = options_;
+  options.max_rewrites = k;
+  // Keep considering at least k candidates even when the configured
+  // recording depth is narrower than the requested k.
+  options.max_candidates = std::max(options.max_candidates, k);
+  return SelectRewrites(*graph_, similarities_, q, bids_, options);
 }
 
 }  // namespace simrankpp

@@ -34,6 +34,13 @@ class QueryRewriter {
   Result<std::vector<RewriteCandidate>> RewritesFor(
       std::string_view query_text) const;
 
+  /// \brief Like RewritesFor(q) but with the rewrite depth overridden to
+  /// `k` (the rest of the pipeline options apply unchanged). Returns
+  /// fewer than k when the pipeline keeps fewer candidates, and an empty
+  /// list for a query id outside the graph. Thread-safe: the pipeline
+  /// reads only finalized, immutable state.
+  std::vector<RewriteCandidate> TopK(QueryId q, size_t k) const;
+
   const std::string& method_name() const { return method_name_; }
   const SimilarityMatrix& similarities() const { return similarities_; }
   const RewritePipelineOptions& pipeline_options() const { return options_; }

@@ -88,7 +88,8 @@ bool ThreadPool::RunOneChunk(Batch& batch) {
 
 void ThreadPool::ParallelForChunked(
     size_t count, size_t num_chunks,
-    const std::function<void(size_t, size_t, size_t)>& fn) {
+    const std::function<void(size_t, size_t, size_t)>& fn,
+    size_t max_participants) {
   if (count == 0) return;
   ChunkPartition partition = MakePartition(count, num_chunks);
 
@@ -100,8 +101,13 @@ void ThreadPool::ParallelForChunked(
 
   // One helper task per worker that could usefully participate; each runs
   // chunks until the batch is drained. A helper that gets popped after the
-  // last chunk was claimed exits immediately.
+  // last chunk was claimed exits immediately. The submitting thread is a
+  // participant too, so a cap of N admits at most N-1 helpers (cap 1 runs
+  // the whole batch on the caller).
   size_t helpers = std::min(partition.num_chunks, threads_.size());
+  if (max_participants > 0) {
+    helpers = std::min(helpers, max_participants - 1);
+  }
   for (size_t i = 0; i < helpers; ++i) {
     Submit([batch] {
       while (RunOneChunk(*batch)) {
@@ -120,11 +126,17 @@ void ThreadPool::ParallelForChunked(
 }
 
 void ThreadPool::ParallelFor(size_t count,
-                             const std::function<void(size_t, size_t)>& fn) {
+                             const std::function<void(size_t, size_t)>& fn,
+                             size_t max_participants) {
   if (count == 0) return;
   std::function<void(size_t, size_t, size_t)> chunk_fn =
       [&fn](size_t, size_t begin, size_t end) { fn(begin, end); };
-  ParallelForChunked(count, threads_.size() * 4, chunk_fn);
+  // Chunk by the number of threads that can actually participate (the
+  // caller counts as one), so a capped batch on a wide shared pool does
+  // not pay per-chunk dispatch for parallelism it is not allowed to use.
+  size_t width = threads_.size() + 1;
+  if (max_participants > 0) width = std::min(width, max_participants);
+  ParallelForChunked(count, width * 4, chunk_fn, max_participants);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -146,6 +158,15 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty() && active_ == 0) all_idle_.notify_all();
     }
   }
+}
+
+ThreadPool& SharedThreadPool() {
+  // Constructed on first use, torn down at exit (the destructor drains the
+  // queue and joins the workers). Sized to hardware concurrency; callers
+  // that need less parallelism pass a max_participants cap instead of
+  // building a narrower pool.
+  static ThreadPool pool(0);
+  return pool;
 }
 
 }  // namespace simrankpp

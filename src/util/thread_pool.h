@@ -56,17 +56,25 @@ class ThreadPool {
   /// `fn(begin, end)` on the pool, blocking until all chunks finish.
   /// Safe to call concurrently from several threads and from inside a
   /// pool task (the submitting thread runs chunks while it waits).
-  void ParallelFor(size_t count, const std::function<void(size_t, size_t)>& fn);
+  ///
+  /// `max_participants` caps how many threads (including the caller) work
+  /// on this batch; 0 means no cap. It lets callers that were asked for a
+  /// specific parallelism (SimRankOptions::num_threads) borrow a wider
+  /// shared pool without exceeding their budget.
+  void ParallelFor(size_t count, const std::function<void(size_t, size_t)>& fn,
+                   size_t max_participants = 0);
 
   /// \brief Like ParallelFor but with a caller-chosen chunk count:
   /// runs `fn(chunk_index, begin, end)` for each of the `num_chunks`
   /// contiguous chunks of [0, count). Because the partition depends only
-  /// on (count, num_chunks) — never on the pool size — callers can shard
-  /// work into per-chunk buffers and merge them in chunk order for results
-  /// that are identical for any thread count.
+  /// on (count, num_chunks) — never on the pool size or on
+  /// `max_participants` — callers can shard work into per-chunk buffers
+  /// and merge them in chunk order for results that are identical for any
+  /// thread count.
   void ParallelForChunked(
       size_t count, size_t num_chunks,
-      const std::function<void(size_t, size_t, size_t)>& fn);
+      const std::function<void(size_t, size_t, size_t)>& fn,
+      size_t max_participants = 0);
 
   /// \brief Runs the exact chunk partition of ParallelForChunked serially
   /// on the calling thread, no pool involved. Single-threaded code paths
@@ -108,6 +116,16 @@ class ThreadPool {
   size_t active_ = 0;
   bool shutdown_ = false;
 };
+
+/// \brief The process-wide shared pool, sized to hardware concurrency and
+/// constructed on first use. Engines and the serving layer borrow this
+/// pool (with a `max_participants` cap where a caller was asked for a
+/// specific `num_threads`) instead of constructing one per Run, so a
+/// service computing several engines and answering batched lookups at the
+/// same time keeps one fixed set of worker threads. Safe to use from any
+/// thread; the per-batch latches in ParallelFor* keep concurrent callers
+/// from observing each other.
+ThreadPool& SharedThreadPool();
 
 }  // namespace simrankpp
 

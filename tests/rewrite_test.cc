@@ -169,6 +169,73 @@ TEST(PipelineTest, AuditReportsDropReasons) {
   EXPECT_STREQ(DropReasonName(audit[3].outcome), "beyond-depth");
 }
 
+TEST(RewriterTest, TextLookupNotFoundNamesTheQuery) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  SimilarityMatrix matrix(graph.num_queries());
+  QueryRewriter rewriter("test", &graph, std::move(matrix), nullptr, {});
+  auto missing = rewriter.RewritesFor("espresso machine");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  // The message must identify the query so a caller can log it usefully.
+  EXPECT_NE(missing.status().message().find("espresso machine"),
+            std::string::npos);
+}
+
+TEST(RewriterTest, EmptyBidDatabaseWithFilterOnDropsEverything) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  SimilarityMatrix matrix(graph.num_queries());
+  QueryId camera = *graph.FindQuery("camera");
+  matrix.Set(camera, *graph.FindQuery("digital camera"), 0.62);
+  matrix.Set(camera, *graph.FindQuery("tv"), 0.61);
+
+  BidDatabase empty_bids;
+  RewritePipelineOptions options;  // bid filter on by default
+  QueryRewriter rewriter("test", &graph, std::move(matrix), &empty_bids,
+                         options);
+  // No term has a bid, so the filter removes every candidate — empty
+  // result, not an error.
+  EXPECT_TRUE(rewriter.RewritesFor(camera).empty());
+  auto by_text = rewriter.RewritesFor("camera");
+  ASSERT_TRUE(by_text.ok());
+  EXPECT_TRUE(by_text->empty());
+}
+
+TEST(RewriterTest, NullBidDatabaseDisablesTheFilter) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  SimilarityMatrix matrix(graph.num_queries());
+  QueryId camera = *graph.FindQuery("camera");
+  matrix.Set(camera, *graph.FindQuery("tv"), 0.61);
+  // Filter requested but no database wired: the pipeline treats the
+  // filter as disabled rather than dropping everything.
+  QueryRewriter rewriter("test", &graph, std::move(matrix), nullptr, {});
+  EXPECT_EQ(rewriter.RewritesFor(camera).size(), 1u);
+}
+
+TEST(RewriterTest, TopKBeyondCandidateSetSaturates) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  SimilarityMatrix matrix(graph.num_queries());
+  QueryId camera = *graph.FindQuery("camera");
+  matrix.Set(camera, *graph.FindQuery("digital camera"), 0.62);
+  matrix.Set(camera, *graph.FindQuery("tv"), 0.61);
+  matrix.Set(camera, *graph.FindQuery("pc"), 0.60);
+
+  RewritePipelineOptions options;
+  options.apply_bid_filter = false;
+  options.max_rewrites = 2;  // TopK overrides this depth
+  QueryRewriter rewriter("test", &graph, std::move(matrix), nullptr,
+                         options);
+  EXPECT_EQ(rewriter.TopK(camera, 2).size(), 2u);
+  // k larger than the candidate set returns all three, exactly once.
+  std::vector<RewriteCandidate> all = rewriter.TopK(camera, 500);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].text, "digital camera");
+  EXPECT_EQ(rewriter.TopK(camera, 501), all);
+  // Degenerate inputs serve empty rather than crashing.
+  EXPECT_TRUE(rewriter.TopK(camera, 0).empty());
+  EXPECT_TRUE(
+      rewriter.TopK(static_cast<QueryId>(graph.num_queries()), 5).empty());
+}
+
 TEST(RewriterTest, EndToEndOnFigure3) {
   BipartiteGraph graph = MakeFigure3Graph();
   SimilarityMatrix matrix(graph.num_queries());

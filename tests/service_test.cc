@@ -1,0 +1,407 @@
+// RewriteService tests: builder validation, equivalence of the three
+// score sources, batched vs sequential retrieval, snapshot round trips
+// into an identical service, open engine registration (no core-header
+// edits), and thread safety of concurrent engine Runs + batched serving
+// on the shared pool.
+#include "rewrite/rewrite_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <thread>
+
+#include "core/engine_registry.h"
+#include "core/sample_graphs.h"
+#include "core/sparse_engine.h"
+#include "synth/click_graph_generator.h"
+#include "util/logging.h"
+
+namespace simrankpp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+BipartiteGraph SeededGraph(size_t num_queries = 300, uint64_t seed = 71) {
+  GeneratorOptions options;
+  options.num_queries = num_queries;
+  options.num_ads = num_queries / 3;
+  options.taxonomy.num_categories = 8;
+  options.taxonomy.subtopics_per_category = 6;
+  options.mean_impressions_per_query = 25.0;
+  options.seed = seed;
+  auto world = GenerateClickGraph(options);
+  SRPP_CHECK(world.ok());
+  return std::move(world)->graph;
+}
+
+SimRankOptions ServiceEngineOptions(size_t num_threads = 1) {
+  SimRankOptions options;
+  options.variant = SimRankVariant::kWeighted;
+  options.iterations = 5;
+  options.prune_threshold = 1e-6;
+  options.max_partners_per_node = 100;
+  options.num_threads = num_threads;
+  return options;
+}
+
+RewritePipelineOptions NoBidPipeline() {
+  RewritePipelineOptions pipeline;
+  pipeline.apply_bid_filter = false;
+  return pipeline;
+}
+
+// ------------------------------------------------------ builder validation
+
+TEST(RewriteServiceBuilderTest, RequiresAGraph) {
+  auto result = RewriteServiceBuilder()
+                    .WithSimilarities(SimilarityMatrix(3), "m")
+                    .Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("graph"), std::string::npos);
+}
+
+TEST(RewriteServiceBuilderTest, RequiresExactlyOneScoreSource) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  auto none = RewriteServiceBuilder().WithGraph(&graph).Build();
+  ASSERT_FALSE(none.ok());
+  EXPECT_EQ(none.status().code(), StatusCode::kInvalidArgument);
+
+  auto both = RewriteServiceBuilder()
+                  .WithGraph(&graph)
+                  .WithEngine("sparse", ServiceEngineOptions())
+                  .WithSimilarities(SimilarityMatrix(graph.num_queries()),
+                                    "m")
+                  .Build();
+  ASSERT_FALSE(both.ok());
+  EXPECT_EQ(both.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RewriteServiceBuilderTest, UnknownEngineNameSurfacesRegistryError) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  auto result = RewriteServiceBuilder()
+                    .WithGraph(&graph)
+                    .WithEngine("no-such-engine", ServiceEngineOptions())
+                    .Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RewriteServiceBuilderTest, InvalidEngineOptionsFailBuild) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  SimRankOptions bad = ServiceEngineOptions();
+  bad.iterations = 0;
+  auto result =
+      RewriteServiceBuilder().WithGraph(&graph).WithEngine("sparse", bad)
+          .Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RewriteServiceBuilderTest, RejectsMatrixSizedForADifferentGraph) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  auto result = RewriteServiceBuilder()
+                    .WithGraph(&graph)
+                    .WithSimilarities(
+                        SimilarityMatrix(graph.num_queries() + 3), "m")
+                    .Build();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------- serving
+
+TEST(RewriteServiceTest, EngineAndMatrixSourcesServeIdentically) {
+  BipartiteGraph graph = SeededGraph();
+  SimRankOptions options = ServiceEngineOptions();
+
+  auto engine_service = RewriteServiceBuilder()
+                            .WithGraph(&graph)
+                            .WithEngine("sparse", options)
+                            .WithMinScore(1e-6)
+                            .WithPipelineOptions(NoBidPipeline())
+                            .Build();
+  ASSERT_TRUE(engine_service.ok()) << engine_service.status().ToString();
+
+  SparseSimRankEngine engine(options);
+  ASSERT_TRUE(engine.Run(graph).ok());
+  auto matrix_service = RewriteServiceBuilder()
+                            .WithGraph(&graph)
+                            .WithSimilarities(engine.ExportQueryScores(1e-6),
+                                              "weighted Simrank")
+                            .WithPipelineOptions(NoBidPipeline())
+                            .Build();
+  ASSERT_TRUE(matrix_service.ok());
+
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    EXPECT_EQ((*engine_service)->TopK(q, 5), (*matrix_service)->TopK(q, 5))
+        << "query " << q;
+  }
+  EXPECT_EQ((*engine_service)->Stats().source, "engine");
+  EXPECT_EQ((*engine_service)->Stats().engine_name, "sparse");
+  EXPECT_GT((*engine_service)->Stats().engine_stats.iterations_run, 0u);
+  EXPECT_EQ((*matrix_service)->Stats().source, "matrix");
+}
+
+TEST(RewriteServiceTest, TextLookupMirrorsIdLookupAndReportsNotFound) {
+  BipartiteGraph graph = SeededGraph();
+  auto service = RewriteServiceBuilder()
+                     .WithGraph(&graph)
+                     .WithEngine("sparse", ServiceEngineOptions())
+                     .WithPipelineOptions(NoBidPipeline())
+                     .Build();
+  ASSERT_TRUE(service.ok());
+  const std::string& label = graph.query_label(0);
+  auto by_text = (*service)->TopK(label, 5);
+  ASSERT_TRUE(by_text.ok());
+  EXPECT_EQ(*by_text, (*service)->TopK(QueryId{0}, 5));
+
+  auto missing = (*service)->TopK("query text no generator can emit", 5);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RewriteServiceTest, OversizedKReturnsEveryCandidateOnce) {
+  BipartiteGraph graph = SeededGraph();
+  auto service = RewriteServiceBuilder()
+                     .WithGraph(&graph)
+                     .WithEngine("sparse", ServiceEngineOptions())
+                     .WithPipelineOptions(NoBidPipeline())
+                     .Build();
+  ASSERT_TRUE(service.ok());
+  // k far beyond any candidate set: results saturate and never repeat.
+  std::vector<RewriteCandidate> all = (*service)->TopK(QueryId{0}, 100000);
+  std::vector<RewriteCandidate> plus = (*service)->TopK(QueryId{0}, 100001);
+  EXPECT_EQ(all, plus);
+  EXPECT_LT(all.size(), graph.num_queries());
+  // Out-of-range ids and k == 0 serve empty, never crash.
+  EXPECT_TRUE(
+      (*service)->TopK(static_cast<QueryId>(graph.num_queries()), 5).empty());
+  EXPECT_TRUE((*service)->TopK(QueryId{0}, 0).empty());
+}
+
+TEST(RewriteServiceTest, BatchMatchesSequentialAndCountsServedQueries) {
+  BipartiteGraph graph = SeededGraph();
+  auto service_result = RewriteServiceBuilder()
+                            .WithGraph(&graph)
+                            .WithEngine("sparse", ServiceEngineOptions())
+                            .WithPipelineOptions(NoBidPipeline())
+                            .Build();
+  ASSERT_TRUE(service_result.ok());
+  RewriteService& service = **service_result;
+
+  std::vector<QueryId> queries(graph.num_queries());
+  std::iota(queries.begin(), queries.end(), 0u);
+  std::vector<std::vector<RewriteCandidate>> batched =
+      service.TopKBatch(queries, 4);
+  ASSERT_EQ(batched.size(), queries.size());
+  uint64_t after_batch = service.Stats().queries_served;
+  EXPECT_EQ(after_batch, queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i], service.TopK(queries[i], 4)) << "query " << i;
+  }
+  EXPECT_EQ(service.Stats().queries_served, after_batch + queries.size());
+}
+
+// ------------------------------------------------------ snapshot serving
+
+TEST(RewriteServiceTest, SnapshotRoundTripServesBitIdenticalResults) {
+  BipartiteGraph graph = SeededGraph();
+  std::string path = TempPath("service_round_trip.snap");
+  auto computed = RewriteServiceBuilder()
+                      .WithGraph(&graph)
+                      .WithEngine("sparse", ServiceEngineOptions())
+                      .WithPipelineOptions(NoBidPipeline())
+                      .Build();
+  ASSERT_TRUE(computed.ok());
+  ASSERT_TRUE((*computed)->SaveSnapshot(path).ok());
+
+  auto served = RewriteServiceBuilder()
+                    .WithGraph(&graph)
+                    .WithSnapshot(path)
+                    .WithPipelineOptions(NoBidPipeline())
+                    .Build();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ((*served)->Stats().source, "snapshot");
+  EXPECT_EQ((*served)->Stats().method_name, "weighted Simrank");
+  EXPECT_EQ((*served)->Stats().similarity_pairs,
+            (*computed)->Stats().similarity_pairs);
+  // Bit-identical serving: same texts AND bit-equal scores everywhere
+  // (RewriteCandidate::operator== compares the doubles exactly).
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    EXPECT_EQ((*computed)->TopK(q, 10), (*served)->TopK(q, 10))
+        << "query " << q;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RewriteServiceTest, CorruptSnapshotFailsBuildWithStatus) {
+  BipartiteGraph graph = SeededGraph(120, 9);
+  std::string path = TempPath("service_corrupt.snap");
+  std::ofstream(path, std::ios::binary) << "not a snapshot at all";
+  auto service = RewriteServiceBuilder()
+                     .WithGraph(&graph)
+                     .WithSnapshot(path)
+                     .Build();
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(RewriteServiceTest, SnapshotFromDifferentGraphIsRejected) {
+  BipartiteGraph graph = SeededGraph(200, 3);
+  BipartiteGraph other = SeededGraph(300, 4);
+  ASSERT_NE(graph.num_queries(), other.num_queries());
+  std::string path = TempPath("service_wrong_graph.snap");
+  auto computed = RewriteServiceBuilder()
+                      .WithGraph(&other)
+                      .WithEngine("sparse", ServiceEngineOptions())
+                      .Build();
+  ASSERT_TRUE(computed.ok());
+  ASSERT_TRUE((*computed)->SaveSnapshot(path).ok());
+  auto mismatched =
+      RewriteServiceBuilder().WithGraph(&graph).WithSnapshot(path).Build();
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(mismatched.status().message().find("different graph"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------- open engine registry
+
+// A stub engine defined entirely inside this test binary: registering and
+// serving it requires no edits to any core header (the acceptance
+// criterion for the open registry). It scores every query pair that
+// shares an ad with a constant.
+class StubEngine : public SimRankEngine {
+ public:
+  explicit StubEngine(SimRankOptions options) : options_(options) {}
+
+  Status Run(const BipartiteGraph& graph) override {
+    graph_ = &graph;
+    stats_.iterations_run = 1;
+    return Status::OK();
+  }
+  double QueryScore(QueryId q1, QueryId q2) const override {
+    if (q1 == q2) return 1.0;
+    return graph_->CountCommonAds(q1, q2) > 0 ? 0.25 : 0.0;
+  }
+  double AdScore(AdId a1, AdId a2) const override {
+    return a1 == a2 ? 1.0 : 0.0;
+  }
+  SimilarityMatrix ExportQueryScores(double min_score) const override {
+    SimilarityMatrix matrix(graph_->num_queries());
+    for (QueryId a = 0; a < graph_->num_queries(); ++a) {
+      for (QueryId b = a + 1; b < graph_->num_queries(); ++b) {
+        double score = QueryScore(a, b);
+        if (score >= min_score && score != 0.0) matrix.Set(a, b, score);
+      }
+    }
+    matrix.Finalize();
+    return matrix;
+  }
+  SimilarityMatrix ExportAdScores(double) const override {
+    SimilarityMatrix matrix(graph_->num_ads());
+    matrix.Finalize();
+    return matrix;
+  }
+  const SimRankStats& stats() const override { return stats_; }
+  const SimRankOptions& options() const override { return options_; }
+
+ private:
+  SimRankOptions options_;
+  SimRankStats stats_;
+  const BipartiteGraph* graph_ = nullptr;
+};
+
+TEST(EngineRegistryIntegrationTest, StubEnginePlugsInWithoutCoreEdits) {
+  static const Status registered = RegisterSimRankEngine(
+      "stub", [](const SimRankOptions& options)
+                  -> Result<std::unique_ptr<SimRankEngine>> {
+        return std::unique_ptr<SimRankEngine>(
+            std::make_unique<StubEngine>(options));
+      });
+  ASSERT_TRUE(registered.ok()) << registered.ToString();
+  EXPECT_TRUE(HasSimRankEngine("stub"));
+
+  BipartiteGraph graph = MakeFigure3Graph();
+  auto service = RewriteServiceBuilder()
+                     .WithGraph(&graph)
+                     .WithEngine("stub", ServiceEngineOptions())
+                     .WithPipelineOptions(NoBidPipeline())
+                     .Build();
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ((*service)->Stats().engine_name, "stub");
+  // "camera" shares hp.com with "pc" and bestbuy.com with "tv" /
+  // "digital camera" — the stub scores all three.
+  auto rewrites = (*service)->TopK("camera", 5);
+  ASSERT_TRUE(rewrites.ok());
+  EXPECT_EQ(rewrites->size(), 3u);
+}
+
+// ------------------------------------------------------- thread safety
+
+// Two concurrent engine Runs plus concurrent TopKBatch streams, all on
+// the shared pool. Verifies (a) nothing deadlocks or races (run under
+// the CI sanitizer-less build this is still a meaningful smoke under
+// load), (b) concurrently-computed scores are bit-identical to serial
+// runs, and (c) every batch equals the precomputed reference.
+TEST(RewriteServiceStressTest, ConcurrentRunsAndBatchesStayCorrect) {
+  BipartiteGraph graph = SeededGraph(250, 21);
+
+  // Serial references.
+  SparseSimRankEngine reference_engine(ServiceEngineOptions(1));
+  ASSERT_TRUE(reference_engine.Run(graph).ok());
+  SimilarityMatrix reference_scores = reference_engine.ExportQueryScores(0.0);
+
+  auto service_result = RewriteServiceBuilder()
+                            .WithGraph(&graph)
+                            .WithEngine("sparse", ServiceEngineOptions(0))
+                            .WithPipelineOptions(NoBidPipeline())
+                            .Build();
+  ASSERT_TRUE(service_result.ok());
+  RewriteService& service = **service_result;
+  std::vector<QueryId> queries(graph.num_queries());
+  std::iota(queries.begin(), queries.end(), 0u);
+  const std::vector<std::vector<RewriteCandidate>> expected =
+      service.TopKBatch(queries, 5);
+
+  constexpr int kRunsPerThread = 3;
+  constexpr int kBatchesPerThread = 8;
+  std::atomic<int> failures{0};
+
+  auto run_engines = [&] {
+    for (int r = 0; r < kRunsPerThread; ++r) {
+      SparseSimRankEngine engine(ServiceEngineOptions(0));
+      if (!engine.Run(graph).ok() ||
+          engine.ExportQueryScores(0.0).MaxAbsDifference(reference_scores) !=
+              0.0) {
+        failures.fetch_add(1);
+      }
+    }
+  };
+  auto run_batches = [&] {
+    for (int r = 0; r < kBatchesPerThread; ++r) {
+      if (service.TopKBatch(queries, 5) != expected) failures.fetch_add(1);
+    }
+  };
+
+  std::thread engine_a(run_engines);
+  std::thread engine_b(run_engines);
+  std::thread batch_a(run_batches);
+  std::thread batch_b(run_batches);
+  engine_a.join();
+  engine_b.join();
+  batch_a.join();
+  batch_b.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace simrankpp

@@ -4,10 +4,14 @@
 // sparse engine agreement across variants.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <set>
 
 #include "core/closed_form.h"
 #include "core/dense_engine.h"
+#include "core/engine_registry.h"
 #include "core/naive_similarity.h"
 #include "core/sample_graphs.h"
 #include "core/sparse_engine.h"
@@ -111,7 +115,8 @@ INSTANTIATE_TEST_SUITE_P(
 // --------------------------------------------------- structural invariants
 
 class EngineVariantTest
-    : public ::testing::TestWithParam<std::tuple<EngineKind, SimRankVariant>> {
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, SimRankVariant>> {
  protected:
   std::unique_ptr<SimRankEngine> MakeEngine(size_t iterations = 7) {
     SimRankOptions options = PaperOptions(iterations);
@@ -174,8 +179,7 @@ TEST_P(EngineVariantTest, ExportedMatrixMatchesPointReads) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllEnginesAllVariants, EngineVariantTest,
-    ::testing::Combine(::testing::Values(EngineKind::kDense,
-                                         EngineKind::kSparse),
+    ::testing::Combine(::testing::Values("dense", "sparse"),
                        ::testing::Values(SimRankVariant::kSimRank,
                                          SimRankVariant::kEvidence,
                                          SimRankVariant::kWeighted)));
@@ -288,30 +292,96 @@ TEST(DecayFactorTest, C2OneMakesK12PairPerfect) {
 
 // ----------------------------------------------------------- validation
 
-TEST(OptionsValidationTest, RejectsBadParameters) {
-  SimRankOptions options;
-  options.c1 = 0.0;
-  EXPECT_FALSE(options.Validate().ok());
-  options = SimRankOptions();
-  options.c2 = 1.5;
-  EXPECT_FALSE(options.Validate().ok());
-  options = SimRankOptions();
-  options.iterations = 0;
-  EXPECT_FALSE(options.Validate().ok());
-  options = SimRankOptions();
-  options.prune_threshold = -1.0;
-  EXPECT_FALSE(options.Validate().ok());
-  options = SimRankOptions();
-  options.zero_evidence_floor = 2.0;
-  EXPECT_FALSE(options.Validate().ok());
+// One row per rejected field: every out-of-range value must produce an
+// InvalidArgument whose message names the offending field, so a caller
+// can fix their configuration from the error alone.
+TEST(OptionsValidationTest, EveryInvalidRangeGetsADistinctActionableError) {
+  struct Case {
+    const char* label;
+    std::function<void(SimRankOptions*)> corrupt;
+    const char* expected_substring;
+  };
+  const Case cases[] = {
+      {"c1 zero", [](SimRankOptions* o) { o->c1 = 0.0; }, "C1"},
+      {"c1 negative", [](SimRankOptions* o) { o->c1 = -0.2; }, "C1"},
+      {"c1 above one", [](SimRankOptions* o) { o->c1 = 1.5; }, "C1"},
+      {"c2 zero", [](SimRankOptions* o) { o->c2 = 0.0; }, "C2"},
+      {"c2 above one", [](SimRankOptions* o) { o->c2 = 1.01; }, "C2"},
+      {"no iterations", [](SimRankOptions* o) { o->iterations = 0; },
+       "iterations"},
+      {"negative epsilon",
+       [](SimRankOptions* o) { o->convergence_epsilon = -1e-9; },
+       "convergence_epsilon"},
+      {"evidence floor negative",
+       [](SimRankOptions* o) { o->zero_evidence_floor = -0.1; },
+       "zero_evidence_floor"},
+      {"evidence floor above one",
+       [](SimRankOptions* o) { o->zero_evidence_floor = 2.0; },
+       "zero_evidence_floor"},
+      {"negative prune threshold",
+       [](SimRankOptions* o) { o->prune_threshold = -1.0; },
+       "prune_threshold"},
+  };
+  for (const Case& test_case : cases) {
+    SimRankOptions options;
+    test_case.corrupt(&options);
+    Status status = options.Validate();
+    EXPECT_FALSE(status.ok()) << test_case.label;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << test_case.label;
+    EXPECT_NE(status.message().find(test_case.expected_substring),
+              std::string::npos)
+        << test_case.label << ": message \"" << status.message()
+        << "\" does not name the field";
+  }
+  // Distinctness: every message embeds the offending value, so no two
+  // rows — even two bad values of the same field — may collide.
+  std::set<std::string> messages;
+  for (const Case& test_case : cases) {
+    SimRankOptions options;
+    test_case.corrupt(&options);
+    messages.insert(options.Validate().message());
+  }
+  EXPECT_EQ(messages.size(), std::size(cases));
   EXPECT_TRUE(SimRankOptions().Validate().ok());
 }
 
-TEST(EngineFactoryTest, PropagatesInvalidOptions) {
+// ------------------------------------------------------- engine registry
+
+TEST(EngineRegistryTest, BuiltinsAreRegistered) {
+  EXPECT_TRUE(HasSimRankEngine("dense"));
+  EXPECT_TRUE(HasSimRankEngine("sparse"));
+  std::vector<std::string> names = RegisteredSimRankEngines();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_NE(std::find(names.begin(), names.end(), "dense"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "sparse"), names.end());
+}
+
+TEST(EngineRegistryTest, UnknownNameListsRegisteredEngines) {
+  auto result = CreateSimRankEngine("linearized", SimRankOptions());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("linearized"), std::string::npos);
+  EXPECT_NE(result.status().message().find("dense"), std::string::npos);
+  EXPECT_NE(result.status().message().find("sparse"), std::string::npos);
+}
+
+TEST(EngineRegistryTest, RejectsDuplicateAndDegenerateRegistrations) {
+  Status duplicate = RegisterSimRankEngine(
+      "dense", [](const SimRankOptions&) -> Result<std::unique_ptr<SimRankEngine>> {
+        return Status::Internal("never called");
+      });
+  EXPECT_EQ(duplicate.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(RegisterSimRankEngine("", nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RegisterSimRankEngine("null-factory", nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineRegistryTest, PropagatesInvalidOptions) {
   SimRankOptions options;
   options.iterations = 0;
-  EXPECT_FALSE(CreateSimRankEngine(EngineKind::kDense, options).ok());
-  EXPECT_FALSE(CreateSimRankEngine(EngineKind::kSparse, options).ok());
+  EXPECT_FALSE(CreateSimRankEngine("dense", options).ok());
+  EXPECT_FALSE(CreateSimRankEngine("sparse", options).ok());
 }
 
 // ------------------------------------------------------- sparse pruning

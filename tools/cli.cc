@@ -9,23 +9,37 @@
 //       (simrank | evidence | weighted | pearson).
 //   simrankpp rewrite <graph.tsv> --query TEXT [--method M]
 //       Run the full rewrite pipeline (no bid filter from the CLI).
+//   simrankpp compute <graph.tsv> --snapshot-out F [--method M] [--engine E]
+//       Offline half of the serving split: compute similarities and write
+//       a binary snapshot (docs/SNAPSHOT_FORMAT.md).
+//   simrankpp snapshot-info <snapshot>
+//       Validate a snapshot (magic, version, checksum) and print its header.
+//   simrankpp serve-eval <graph.tsv> --snapshot-in F [--query TEXT] [--top K]
+//       Serving half: load a snapshot into a RewriteService and either
+//       answer one query or batch-serve every graph query and report
+//       coverage.
 //   simrankpp extract <graph.tsv> [--subgraphs N] [--out-prefix P]
 //       Carve disjoint subgraphs via local partitioning; write P1.tsv...
 #include "cli.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <numeric>
 #include <string>
+#include <vector>
 
+#include "core/engine_registry.h"
 #include "core/pearson.h"
-#include "core/simrank_engine.h"
+#include "core/snapshot.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
 #include "partition/subgraph_extractor.h"
-#include "rewrite/rewriter.h"
+#include "rewrite/rewrite_service.h"
 #include "synth/click_graph_generator.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -40,8 +54,14 @@ int Usage() {
       "  simrankpp stats <graph.tsv>\n"
       "  simrankpp similar <graph.tsv> --query TEXT [--method M] [--top K]\n"
       "  simrankpp rewrite <graph.tsv> --query TEXT [--method M]\n"
+      "  simrankpp compute <graph.tsv> --snapshot-out F [--method M]\n"
+      "            [--engine E] [--threads N] [--min-score X]\n"
+      "  simrankpp snapshot-info <snapshot>\n"
+      "  simrankpp serve-eval <graph.tsv> --snapshot-in F [--query TEXT]\n"
+      "            [--top K] [--batch N]\n"
       "  simrankpp extract <graph.tsv> [--subgraphs N] [--out-prefix P]\n"
-      "methods: simrank | evidence | weighted (default) | pearson\n");
+      "methods: simrank | evidence | weighted (default) | pearson\n"
+      "engines: any registered name (dense | sparse (default) | ...)\n");
   return 2;
 }
 
@@ -54,23 +74,33 @@ const char* FlagValue(int argc, char** argv, const char* name,
   return fallback;
 }
 
+// Maps a --method name onto engine options; false for unknown methods
+// ("pearson" is handled by the callers, it has no SimRank options).
+bool MethodToOptions(const std::string& method, SimRankOptions* options) {
+  if (method == "simrank") {
+    options->variant = SimRankVariant::kSimRank;
+  } else if (method == "evidence") {
+    options->variant = SimRankVariant::kEvidence;
+  } else if (method == "weighted") {
+    options->variant = SimRankVariant::kWeighted;
+    options->prune_threshold = 1e-5;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Result<SimilarityMatrix> ComputeScores(const BipartiteGraph& graph,
-                                       const std::string& method) {
+                                       const std::string& method,
+                                       const std::string& engine_name) {
   if (method == "pearson") return ComputePearsonSimilarities(graph);
   SimRankOptions options;
-  if (method == "simrank") {
-    options.variant = SimRankVariant::kSimRank;
-  } else if (method == "evidence") {
-    options.variant = SimRankVariant::kEvidence;
-  } else if (method == "weighted") {
-    options.variant = SimRankVariant::kWeighted;
-    options.prune_threshold = 1e-5;
-  } else {
+  if (!MethodToOptions(method, &options)) {
     return Status::InvalidArgument("unknown method: " + method);
   }
   options.num_threads = 0;
   SRPP_ASSIGN_OR_RETURN(std::unique_ptr<SimRankEngine> engine,
-                        CreateSimRankEngine(EngineKind::kSparse, options));
+                        CreateSimRankEngine(engine_name, options));
   SRPP_RETURN_NOT_OK(engine->Run(graph));
   std::fprintf(stderr, "engine: %s\n", engine->stats().ToString().c_str());
   return engine->ExportQueryScores(1e-6);
@@ -116,6 +146,7 @@ int CmdSimilar(const std::string& path, int argc, char** argv) {
   const char* query_text = FlagValue(argc, argv, "--query", nullptr);
   if (query_text == nullptr) return Usage();
   std::string method = FlagValue(argc, argv, "--method", "weighted");
+  std::string engine = FlagValue(argc, argv, "--engine", "sparse");
   size_t top = std::strtoull(FlagValue(argc, argv, "--top", "10"), nullptr, 10);
 
   Result<BipartiteGraph> graph = LoadGraph(path);
@@ -128,7 +159,7 @@ int CmdSimilar(const std::string& path, int argc, char** argv) {
     std::fprintf(stderr, "query not in graph: %s\n", query_text);
     return 1;
   }
-  Result<SimilarityMatrix> scores = ComputeScores(*graph, method);
+  Result<SimilarityMatrix> scores = ComputeScores(*graph, method, engine);
   if (!scores.ok()) {
     std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
     return 1;
@@ -150,23 +181,35 @@ int CmdRewrite(const std::string& path, int argc, char** argv) {
   const char* query_text = FlagValue(argc, argv, "--query", nullptr);
   if (query_text == nullptr) return Usage();
   std::string method = FlagValue(argc, argv, "--method", "weighted");
+  std::string engine = FlagValue(argc, argv, "--engine", "sparse");
 
   Result<BipartiteGraph> graph = LoadGraph(path);
   if (!graph.ok()) {
     std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
     return 1;
   }
-  Result<SimilarityMatrix> scores = ComputeScores(*graph, method);
-  if (!scores.ok()) {
-    std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
-    return 1;
-  }
   RewritePipelineOptions pipeline;
   pipeline.apply_bid_filter = false;  // no bid DB from the CLI
-  QueryRewriter rewriter(method, &*graph, std::move(scores).value(), nullptr,
-                         pipeline);
+  RewriteServiceBuilder builder;
+  builder.WithGraph(&*graph).WithPipelineOptions(pipeline);
+  if (method == "pearson") {
+    builder.WithSimilarities(ComputePearsonSimilarities(*graph), "Pearson");
+  } else {
+    SimRankOptions options;
+    if (!MethodToOptions(method, &options)) {
+      std::fprintf(stderr, "unknown method: %s\n", method.c_str());
+      return 1;
+    }
+    options.num_threads = 0;
+    builder.WithEngine(engine, options);
+  }
+  Result<std::unique_ptr<RewriteService>> service = builder.Build();
+  if (!service.ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return 1;
+  }
   Result<std::vector<RewriteCandidate>> rewrites =
-      rewriter.RewritesFor(query_text);
+      (*service)->TopK(query_text, pipeline.max_rewrites);
   if (!rewrites.ok()) {
     std::fprintf(stderr, "%s\n", rewrites.status().ToString().c_str());
     return 1;
@@ -175,6 +218,144 @@ int CmdRewrite(const std::string& path, int argc, char** argv) {
     std::printf("%-32s %.5f\n", rewrite.text.c_str(), rewrite.score);
   }
   if (rewrites->empty()) std::printf("(no rewrites)\n");
+  return 0;
+}
+
+int CmdCompute(const std::string& path, int argc, char** argv) {
+  const char* out = FlagValue(argc, argv, "--snapshot-out", nullptr);
+  if (out == nullptr) return Usage();
+  std::string method = FlagValue(argc, argv, "--method", "weighted");
+  std::string engine = FlagValue(argc, argv, "--engine", "sparse");
+  double min_score =
+      std::strtod(FlagValue(argc, argv, "--min-score", "1e-6"), nullptr);
+
+  Result<BipartiteGraph> graph = LoadGraph(path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::string method_label;
+  Result<SimilarityMatrix> scores = [&]() -> Result<SimilarityMatrix> {
+    if (method == "pearson") {
+      method_label = "Pearson";
+      return ComputePearsonSimilarities(*graph);
+    }
+    SimRankOptions options;
+    if (!MethodToOptions(method, &options)) {
+      return Status::InvalidArgument("unknown method: " + method);
+    }
+    method_label = SimRankVariantName(options.variant);
+    options.num_threads = static_cast<size_t>(std::strtoull(
+        FlagValue(argc, argv, "--threads", "0"), nullptr, 10));
+    SRPP_ASSIGN_OR_RETURN(std::unique_ptr<SimRankEngine> eng,
+                          CreateSimRankEngine(engine, options));
+    SRPP_RETURN_NOT_OK(eng->Run(*graph));
+    std::fprintf(stderr, "engine: %s\n", eng->stats().ToString().c_str());
+    return eng->ExportQueryScores(min_score);
+  }();
+  if (!scores.ok()) {
+    std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+  if (Status status = SaveSnapshot(*scores, method_label, out);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: method \"%s\", %zu nodes, %zu pairs\n", out,
+              method_label.c_str(), scores->num_nodes(),
+              scores->num_pairs());
+  return 0;
+}
+
+int CmdSnapshotInfo(const std::string& path) {
+  Result<SnapshotInfo> info = ReadSnapshotInfo(path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot:  %s\n", path.c_str());
+  std::printf("version:   %u\n", info->version);
+  std::printf("method:    %s\n", info->method_name.c_str());
+  std::printf("nodes:     %llu\n",
+              static_cast<unsigned long long>(info->num_nodes));
+  std::printf("pairs:     %llu\n",
+              static_cast<unsigned long long>(info->num_pairs));
+  std::printf("bytes:     %llu\n",
+              static_cast<unsigned long long>(info->file_bytes));
+  std::printf("checksum:  %016llx (verified)\n",
+              static_cast<unsigned long long>(info->checksum));
+  return 0;
+}
+
+int CmdServeEval(const std::string& path, int argc, char** argv) {
+  const char* snapshot_in = FlagValue(argc, argv, "--snapshot-in", nullptr);
+  if (snapshot_in == nullptr) return Usage();
+  const char* query_text = FlagValue(argc, argv, "--query", nullptr);
+  size_t top = std::strtoull(FlagValue(argc, argv, "--top", "5"), nullptr, 10);
+
+  Result<BipartiteGraph> graph = LoadGraph(path);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  RewritePipelineOptions pipeline;
+  pipeline.apply_bid_filter = false;  // no bid DB from the CLI
+  Result<std::unique_ptr<RewriteService>> service_result =
+      RewriteServiceBuilder()
+          .WithGraph(&*graph)
+          .WithSnapshot(snapshot_in)
+          .WithPipelineOptions(pipeline)
+          .Build();
+  if (!service_result.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 service_result.status().ToString().c_str());
+    return 1;
+  }
+  RewriteService& service = **service_result;
+  RewriteServiceStats stats = service.Stats();
+  std::fprintf(stderr, "service: %s\n", stats.ToString().c_str());
+
+  if (query_text != nullptr) {
+    Result<std::vector<RewriteCandidate>> rewrites =
+        service.TopK(query_text, top);
+    if (!rewrites.ok()) {
+      std::fprintf(stderr, "%s\n", rewrites.status().ToString().c_str());
+      return 1;
+    }
+    for (const RewriteCandidate& rewrite : *rewrites) {
+      std::printf("%-32s %.5f\n", rewrite.text.c_str(), rewrite.score);
+    }
+    if (rewrites->empty()) std::printf("(no rewrites)\n");
+    return 0;
+  }
+
+  // No query given: batch-serve every graph query (capped by --batch) and
+  // report coverage, the serving-side counterpart of Figure 8.
+  size_t batch = std::strtoull(
+      FlagValue(argc, argv, "--batch",
+                std::to_string(graph->num_queries()).c_str()),
+      nullptr, 10);
+  batch = std::min(batch, graph->num_queries());
+  std::vector<QueryId> queries(batch);
+  std::iota(queries.begin(), queries.end(), 0u);
+  Stopwatch timer;
+  std::vector<std::vector<RewriteCandidate>> results =
+      service.TopKBatch(queries, top);
+  double elapsed = timer.ElapsedSeconds();
+  size_t covered = 0;
+  size_t total_rewrites = 0;
+  for (const auto& rewrites : results) {
+    if (!rewrites.empty()) ++covered;
+    total_rewrites += rewrites.size();
+  }
+  std::printf(
+      "served %zu queries in %.3fs: %zu covered (%.1f%%), %zu rewrites, "
+      "method \"%s\"\n",
+      batch, elapsed, covered,
+      batch == 0 ? 0.0 : 100.0 * static_cast<double>(covered) /
+                             static_cast<double>(batch),
+      total_rewrites, stats.method_name.c_str());
   return 0;
 }
 
@@ -224,6 +405,9 @@ int RunCli(int argc, char** argv) {
   if (command == "stats") return CmdStats(path);
   if (command == "similar") return CmdSimilar(path, argc - 3, argv + 3);
   if (command == "rewrite") return CmdRewrite(path, argc - 3, argv + 3);
+  if (command == "compute") return CmdCompute(path, argc - 3, argv + 3);
+  if (command == "snapshot-info") return CmdSnapshotInfo(path);
+  if (command == "serve-eval") return CmdServeEval(path, argc - 3, argv + 3);
   if (command == "extract") return CmdExtract(path, argc - 3, argv + 3);
   return Usage();
 }
