@@ -1,20 +1,16 @@
-// Engine micro-benchmarks on the vendored timing harness (perf_harness.h,
-// no google-benchmark dependency): dense vs sparse across graph sizes,
-// the three variants on the sparse engine, and a pruning-threshold sweep
-// with the surviving pair counts.
+// Sparse-engine hot-path benchmark: the bench_perf_engines sparse configs
+// run at 10 iterations (where per-iteration costs dominate setup), all
+// three variants, plus the incremental/full-rescore toggle. This is the
+// before/after yardstick for the PR 4 flattening work (CSR candidate
+// index + flat pair-store + delta-driven rescoring); the measured tables
+// live in docs/BENCHMARKS.md.
 //
-//   bench_perf_engines [--smoke] [--repeats N] [--json <path>]
-//
-// --smoke shrinks the graphs and repeats so the binary finishes in a few
-// seconds; CI runs it as an executable smoke test. --json writes the
-// machine-readable per-case report (median/best ns) — `--smoke --json
-// BENCH_PR4.json` at the repo root is the committed perf-trajectory
-// baseline that CI diffs fresh runs against.
+//   bench_perf_sparse [--smoke] [--repeats N] [--json <path>]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
-#include "core/dense_engine.h"
 #include "core/sparse_engine.h"
 #include "perf_harness.h"
 #include "synth/click_graph_generator.h"
@@ -23,6 +19,8 @@
 namespace simrankpp {
 namespace {
 
+// Identical generator settings to bench_perf_engines so the numbers are
+// comparable across the two binaries.
 BipartiteGraph BenchGraph(size_t num_queries) {
   GeneratorOptions options;
   options.num_queries = num_queries;
@@ -39,7 +37,7 @@ BipartiteGraph BenchGraph(size_t num_queries) {
 SimRankOptions BenchOptions(SimRankVariant variant) {
   SimRankOptions options;
   options.variant = variant;
-  options.iterations = 5;
+  options.iterations = 10;
   options.prune_threshold = 1e-4;
   options.max_partners_per_node = 200;
   return options;
@@ -58,35 +56,20 @@ int Main(int argc, char** argv) {
   const char* json_path = bench::FlagValue(argc, argv, "--json", "");
   if (repeats == 0) {
     std::fprintf(stderr,
-                 "usage: bench_perf_engines [--smoke] [--repeats N] "
+                 "usage: bench_perf_sparse [--smoke] [--repeats N] "
                  "[--json <path>]\n");
     return 2;
   }
   bench::JsonReport report;
 
-  // Dense engine across sizes.
+  // Plain SimRank across sizes, 10 iterations.
   {
-    bench::PerfTable table("dense engine, plain SimRank", repeats);
-    for (size_t size : smoke ? std::vector<size_t>{300}
-                             : std::vector<size_t>{500, 1500}) {
-      BipartiteGraph graph = BenchGraph(size);
-      table.Run("dense/" + std::to_string(size), [&] {
-        DenseSimRankEngine engine(BenchOptions(SimRankVariant::kSimRank));
-        SRPP_CHECK(engine.Run(graph).ok());
-        return GraphNote(graph);
-      });
-    }
-    table.Print();
-    report.Add(table);
-  }
-
-  // Sparse engine across sizes.
-  {
-    bench::PerfTable table("sparse engine, plain SimRank", repeats);
+    bench::PerfTable table("sparse engine, plain SimRank, 10 iterations",
+                           repeats);
     for (size_t size : smoke ? std::vector<size_t>{500}
                              : std::vector<size_t>{500, 1500, 4000}) {
       BipartiteGraph graph = BenchGraph(size);
-      table.Run("sparse/" + std::to_string(size), [&] {
+      table.Run("sparse10/" + std::to_string(size), [&] {
         SparseSimRankEngine engine(BenchOptions(SimRankVariant::kSimRank));
         SRPP_CHECK(engine.Run(graph).ok());
         return GraphNote(graph);
@@ -96,11 +79,11 @@ int Main(int argc, char** argv) {
     report.Add(table);
   }
 
-  // Variants on one sparse graph.
+  // Variants on one graph, 10 iterations.
   {
     BipartiteGraph graph = BenchGraph(smoke ? 500 : 1500);
-    bench::PerfTable table("sparse engine variants, " + GraphNote(graph),
-                           repeats);
+    bench::PerfTable table(
+        "sparse engine variants, 10 iterations, " + GraphNote(graph), repeats);
     for (SimRankVariant variant :
          {SimRankVariant::kSimRank, SimRankVariant::kEvidence,
           SimRankVariant::kWeighted}) {
@@ -115,21 +98,21 @@ int Main(int argc, char** argv) {
     report.Add(table);
   }
 
-  // Pruning sweep: threshold vs surviving pairs.
+  // Delta-driven rescoring on/off. With convergence_epsilon left at 0 the
+  // two runs are bit-identical; the incremental run just skips recomputing
+  // pairs whose opposite-side neighborhood did not change.
   {
     BipartiteGraph graph = BenchGraph(smoke ? 500 : 1500);
-    bench::PerfTable table("sparse pruning sweep, " + GraphNote(graph),
-                           repeats);
-    for (double threshold : {1e-2, 1e-4, 1e-6}) {
+    bench::PerfTable table(
+        "delta-driven rescoring, 10 iterations, " + GraphNote(graph), repeats);
+    for (bool incremental : {true, false}) {
       SimRankOptions options = BenchOptions(SimRankVariant::kSimRank);
-      options.prune_threshold = threshold;
-      char name[32];
-      std::snprintf(name, sizeof(name), "threshold=%g", threshold);
-      table.Run(name, [&] {
+      options.incremental = incremental;
+      table.Run(incremental ? "incremental" : "full-rescore", [&] {
         SparseSimRankEngine engine(options);
         SRPP_CHECK(engine.Run(graph).ok());
-        return std::string("query_pairs=") +
-               std::to_string(engine.stats().query_pairs);
+        return "rescored=" + std::to_string(engine.stats().rescored_pairs) +
+               " reused=" + std::to_string(engine.stats().reused_pairs);
       });
     }
     table.Print();

@@ -7,6 +7,9 @@
 #ifndef SIMRANKPP_BENCH_PERF_HARNESS_H_
 #define SIMRANKPP_BENCH_PERF_HARNESS_H_
 
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
@@ -49,18 +52,45 @@ inline std::vector<size_t> ParseSizeList(const char* spec) {
   return values;
 }
 
-// Runs `fn` `repeats` times and returns the best wall-clock seconds.
-// Best-of-N (not mean) because scheduling noise only ever adds time.
-inline double BestSeconds(size_t repeats, const std::function<void()>& fn) {
-  double best = 0.0;
+// Runs `fn` `repeats` times and returns every wall-clock sample in
+// seconds, in run order.
+inline std::vector<double> TimedSamples(size_t repeats,
+                                        const std::function<void()>& fn) {
+  std::vector<double> samples;
+  samples.reserve(repeats);
   for (size_t r = 0; r < repeats; ++r) {
     Stopwatch timer;
     fn();
-    double elapsed = timer.ElapsedSeconds();
-    if (r == 0 || elapsed < best) best = elapsed;
+    samples.push_back(timer.ElapsedSeconds());
   }
-  return best;
+  return samples;
 }
+
+// Best-of-N (not mean) because scheduling noise only ever adds time.
+inline double BestSeconds(size_t repeats, const std::function<void()>& fn) {
+  std::vector<double> samples = TimedSamples(repeats, fn);
+  return *std::min_element(samples.begin(), samples.end());
+}
+
+// Median of a sample set (upper median for even sizes: with the tiny rep
+// counts used here, averaging two samples would manufacture a time no run
+// ever exhibited).
+inline double MedianSeconds(std::vector<double> samples) {
+  auto mid = samples.begin() + samples.size() / 2;
+  std::nth_element(samples.begin(), mid, samples.end());
+  return *mid;
+}
+
+// One timed case as exported to the machine-readable report.
+struct PerfCase {
+  std::string name;
+  size_t reps = 0;
+  uint64_t median_ns = 0;
+  uint64_t best_ns = 0;
+  // Free-form dimensions of the case (graph size, pair counts, ...),
+  // whatever the run's note reported.
+  std::string note;
+};
 
 // Accumulates (case, best ms, note) rows and prints one table. The
 // `repeats` knob applies to every case added through Run.
@@ -75,15 +105,72 @@ class PerfTable {
   // (edges, pairs, ...), often produced by the run itself.
   void Run(const std::string& name, const std::function<std::string()>& fn) {
     std::string note;
-    double best = BestSeconds(repeats_, [&] { note = fn(); });
+    std::vector<double> samples = TimedSamples(repeats_, [&] { note = fn(); });
+    double best = *std::min_element(samples.begin(), samples.end());
     table_.AddRow({name, FormatDouble(best * 1e3, 2), note});
+    PerfCase result;
+    result.name = name;
+    result.reps = repeats_;
+    result.median_ns = static_cast<uint64_t>(MedianSeconds(samples) * 1e9);
+    result.best_ns = static_cast<uint64_t>(best * 1e9);
+    result.note = note;
+    cases_.push_back(std::move(result));
   }
 
   void Print() { table_.Print(); }
 
+  const std::vector<PerfCase>& cases() const { return cases_; }
+
  private:
   TablePrinter table_;
   size_t repeats_;
+  std::vector<PerfCase> cases_;
+};
+
+// Machine-readable perf report: collects the cases of one or more
+// PerfTables and writes them as a flat JSON array, one object per case.
+// This is what the BENCH_*.json trajectory files at the repo root hold,
+// and what CI diffs against the committed baseline.
+class JsonReport {
+ public:
+  void Add(const PerfTable& table) {
+    for (const PerfCase& c : table.cases()) cases_.push_back(c);
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fputs("{\n  \"benchmarks\": [\n", f);
+    for (size_t i = 0; i < cases_.size(); ++i) {
+      const PerfCase& c = cases_[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"reps\": %zu, "
+                   "\"median_ns\": %llu, \"best_ns\": %llu, "
+                   "\"note\": \"%s\"}%s\n",
+                   Escaped(c.name).c_str(), c.reps,
+                   static_cast<unsigned long long>(c.median_ns),
+                   static_cast<unsigned long long>(c.best_ns),
+                   Escaped(c.note).c_str(),
+                   i + 1 < cases_.size() ? "," : "");
+    }
+    std::fputs("  ]\n}\n", f);
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  // Case names/notes are benchmark-controlled identifiers; quoting and
+  // backslashes are the only escapes they can plausibly need.
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') out.push_back('\\');
+      out.push_back(ch);
+    }
+    return out;
+  }
+
+  std::vector<PerfCase> cases_;
 };
 
 }  // namespace bench

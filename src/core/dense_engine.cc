@@ -45,6 +45,20 @@ Status DenseSimRankEngine::Run(const BipartiteGraph& graph) {
   ad_scores_.assign(na * na, 0.0);
   for (size_t a = 0; a < na; ++a) ad_scores_[a * na + a] = 1.0;
 
+  stats_ = SimRankStats();
+  size_t threads = ResolveThreadCount(options_.num_threads);
+  // Borrow the process-wide pool for the whole run, capped at `threads`
+  // participants: spawning threads per Run would cost more than the row
+  // updates themselves on small graphs, and a service computing several
+  // engines concurrently keeps one fixed set of workers. threads_used
+  // reports what can actually participate: the caller plus at most the
+  // pool's workers, never more than the request. The pool is claimed
+  // before the evidence precomputation so that sweep parallelizes too.
+  max_participants_ = threads;
+  pool_ = threads > 1 ? &SharedThreadPool() : nullptr;
+  stats_.threads_used =
+      pool_ == nullptr ? 1 : std::min(threads, pool_->num_threads() + 1);
+
   if (options_.variant != SimRankVariant::kSimRank) {
     ComputeEvidenceMatrices(graph);
   }
@@ -58,20 +72,12 @@ Status DenseSimRankEngine::Run(const BipartiteGraph& graph) {
     }
   }
 
-  stats_ = SimRankStats();
-  size_t threads = ResolveThreadCount(options_.num_threads);
-  // Borrow the process-wide pool for the whole run, capped at `threads`
-  // participants: spawning threads per Run would cost more than the row
-  // updates themselves on small graphs, and a service computing several
-  // engines concurrently keeps one fixed set of workers. threads_used
-  // reports what can actually participate: the caller plus at most the
-  // pool's workers, never more than the request.
-  max_participants_ = threads;
-  pool_ = threads > 1 ? &SharedThreadPool() : nullptr;
-  stats_.threads_used =
-      pool_ == nullptr ? 1 : std::min(threads, pool_->num_threads() + 1);
+  // Nonzero-pair counts fall out of the last iteration's row passes
+  // (Validate guarantees iterations >= 1, so both vectors are filled).
+  std::vector<size_t> row_pairs_q(nq, 0);
+  std::vector<size_t> row_pairs_a(na, 0);
   for (size_t iter = 0; iter < options_.iterations; ++iter) {
-    double delta = IterateOnce(graph);
+    double delta = IterateOnce(graph, &row_pairs_q, &row_pairs_a);
     stats_.last_delta = delta;
     ++stats_.iterations_run;
     if (options_.convergence_epsilon > 0.0 &&
@@ -82,17 +88,9 @@ Status DenseSimRankEngine::Run(const BipartiteGraph& graph) {
   pool_ = nullptr;
 
   size_t query_pairs = 0;
-  for (size_t q = 0; q < nq; ++q) {
-    for (size_t p = q + 1; p < nq; ++p) {
-      if (query_scores_[q * nq + p] != 0.0) ++query_pairs;
-    }
-  }
+  for (size_t count : row_pairs_q) query_pairs += count;
   size_t ad_pairs = 0;
-  for (size_t a = 0; a < na; ++a) {
-    for (size_t b = a + 1; b < na; ++b) {
-      if (ad_scores_[a * na + b] != 0.0) ++ad_pairs;
-    }
-  }
+  for (size_t count : row_pairs_a) ad_pairs += count;
   stats_.query_pairs = query_pairs;
   stats_.ad_pairs = ad_pairs;
   stats_.elapsed_seconds = timer.ElapsedSeconds();
@@ -100,48 +98,72 @@ Status DenseSimRankEngine::Run(const BipartiteGraph& graph) {
 }
 
 void DenseSimRankEngine::ComputeEvidenceMatrices(const BipartiteGraph& graph) {
-  // Common-neighbor counts via shared-neighbor enumeration: for every ad,
-  // each pair of its queries gains one common ad (and symmetrically).
+  // Common-neighbor counts row by row: walking two hops from each node
+  // touches only that node's matrix row, so rows parallelize over the
+  // shared pool with no shared writes — and integer counts make the
+  // result trivially thread-count-independent. (The off-diagonal count of
+  // row u at column v is |E(u) ∩ E(v)|; the diagonal is left at 0, which
+  // no caller reads — scores and exports special-case u == v.)
   std::vector<uint32_t> query_common(nq_ * nq_, 0);
-  for (AdId a = 0; a < na_; ++a) {
-    auto edges = graph.AdEdges(a);
-    for (size_t i = 0; i < edges.size(); ++i) {
-      QueryId qi = graph.edge_query(edges[i]);
-      for (size_t j = i + 1; j < edges.size(); ++j) {
-        QueryId qj = graph.edge_query(edges[j]);
-        ++query_common[qi * nq_ + qj];
-        ++query_common[qj * nq_ + qi];
-      }
-    }
-  }
   std::vector<uint32_t> ad_common(na_ * na_, 0);
-  for (QueryId q = 0; q < nq_; ++q) {
-    auto edges = graph.QueryEdges(q);
-    for (size_t i = 0; i < edges.size(); ++i) {
-      AdId ai = graph.edge_ad(edges[i]);
-      for (size_t j = i + 1; j < edges.size(); ++j) {
-        AdId aj = graph.edge_ad(edges[j]);
-        ++ad_common[ai * na_ + aj];
-        ++ad_common[aj * na_ + ai];
+  auto count_query_rows = [&](size_t begin, size_t end) {
+    for (size_t q = begin; q < end; ++q) {
+      uint32_t* row = &query_common[q * nq_];
+      for (EdgeId e : graph.QueryEdges(static_cast<QueryId>(q))) {
+        AdId mid = graph.edge_ad(e);
+        for (EdgeId e2 : graph.AdEdges(mid)) {
+          QueryId p = graph.edge_query(e2);
+          if (p != q) ++row[p];
+        }
       }
     }
-  }
+  };
+  auto count_ad_rows = [&](size_t begin, size_t end) {
+    for (size_t a = begin; a < end; ++a) {
+      uint32_t* row = &ad_common[a * na_];
+      for (EdgeId e : graph.AdEdges(static_cast<AdId>(a))) {
+        QueryId mid = graph.edge_query(e);
+        for (EdgeId e2 : graph.QueryEdges(mid)) {
+          AdId b = graph.edge_ad(e2);
+          if (b != a) ++row[b];
+        }
+      }
+    }
+  };
 
   query_evidence_.resize(nq_ * nq_);
-  for (size_t i = 0; i < query_evidence_.size(); ++i) {
-    query_evidence_[i] =
-        EvidenceWithFloor(query_common[i], options_.evidence_formula,
-                          options_.zero_evidence_floor);
-  }
   ad_evidence_.resize(na_ * na_);
-  for (size_t i = 0; i < ad_evidence_.size(); ++i) {
-    ad_evidence_[i] =
-        EvidenceWithFloor(ad_common[i], options_.evidence_formula,
-                          options_.zero_evidence_floor);
+  auto evidence_query_rows = [&](size_t begin, size_t end) {
+    for (size_t i = begin * nq_; i < end * nq_; ++i) {
+      query_evidence_[i] =
+          EvidenceWithFloor(query_common[i], options_.evidence_formula,
+                            options_.zero_evidence_floor);
+    }
+  };
+  auto evidence_ad_rows = [&](size_t begin, size_t end) {
+    for (size_t i = begin * na_; i < end * na_; ++i) {
+      ad_evidence_[i] =
+          EvidenceWithFloor(ad_common[i], options_.evidence_formula,
+                            options_.zero_evidence_floor);
+    }
+  };
+
+  if (pool_ == nullptr) {
+    count_query_rows(0, nq_);
+    count_ad_rows(0, na_);
+    evidence_query_rows(0, nq_);
+    evidence_ad_rows(0, na_);
+  } else {
+    pool_->ParallelFor(nq_, count_query_rows, max_participants_);
+    pool_->ParallelFor(na_, count_ad_rows, max_participants_);
+    pool_->ParallelFor(nq_, evidence_query_rows, max_participants_);
+    pool_->ParallelFor(na_, evidence_ad_rows, max_participants_);
   }
 }
 
-double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph) {
+double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph,
+                                       std::vector<size_t>* row_pairs_q,
+                                       std::vector<size_t>* row_pairs_a) {
   const bool weighted = options_.variant == SimRankVariant::kWeighted;
 
   // T[q][b] = sum over ads a in E(q) of (factor) * S_a[a][b].
@@ -186,6 +208,7 @@ double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph) {
                                 static_cast<QueryId>(q)))
                           : 0.0;
       double local_delta = 0.0;
+      size_t nonzero = 0;
       for (size_t p = 0; p < nq_; ++p) {
         double value;
         if (p == q) {
@@ -207,12 +230,14 @@ double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph) {
                     : 0.0;
             value = options_.c1 * inv_nq * inv_np * sum;
           }
+          if (p > q && value != 0.0) ++nonzero;
         }
         local_delta =
             std::max(local_delta, std::fabs(value - query_scores_[q * nq_ + p]));
         out[p] = value;
       }
       row_delta_q[q] = local_delta;
+      (*row_pairs_q)[q] = nonzero;
     }
   };
   auto compute_ad_rows = [&](size_t begin, size_t end) {
@@ -224,6 +249,7 @@ double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph) {
                                 static_cast<AdId>(a)))
                           : 0.0;
       double local_delta = 0.0;
+      size_t nonzero = 0;
       for (size_t b = 0; b < na_; ++b) {
         double value;
         if (b == a) {
@@ -244,17 +270,19 @@ double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph) {
                                 : 0.0;
             value = options_.c2 * inv_na * inv_nb * sum;
           }
+          if (b > a && value != 0.0) ++nonzero;
         }
         local_delta =
             std::max(local_delta, std::fabs(value - ad_scores_[a * na_ + b]));
         out[b] = value;
       }
       row_delta_a[a] = local_delta;
+      (*row_pairs_a)[a] = nonzero;
     }
   };
 
   // Each task writes disjoint rows of its output and the per-row delta
-  // slots, so any chunking yields bit-identical results.
+  // and nonzero-count slots, so any chunking yields bit-identical results.
   if (pool_ == nullptr) {
     compute_t_rows(0, nq_);
     compute_u_rows(0, na_);

@@ -38,7 +38,13 @@ class DenseSimRankEngine : public SimRankEngine {
 
  private:
   void ComputeEvidenceMatrices(const BipartiteGraph& graph);
-  double IterateOnce(const BipartiteGraph& graph);
+  /// One Jacobi iteration. Returns the largest per-pair change and leaves
+  /// the per-row nonzero off-diagonal pair counts (upper triangle) in
+  /// `row_pairs_q` / `row_pairs_a`, so stats never need a separate
+  /// O(nq^2 + na^2) counting sweep after the final iteration.
+  double IterateOnce(const BipartiteGraph& graph,
+                     std::vector<size_t>* row_pairs_q,
+                     std::vector<size_t>* row_pairs_a);
 
   SimRankOptions options_;
   SimRankStats stats_;

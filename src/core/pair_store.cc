@@ -1,0 +1,86 @@
+#include "core/pair_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace simrankpp {
+
+double PairStore::Lookup(uint32_t u, uint32_t v) const {
+  if (u == v) return 1.0;
+  size_t i = Find(MakeKey(u, v));
+  return i == keys_.size() ? 0.0 : values_[i];
+}
+
+size_t PairStore::Find(uint64_t pair_key) const {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), pair_key);
+  if (it == keys_.end() || *it != pair_key) return keys_.size();
+  return static_cast<size_t>(it - keys_.begin());
+}
+
+PairStore::Row PairStore::RowOf(uint32_t u) const {
+  uint64_t lo = static_cast<uint64_t>(u) << 32;
+  uint64_t hi = (static_cast<uint64_t>(u) + 1) << 32;
+  auto begin = std::lower_bound(keys_.begin(), keys_.end(), lo);
+  auto end = std::lower_bound(begin, keys_.end(), hi);
+  return {static_cast<size_t>(begin - keys_.begin()),
+          static_cast<size_t>(end - keys_.begin())};
+}
+
+PairStore PairStore::FromShards(
+    std::vector<std::vector<std::pair<uint64_t, double>>>&& shards) {
+  PairStore store;
+  size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  store.keys_.reserve(total);
+  store.values_.reserve(total);
+  for (const auto& shard : shards) {
+    for (const auto& [key, value] : shard) {
+      SRPP_CHECK(store.keys_.empty() || key > store.keys_.back())
+          << "PairStore::FromShards: keys out of order (got " << key
+          << " after " << store.keys_.back()
+          << "); a shard emitted pairs out of node order";
+      store.keys_.push_back(key);
+      store.values_.push_back(value);
+    }
+  }
+  return store;
+}
+
+PairStore PairStore::FromUnsorted(
+    std::vector<std::pair<uint64_t, double>> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  PairStore store;
+  store.keys_.reserve(pairs.size());
+  store.values_.reserve(pairs.size());
+  for (const auto& [key, value] : pairs) {
+    SRPP_CHECK(store.keys_.empty() || key != store.keys_.back())
+        << "PairStore::FromUnsorted: duplicate key " << key;
+    store.keys_.push_back(key);
+    store.values_.push_back(value);
+  }
+  return store;
+}
+
+double PairStore::MaxAbsDiff(const PairStore& a, const PairStore& b) {
+  double delta = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a.keys_[i] < b.keys_[j])) {
+      delta = std::max(delta, std::fabs(a.values_[i]));
+      ++i;
+    } else if (i == a.size() || b.keys_[j] < a.keys_[i]) {
+      delta = std::max(delta, std::fabs(b.values_[j]));
+      ++j;
+    } else {
+      delta = std::max(delta, std::fabs(a.values_[i] - b.values_[j]));
+      ++i;
+      ++j;
+    }
+  }
+  return delta;
+}
+
+}  // namespace simrankpp

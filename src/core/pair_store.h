@@ -1,0 +1,114 @@
+/// @file pair_store.h
+/// @brief Flat sorted store for symmetric node-pair scores.
+///
+/// The sparse SimRank engine keeps one score per unordered node pair
+/// (u, v), u < v, keyed by (u << 32) | v. Earlier revisions held these in
+/// a `std::unordered_map<uint64_t, double>` that was rebuilt and re-hashed
+/// every iteration; PairStore replaces it with two parallel arrays —
+/// `keys[]` ascending and `values[]` — so per-iteration rebuilds are a
+/// concatenation of shard outputs, lookups are a binary search with a
+/// contiguous per-row fast path, and whole-store sweeps (delta, cap,
+/// export) are linear scans over packed memory.
+#ifndef SIMRANKPP_CORE_PAIR_STORE_H_
+#define SIMRANKPP_CORE_PAIR_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace simrankpp {
+
+/// \brief Sorted flat (key, value) store for symmetric pair scores.
+///
+/// Keys are canonical pair keys (lower node in the high 32 bits), kept in
+/// strictly ascending order, so all pairs whose lower endpoint is `u` form
+/// one contiguous row.
+class PairStore {
+ public:
+  PairStore() = default;
+
+  /// \brief Canonical key for the unordered pair {u, v}: the smaller id in
+  /// the high word. Requires u != v for a meaningful pair (the diagonal is
+  /// implicit and never stored).
+  static uint64_t MakeKey(uint32_t u, uint32_t v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  }
+  static uint32_t KeyLower(uint64_t key) {
+    return static_cast<uint32_t>(key >> 32);
+  }
+  static uint32_t KeyUpper(uint64_t key) {
+    return static_cast<uint32_t>(key & 0xffffffffu);
+  }
+
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+  void clear() {
+    keys_.clear();
+    values_.clear();
+  }
+
+  std::span<const uint64_t> keys() const { return keys_; }
+  std::span<const double> values() const { return values_; }
+  uint64_t key(size_t i) const { return keys_[i]; }
+  double value(size_t i) const { return values_[i]; }
+
+  /// \brief s(u, v): 1 on the diagonal, the stored score, or 0 when the
+  /// pair is absent. Binary search over the sorted keys.
+  double Lookup(uint32_t u, uint32_t v) const;
+
+  /// \brief Index of `pair_key`, or size() when absent.
+  size_t Find(uint64_t pair_key) const;
+
+  /// \brief Index range [begin, end) of the row whose lower endpoint is
+  /// `u` (empty when u stores no pairs as the lower node).
+  struct Row {
+    size_t begin = 0;
+    size_t end = 0;
+    bool empty() const { return begin == end; }
+  };
+  Row RowOf(uint32_t u) const;
+
+  /// \brief Builds a store by concatenating shard outputs. Shards must
+  /// cover ascending, disjoint key ranges and each be internally sorted —
+  /// exactly what the engine's node-sharded update passes emit — so the
+  /// build is a bulk append. Key order is CHECK-enforced: a violation
+  /// means the sharding invariant (and with it thread-count determinism)
+  /// is broken.
+  static PairStore FromShards(
+      std::vector<std::vector<std::pair<uint64_t, double>>>&& shards);
+
+  /// \brief Builds a store from arbitrary (key, value) pairs, sorting
+  /// them. Duplicate keys are CHECK-rejected.
+  static PairStore FromUnsorted(std::vector<std::pair<uint64_t, double>> pairs);
+
+  /// \brief Keeps only the pairs for which pred(key, value) holds,
+  /// preserving order (in place, no reallocation).
+  template <typename Pred>
+  void Filter(Pred&& pred) {
+    size_t out = 0;
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (pred(keys_[i], values_[i])) {
+        keys_[out] = keys_[i];
+        values_[out] = values_[i];
+        ++out;
+      }
+    }
+    keys_.resize(out);
+    values_.resize(out);
+  }
+
+  /// \brief Largest |a - b| over the union of the two stores' pairs
+  /// (absent pairs read as 0). Linear merge over the sorted keys.
+  static double MaxAbsDiff(const PairStore& a, const PairStore& b);
+
+ private:
+  std::vector<uint64_t> keys_;
+  std::vector<double> values_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_CORE_PAIR_STORE_H_

@@ -20,25 +20,28 @@ double MeanEdgeWeight(const BipartiteGraph& graph, QueryId q) {
 double PearsonSimilarity(const BipartiteGraph& graph, QueryId q1,
                          QueryId q2) {
   if (q1 == q2) return 1.0;
-  std::vector<AdId> common = graph.CommonAds(q1, q2);
-  if (common.empty()) return 0.0;
 
   double mean1 = MeanEdgeWeight(graph, q1);
   double mean2 = MeanEdgeWeight(graph, q2);
 
+  // One sorted-adjacency merge yields each common ad's two edges
+  // directly — no common-ad list materialization, no per-ad FindEdge
+  // binary searches (this was the Pearson hot spot).
+  size_t common = 0;
   double numerator = 0.0;
   double denom1 = 0.0;
   double denom2 = 0.0;
-  for (AdId a : common) {
-    // Both edges exist by construction of `common`.
-    double w1 = graph.edge_weights(*graph.FindEdge(q1, a)).expected_click_rate;
-    double w2 = graph.edge_weights(*graph.FindEdge(q2, a)).expected_click_rate;
+  graph.ForEachCommonAdEdge(q1, q2, [&](EdgeId e1, EdgeId e2) {
+    double w1 = graph.edge_weights(e1).expected_click_rate;
+    double w2 = graph.edge_weights(e2).expected_click_rate;
     double d1 = w1 - mean1;
     double d2 = w2 - mean2;
     numerator += d1 * d2;
     denom1 += d1 * d1;
     denom2 += d2 * d2;
-  }
+    ++common;
+  });
+  if (common == 0) return 0.0;
   double denom = std::sqrt(denom1 * denom2);
   if (denom == 0.0) return 0.0;
   return numerator / denom;

@@ -47,9 +47,9 @@ Status SimRankOptions::Validate() const {
 std::string SimRankStats::ToString() const {
   return StringPrintf(
       "iterations=%zu last_delta=%.3e query_pairs=%zu ad_pairs=%zu "
-      "threads=%zu elapsed=%.3fs",
+      "threads=%zu rescored=%zu reused=%zu elapsed=%.3fs",
       iterations_run, last_delta, query_pairs, ad_pairs, threads_used,
-      elapsed_seconds);
+      rescored_pairs, reused_pairs, elapsed_seconds);
 }
 
 }  // namespace simrankpp

@@ -67,6 +67,18 @@ struct SimRankOptions {
   /// Sparse engine: cap on stored partners per node (0 = unlimited).
   size_t max_partners_per_node = 1000;
 
+  /// Sparse engine: delta-driven rescoring. From the third iteration on,
+  /// a pair is only rescored when some opposite-side pair in its
+  /// neighborhood changed by more than convergence_epsilon / 10 in the
+  /// previous iteration; untouched pairs reuse their previous score.
+  /// With convergence_epsilon == 0 (the default) the change threshold is
+  /// exact — any bitwise difference counts as a change — so results are
+  /// bit-identical to a full rescore; with convergence_epsilon > 0 the
+  /// skip tolerance sits an order of magnitude under the convergence
+  /// tolerance the caller already accepted. Off = rescore every candidate
+  /// pair every iteration.
+  bool incremental = true;
+
   /// Worker threads for the iteration loops (0 = hardware concurrency,
   /// 1 = single-threaded). Engines borrow the process-wide shared pool
   /// (SharedThreadPool) capped at this many participating threads rather
@@ -93,6 +105,12 @@ struct SimRankStats {
   /// calling thread (requests beyond hardware concurrency cannot
   /// oversubscribe the shared pool).
   size_t threads_used = 0;
+  /// Sparse engine, cumulative over all iterations: candidate pairs whose
+  /// score was actually recomputed vs. carried over unchanged by the
+  /// delta-driven skip (SimRankOptions::incremental). Zero for engines
+  /// without an incremental path.
+  size_t rescored_pairs = 0;
+  size_t reused_pairs = 0;
   double elapsed_seconds = 0.0;
 
   std::string ToString() const;

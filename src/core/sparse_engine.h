@@ -1,18 +1,31 @@
 /// @file sparse_engine.h
-/// @brief Threshold-pruned sparse SimRank engine.
+/// @brief Threshold-pruned sparse SimRank engine on flat structures.
 ///
-/// Scores live in one symmetric pair map per side; candidate pairs are
-/// discovered by expanding two hops through the graph and through the
-/// previous iteration's scored pairs, so only pairs that can receive mass
-/// are ever touched. Pruning (score threshold + per-node partner cap)
-/// keeps memory bounded on power-law click graphs, which is how SimRank is
-/// deployed at the paper's scale.
+/// Scores live in one sorted flat PairStore per side (parallel key/value
+/// arrays rebuilt by concatenating shard outputs, never re-hashed). The
+/// candidate-pair set is NOT rediscovered every iteration: a CSR two-hop
+/// candidate index is built once before iteration 0 (pairs reachable
+/// through a common neighbor — fixed by the graph topology), and pairs
+/// that only become reachable through scored opposite-side pairs (4+ hops)
+/// are appended to a per-side overlay exactly once, when the enabling
+/// opposite pair first appears. From the third iteration on, delta-driven
+/// rescoring (SimRankOptions::incremental) recomputes only pairs whose
+/// opposite-side neighborhood actually changed and carries every other
+/// score over untouched. All of this is bit-identical to the classic
+/// rescore-everything map-based update for every variant and thread count
+/// (candidate supersets only ever add zero-sum pairs, which are never
+/// stored; skipped pairs would recompute to exactly their previous value
+/// when convergence_epsilon is 0). Pruning (score threshold + per-node
+/// partner cap) keeps memory bounded on power-law click graphs, which is
+/// how SimRank is deployed at the paper's scale.
 #ifndef SIMRANKPP_CORE_SPARSE_ENGINE_H_
 #define SIMRANKPP_CORE_SPARSE_ENGINE_H_
 
-#include <unordered_map>
+#include <cstdint>
+#include <span>
 #include <vector>
 
+#include "core/pair_store.h"
 #include "core/simrank_engine.h"
 
 namespace simrankpp {
@@ -36,32 +49,78 @@ class SparseSimRankEngine : public SimRankEngine {
   double RawQueryScore(QueryId q1, QueryId q2) const;
 
  private:
-  using PairMap = std::unordered_map<uint64_t, double>;
-  // Partner adjacency derived from a PairMap: per node, (other, score).
-  using Adjacency = std::vector<std::vector<ScoredNode>>;
+  /// CSR rows of candidate partners: for node u, the sorted v > u that u
+  /// can ever share score mass with. The two-hop base rows are a pure
+  /// function of the graph and are built once per Run.
+  struct CandidateIndex {
+    std::vector<size_t> offsets;  // n + 1
+    std::vector<uint32_t> partners;
 
-  static uint64_t Key(uint32_t u, uint32_t v) {
-    if (u > v) std::swap(u, v);
-    return (static_cast<uint64_t>(u) << 32) | v;
-  }
-  static double Lookup(const PairMap& map, uint32_t u, uint32_t v) {
-    if (u == v) return 1.0;
-    auto it = map.find(Key(u, v));
-    return it == map.end() ? 0.0 : it->second;
-  }
+    std::span<const uint32_t> Row(uint32_t u) const {
+      return {partners.data() + offsets[u], offsets[u + 1] - offsets[u]};
+    }
+  };
 
-  Adjacency BuildAdjacency(const PairMap& map, size_t n) const;
+  /// CSR view of one side's scores for the update pass: per node a, the
+  /// sorted (b, s(a, b)) entries including the implicit diagonal
+  /// (a, 1.0), so a pair sum is a merge of this row against the other
+  /// node's edge list.
+  struct ScoreCsr {
+    std::vector<size_t> offsets;  // n + 1
+    std::vector<uint32_t> nodes;
+    std::vector<double> scores;
+  };
 
-  /// One Jacobi update of one side. `source` indexes the opposite side's
-  /// previous scores. Emits the new map for this side.
-  PairMap UpdateSide(bool query_side, const PairMap& source_scores,
-                     const Adjacency& source_adjacency, double decay);
+  /// Flattened one-directional adjacency for one side: opposite-node ids
+  /// (and, for the weighted variant, the matching W transition factors)
+  /// packed contiguously per node. Built once per Run so the iteration
+  /// hot loops never chase edge ids through the graph's edge arrays.
+  struct SideAdjacency {
+    std::vector<size_t> offsets;      // n + 1
+    std::vector<uint32_t> neighbors;  // ascending per node
+    std::vector<double> weights;      // aligned with neighbors; kWeighted only
+
+    size_t degree(uint32_t u) const { return offsets[u + 1] - offsets[u]; }
+    std::span<const uint32_t> Neighbors(uint32_t u) const {
+      return {neighbors.data() + offsets[u], offsets[u + 1] - offsets[u]};
+    }
+  };
+
+  SideAdjacency BuildSideAdjacency(bool query_side) const;
+
+  /// Two-hop candidate rows for one side (common-neighbor partners).
+  CandidateIndex BuildTwoHopIndex(bool query_side);
+
+  static ScoreCsr BuildScoreCsr(const PairStore& store, size_t n);
+
+  /// One Jacobi update of one side from the opposite side's previous
+  /// post-cap scores (`source_csr`). With `allow_skip`, pairs whose
+  /// neighborhood holds no recently-changed opposite pair reuse their
+  /// previous pre-cap score instead of being recomputed.
+  PairStore UpdateSide(bool query_side, const ScoreCsr& source_csr,
+                       double decay, bool allow_skip);
 
   /// Applies the per-node top-K cap (a pair survives when it ranks within
   /// the top K of either endpoint).
-  void ApplyPartnerCap(PairMap* map, size_t n) const;
+  void ApplyPartnerCap(PairStore* store, size_t n) const;
 
-  double MaxDelta(const PairMap& old_map, const PairMap& new_map) const;
+  /// Marks endpoints of pairs whose score differs between the two stores
+  /// by more than `threshold` (appearing/disappearing pairs included).
+  static void MarkTouched(const PairStore& old_store,
+                          const PairStore& new_store, double threshold,
+                          std::vector<uint8_t>* touched);
+
+  /// dirty[u] = some neighbor of u (on the opposite side) is touched.
+  void ComputeDirty(bool query_side,
+                    const std::vector<uint8_t>& touched_opposite,
+                    std::vector<uint8_t>* dirty) const;
+
+  /// Folds the keys of `new_store` (one side's post-cap scores) into that
+  /// side's ever-scored set and expands first-time pairs into the
+  /// opposite side's candidate overlay: a newly scored pair (a, b) makes
+  /// every (u, v) in E(a) x E(b) reachable. Each pair is expanded exactly
+  /// once per Run.
+  void ExpandNewPairs(const PairStore& new_store, bool store_is_query_side);
 
   /// Evidence factor for a query pair under the configured formula+floor.
   double QueryEvidenceFactor(QueryId q1, QueryId q2) const;
@@ -74,8 +133,34 @@ class SparseSimRankEngine : public SimRankEngine {
   // at most max_participants_ threads; null when running single-threaded.
   ThreadPool* pool_ = nullptr;
   size_t max_participants_ = 0;
-  PairMap query_scores_;
-  PairMap ad_scores_;
+
+  // Post-cap scores, the engine's output state.
+  PairStore query_scores_;
+  PairStore ad_scores_;
+
+  // Per-Run iteration state (released when Run returns).
+  SideAdjacency side_query_;  // query -> ad neighbors (+ W(q,a) factors)
+  SideAdjacency side_ad_;     // ad -> query neighbors (+ W(a,q) factors)
+  CandidateIndex base_query_;
+  CandidateIndex base_ad_;
+  // Candidate pairs beyond two hops, sorted canonical keys, disjoint from
+  // the base rows; grows monotonically as opposite-side pairs appear.
+  std::vector<uint64_t> overlay_query_;
+  std::vector<uint64_t> overlay_ad_;
+  // Sorted keys of every pair that has ever been stored post-cap (the
+  // expansion-dedup set).
+  std::vector<uint64_t> ever_scored_query_;
+  std::vector<uint64_t> ever_scored_ad_;
+  // Previous iteration's pre-cap update results: the reuse source for
+  // delta-skipped pairs (a pair's own cap removal must not perturb what a
+  // full recompute would produce).
+  PairStore prev_precap_query_;
+  PairStore prev_precap_ad_;
+  // Nodes whose next update must be rescored (some opposite neighbor is
+  // an endpoint of a changed pair).
+  std::vector<uint8_t> dirty_query_;
+  std::vector<uint8_t> dirty_ad_;
+
   std::vector<double> w_q2a_;
   std::vector<double> w_a2q_;
 };

@@ -40,85 +40,31 @@ double BipartiteGraph::AdWeightSum(AdId a) const {
 
 std::vector<AdId> BipartiteGraph::CommonAds(QueryId q1, QueryId q2) const {
   std::vector<AdId> out;
-  auto e1 = QueryEdges(q1);
-  auto e2 = QueryEdges(q2);
-  size_t i = 0, j = 0;
-  while (i < e1.size() && j < e2.size()) {
-    AdId a1 = edge_ads_[e1[i]];
-    AdId a2 = edge_ads_[e2[j]];
-    if (a1 == a2) {
-      out.push_back(a1);
-      ++i;
-      ++j;
-    } else if (a1 < a2) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
+  ForEachCommonAdEdge(q1, q2, [&](EdgeId e1, EdgeId e2) {
+    (void)e2;
+    out.push_back(edge_ads_[e1]);
+  });
   return out;
 }
 
 std::vector<QueryId> BipartiteGraph::CommonQueries(AdId a1, AdId a2) const {
   std::vector<QueryId> out;
-  auto e1 = AdEdges(a1);
-  auto e2 = AdEdges(a2);
-  size_t i = 0, j = 0;
-  while (i < e1.size() && j < e2.size()) {
-    QueryId q1 = edge_queries_[e1[i]];
-    QueryId q2 = edge_queries_[e2[j]];
-    if (q1 == q2) {
-      out.push_back(q1);
-      ++i;
-      ++j;
-    } else if (q1 < q2) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
+  ForEachCommonQueryEdge(a1, a2, [&](EdgeId e1, EdgeId e2) {
+    (void)e2;
+    out.push_back(edge_queries_[e1]);
+  });
   return out;
 }
 
 size_t BipartiteGraph::CountCommonAds(QueryId q1, QueryId q2) const {
   size_t count = 0;
-  auto e1 = QueryEdges(q1);
-  auto e2 = QueryEdges(q2);
-  size_t i = 0, j = 0;
-  while (i < e1.size() && j < e2.size()) {
-    AdId a1 = edge_ads_[e1[i]];
-    AdId a2 = edge_ads_[e2[j]];
-    if (a1 == a2) {
-      ++count;
-      ++i;
-      ++j;
-    } else if (a1 < a2) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
+  ForEachCommonAdEdge(q1, q2, [&](EdgeId, EdgeId) { ++count; });
   return count;
 }
 
 size_t BipartiteGraph::CountCommonQueries(AdId a1, AdId a2) const {
   size_t count = 0;
-  auto e1 = AdEdges(a1);
-  auto e2 = AdEdges(a2);
-  size_t i = 0, j = 0;
-  while (i < e1.size() && j < e2.size()) {
-    QueryId q1 = edge_queries_[e1[i]];
-    QueryId q2 = edge_queries_[e2[j]];
-    if (q1 == q2) {
-      ++count;
-      ++i;
-      ++j;
-    } else if (q1 < q2) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
+  ForEachCommonQueryEdge(a1, a2, [&](EdgeId, EdgeId) { ++count; });
   return count;
 }
 

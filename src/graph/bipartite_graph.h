@@ -108,8 +108,50 @@ class BipartiteGraph {
   /// \brief Number of common queries without materializing them.
   size_t CountCommonQueries(AdId a1, AdId a2) const;
 
+  /// \brief Invokes fn(e1, e2) for every ad adjacent to both q1 and q2,
+  /// in ascending ad order, where e1 connects q1 and e2 connects q2 to
+  /// that ad. A single sorted-adjacency merge — callers that need both
+  /// edges' weights (Pearson) avoid a per-common-ad FindEdge search.
+  template <typename Fn>
+  void ForEachCommonAdEdge(QueryId q1, QueryId q2, Fn&& fn) const {
+    MergeIntersect(QueryEdges(q1), QueryEdges(q2), edge_ads_,
+                   std::forward<Fn>(fn));
+  }
+
+  /// \brief Invokes fn(e1, e2) for every query adjacent to both a1 and
+  /// a2, in ascending query order.
+  template <typename Fn>
+  void ForEachCommonQueryEdge(AdId a1, AdId a2, Fn&& fn) const {
+    MergeIntersect(AdEdges(a1), AdEdges(a2), edge_queries_,
+                   std::forward<Fn>(fn));
+  }
+
  private:
   friend class GraphBuilder;
+
+  /// Merge-intersection of two neighbor-sorted edge lists: fn(e1, e2) for
+  /// each shared opposite endpoint (`ends[e]` maps an edge to it), in
+  /// ascending endpoint order. The substrate of all common-neighbor
+  /// queries above.
+  template <typename Fn>
+  static void MergeIntersect(std::span<const EdgeId> e1,
+                             std::span<const EdgeId> e2,
+                             const std::vector<uint32_t>& ends, Fn&& fn) {
+    size_t i = 0, j = 0;
+    while (i < e1.size() && j < e2.size()) {
+      uint32_t n1 = ends[e1[i]];
+      uint32_t n2 = ends[e2[j]];
+      if (n1 == n2) {
+        fn(e1[i], e2[j]);
+        ++i;
+        ++j;
+      } else if (n1 < n2) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  }
 
   std::vector<std::string> query_labels_;
   std::vector<std::string> ad_labels_;

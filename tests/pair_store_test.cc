@@ -1,0 +1,109 @@
+// PairStore: the flat sorted pair-score store under the sparse engine.
+// Covers the shard-concatenation build (ordering across shard
+// boundaries), sorted/unsorted construction, lookup hits/misses/diagonal,
+// row ranges, in-place filtering (the partner cap's substrate), and the
+// merge diff.
+#include "core/pair_store.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace simrankpp {
+namespace {
+
+using Pairs = std::vector<std::pair<uint64_t, double>>;
+
+TEST(PairStoreTest, KeyCanonicalization) {
+  EXPECT_EQ(PairStore::MakeKey(3, 7), PairStore::MakeKey(7, 3));
+  uint64_t key = PairStore::MakeKey(7, 3);
+  EXPECT_EQ(PairStore::KeyLower(key), 3u);
+  EXPECT_EQ(PairStore::KeyUpper(key), 7u);
+}
+
+TEST(PairStoreTest, FromShardsConcatenatesInOrder) {
+  // Three shards covering ascending key ranges, one empty: the build is a
+  // plain concatenation and the result is globally sorted.
+  std::vector<Pairs> shards(4);
+  shards[0] = {{PairStore::MakeKey(0, 1), 0.1}, {PairStore::MakeKey(0, 5), 0.2}};
+  shards[1] = {};  // a node range that produced no pairs
+  shards[2] = {{PairStore::MakeKey(2, 3), 0.3}};
+  shards[3] = {{PairStore::MakeKey(4, 6), 0.4}, {PairStore::MakeKey(5, 6), 0.5}};
+  PairStore store = PairStore::FromShards(std::move(shards));
+
+  ASSERT_EQ(store.size(), 5u);
+  for (size_t i = 1; i < store.size(); ++i) {
+    EXPECT_LT(store.key(i - 1), store.key(i));
+  }
+  EXPECT_DOUBLE_EQ(store.Lookup(0, 5), 0.2);
+  EXPECT_DOUBLE_EQ(store.Lookup(6, 4), 0.4);
+}
+
+TEST(PairStoreTest, FromUnsortedSorts) {
+  PairStore store = PairStore::FromUnsorted({{PairStore::MakeKey(5, 6), 0.5},
+                                             {PairStore::MakeKey(0, 1), 0.1},
+                                             {PairStore::MakeKey(2, 3), 0.3}});
+  ASSERT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.key(0), PairStore::MakeKey(0, 1));
+  EXPECT_EQ(store.key(2), PairStore::MakeKey(5, 6));
+}
+
+TEST(PairStoreTest, LookupMissesAndDiagonal) {
+  PairStore store = PairStore::FromUnsorted({{PairStore::MakeKey(1, 2), 0.25}});
+  EXPECT_DOUBLE_EQ(store.Lookup(1, 2), 0.25);
+  EXPECT_DOUBLE_EQ(store.Lookup(2, 1), 0.25);
+  // Diagonal is implicit 1, absent pairs read 0 — including pairs beyond
+  // either end of the key range and between stored keys.
+  EXPECT_DOUBLE_EQ(store.Lookup(4, 4), 1.0);
+  EXPECT_DOUBLE_EQ(store.Lookup(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(store.Lookup(1, 3), 0.0);
+  EXPECT_DOUBLE_EQ(store.Lookup(7, 9), 0.0);
+  EXPECT_EQ(store.Find(PairStore::MakeKey(1, 3)), store.size());
+
+  PairStore empty;
+  EXPECT_DOUBLE_EQ(empty.Lookup(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Lookup(3, 3), 1.0);
+}
+
+TEST(PairStoreTest, RowOfIsContiguousPerLowerNode) {
+  PairStore store = PairStore::FromUnsorted({{PairStore::MakeKey(1, 2), 0.1},
+                                             {PairStore::MakeKey(1, 9), 0.2},
+                                             {PairStore::MakeKey(2, 9), 0.3}});
+  PairStore::Row row1 = store.RowOf(1);
+  EXPECT_EQ(row1.end - row1.begin, 2u);
+  EXPECT_EQ(PairStore::KeyUpper(store.key(row1.begin)), 2u);
+  EXPECT_EQ(PairStore::KeyUpper(store.key(row1.end - 1)), 9u);
+  EXPECT_TRUE(store.RowOf(0).empty());
+  // 9 only ever appears as the upper endpoint, so its row is empty.
+  EXPECT_TRUE(store.RowOf(9).empty());
+}
+
+TEST(PairStoreTest, FilterKeepsOrderAndDropsByPredicate) {
+  // The partner cap runs exactly this shape: a value-threshold predicate
+  // over the whole store, in place.
+  PairStore store = PairStore::FromUnsorted({{PairStore::MakeKey(0, 1), 0.9},
+                                             {PairStore::MakeKey(0, 2), 0.1},
+                                             {PairStore::MakeKey(1, 2), 0.5},
+                                             {PairStore::MakeKey(2, 3), 0.05}});
+  store.Filter([](uint64_t, double value) { return value >= 0.1; });
+  ASSERT_EQ(store.size(), 3u);
+  for (size_t i = 1; i < store.size(); ++i) {
+    EXPECT_LT(store.key(i - 1), store.key(i));
+  }
+  EXPECT_DOUBLE_EQ(store.Lookup(0, 2), 0.1);
+  EXPECT_DOUBLE_EQ(store.Lookup(2, 3), 0.0);
+}
+
+TEST(PairStoreTest, MaxAbsDiffCoversUnionOfKeys) {
+  PairStore a = PairStore::FromUnsorted({{PairStore::MakeKey(0, 1), 0.5},
+                                         {PairStore::MakeKey(1, 2), 0.25}});
+  PairStore b = PairStore::FromUnsorted({{PairStore::MakeKey(0, 1), 0.5},
+                                         {PairStore::MakeKey(3, 4), 0.125}});
+  // (1,2) only in a -> 0.25; (3,4) only in b -> 0.125; shared pair equal.
+  EXPECT_DOUBLE_EQ(PairStore::MaxAbsDiff(a, b), 0.25);
+  EXPECT_DOUBLE_EQ(PairStore::MaxAbsDiff(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(PairStore::MaxAbsDiff(PairStore(), b), 0.5);
+}
+
+}  // namespace
+}  // namespace simrankpp

@@ -2,6 +2,11 @@
 // bit-identical exported scores for every num_threads setting, because
 // work is sharded by a partition that never depends on the thread count
 // and per-shard results merge in a fixed order (no atomics on scores).
+// The sparse engine's flat structures (two-hop candidate index, shard-
+// concatenated PairStore, delta-driven rescoring state) are all covered
+// by the same invariant: none of them may depend on the thread count, and
+// the incremental toggle must not change results when convergence_epsilon
+// is 0.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -92,6 +97,33 @@ TEST(ThreadingTest, SparseEvidenceBitIdenticalAcrossThreadCounts) {
 
 TEST(ThreadingTest, SparseWeightedBitIdenticalAcrossThreadCounts) {
   CheckThreadCountInvariance<SparseSimRankEngine>(SimRankVariant::kWeighted);
+}
+
+// The delta-driven skip path shards exactly like the full rescore: with
+// or without it, for any thread count, the exported stores are the same
+// bits (epsilon = 0 makes the skip tolerance exact).
+TEST(ThreadingTest, SparseIncrementalToggleBitIdenticalAcrossThreadCounts) {
+  BipartiteGraph graph = SeededGraph();
+  SimRankOptions reference_options =
+      ThreadedOptions(SimRankVariant::kSimRank, 1);
+  reference_options.incremental = false;
+  SparseSimRankEngine reference(reference_options);
+  ASSERT_TRUE(reference.Run(graph).ok());
+  EXPECT_EQ(reference.stats().reused_pairs, 0u);
+  SimilarityMatrix reference_queries = reference.ExportQueryScores(0.0);
+  SimilarityMatrix reference_ads = reference.ExportAdScores(0.0);
+
+  for (bool incremental : {true, false}) {
+    for (size_t num_threads : {size_t{1}, size_t{4}, size_t{0}}) {
+      SimRankOptions options =
+          ThreadedOptions(SimRankVariant::kSimRank, num_threads);
+      options.incremental = incremental;
+      SparseSimRankEngine engine(options);
+      ASSERT_TRUE(engine.Run(graph).ok());
+      ExpectIdentical(engine.ExportQueryScores(0.0), reference_queries);
+      ExpectIdentical(engine.ExportAdScores(0.0), reference_ads);
+    }
+  }
 }
 
 TEST(ThreadingTest, StatsReportThreadsUsed) {

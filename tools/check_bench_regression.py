@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Perf-trajectory smoke gate: compare a fresh bench JSON report against a
+committed baseline and fail on regressions beyond a headroom factor.
+
+    check_bench_regression.py <baseline.json> <current.json> [--factor 2.0]
+
+Both files are the `--json` output of the perf benches (perf_harness.h's
+JsonReport): {"benchmarks": [{"name", "reps", "median_ns", "best_ns",
+"note"}, ...]}. Cases are matched by name; a case is a regression when its
+current time exceeds factor * baseline time. By default the best-of-N
+sample is compared — scheduling noise only ever adds time, so best-of-N
+is the stable estimator for the sub-millisecond smoke cases this gate
+runs on (shared CI runners make medians flaky at that scale). The factor
+absorbs machine differences between the committed numbers and CI
+runners — the gate exists to catch hot-path regressions, not 10% noise.
+Cases present on only one side are reported but never fail the gate
+(benches may gain or lose cases across PRs).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cases(path):
+    with open(path) as f:
+        report = json.load(f)
+    return {case["name"]: case for case in report["benchmarks"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="fail when current time > factor * baseline")
+    parser.add_argument("--metric", choices=["best_ns", "median_ns"],
+                        default="best_ns",
+                        help="which per-case sample to compare")
+    args = parser.parse_args()
+
+    baseline = load_cases(args.baseline)
+    current = load_cases(args.current)
+
+    regressions = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            print(f"[skip] {name}: missing from current run")
+            continue
+        base_ns = base[args.metric]
+        cur_ns = cur[args.metric]
+        ratio = cur_ns / base_ns if base_ns else float("inf")
+        marker = "FAIL" if ratio > args.factor else " ok "
+        print(f"[{marker}] {name}: baseline {base_ns / 1e6:.2f} ms, "
+              f"current {cur_ns / 1e6:.2f} ms ({ratio:.2f}x)")
+        if ratio > args.factor:
+            regressions.append(name)
+    for name in sorted(set(current) - set(baseline)):
+        print(f"[new ] {name}: no baseline yet")
+
+    if regressions:
+        print(f"\n{len(regressions)} case(s) regressed more than "
+              f"{args.factor}x: {', '.join(regressions)}")
+        return 1
+    print("\nno regressions beyond the headroom factor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
