@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace simrankpp {
 
@@ -17,12 +18,20 @@ namespace {
 constexpr char kMagic[8] = {'S', 'R', 'P', 'P', 'S', 'I', 'M', '\0'};
 constexpr size_t kMagicBytes = sizeof(kMagic);
 constexpr size_t kChecksumBytes = 8;
-// magic + version + name_len (the name itself follows).
-constexpr size_t kFixedPrefixBytes = kMagicBytes + 4 + 4;
+// Version 2: magic + version + side + name_len (the name itself follows).
+// Version 1 had no side field, so its smallest valid file is 4 bytes
+// shorter — the minimum-size check below uses the v1 prefix.
+constexpr size_t kFixedPrefixBytesV1 = kMagicBytes + 4 + 4;
 constexpr size_t kPairRecordBytes = 4 + 4 + 8;
+// Records per serialization chunk: big enough that chunk bookkeeping is
+// noise, small enough that the encode pass parallelizes on mid-sized
+// matrices.
+constexpr size_t kRecordsPerChunk = 1 << 15;
 
 // FNV-1a 64: tiny, dependency-free, and plenty to catch the truncation
-// and bit-rot failures a serving process must refuse to load.
+// and bit-rot failures a serving process must refuse to load. Inherently
+// sequential (each step is (hash ^ byte) * prime), which is why the
+// parallel writer below parallelizes the record encoding but not this.
 uint64_t Fnv1a64(const char* data, size_t size) {
   uint64_t hash = 0xcbf29ce484222325ull;
   for (size_t i = 0; i < size; ++i) {
@@ -44,11 +53,25 @@ void AppendU64(std::string* out, uint64_t value) {
   }
 }
 
-void AppendDouble(std::string* out, double value) {
+// In-place little-endian stores for the parallel encode pass: every pair
+// record has a precomputed offset, so chunks write disjoint ranges.
+void StoreU32(char* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+}
+
+void StoreU64(char* out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+}
+
+void StoreDouble(char* out, double value) {
   uint64_t bits;
   static_assert(sizeof(bits) == sizeof(value));
   std::memcpy(&bits, &value, sizeof(bits));
-  AppendU64(out, bits);
+  StoreU64(out, bits);
 }
 
 // Bounded little-endian readers over an in-memory file image. The cursor
@@ -127,7 +150,7 @@ Result<std::string> ReadFileBytes(const std::string& path) {
 // reader is positioned at the first pair record.
 Result<SnapshotInfo> ParseHeader(const std::string& content,
                                  const std::string& path, Reader* reader) {
-  if (content.size() < kFixedPrefixBytes + kChecksumBytes) {
+  if (content.size() < kFixedPrefixBytesV1 + kChecksumBytes) {
     return Status::InvalidArgument(StringPrintf(
         "snapshot %s is truncated: %zu bytes is smaller than the smallest "
         "valid snapshot",
@@ -156,10 +179,25 @@ Result<SnapshotInfo> ParseHeader(const std::string& content,
   info.checksum = expected;
   reader->ReadBytes(kMagicBytes);  // magic, already checked
   info.version = reader->ReadU32();
-  if (info.version != kSnapshotFormatVersion) {
+  if (info.version < kSnapshotMinReadVersion ||
+      info.version > kSnapshotFormatVersion) {
     return Status::InvalidArgument(StringPrintf(
-        "snapshot %s has format version %u; this build reads version %u",
-        path.c_str(), info.version, kSnapshotFormatVersion));
+        "snapshot %s has format version %u; this build reads versions "
+        "%u..%u",
+        path.c_str(), info.version, kSnapshotMinReadVersion,
+        kSnapshotFormatVersion));
+  }
+  if (info.version >= 2) {
+    uint32_t side = reader->ReadU32();
+    if (side > static_cast<uint32_t>(SnapshotSide::kAdAd)) {
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot %s is corrupt: unknown side tag %u", path.c_str(),
+          side));
+    }
+    info.side = static_cast<SnapshotSide>(side);
+  } else {
+    // Version 1 predates the side tag; those files are query-query.
+    info.side = SnapshotSide::kQueryQuery;
   }
   uint32_t name_bytes = reader->ReadU32();
   info.method_name = reader->ReadBytes(name_bytes);
@@ -182,8 +220,13 @@ Result<SnapshotInfo> ParseHeader(const std::string& content,
 
 }  // namespace
 
-Status SaveSnapshot(const SimilarityMatrix& matrix,
-                    const std::string& method_name, const std::string& path) {
+const char* SnapshotSideName(SnapshotSide side) {
+  return side == SnapshotSide::kAdAd ? "ad-ad" : "query-query";
+}
+
+std::string SerializeSnapshot(const SimilarityMatrix& matrix,
+                              const std::string& method_name,
+                              SnapshotSide side) {
   // Canonical pair order: ascending (u << 32 | v) key with u < v. Equal
   // matrices therefore serialize to identical bytes, which is what makes
   // the CI round-trip check meaningful.
@@ -197,26 +240,81 @@ Status SaveSnapshot(const SimilarityMatrix& matrix,
   matrix.ForEachPair([&pairs](uint32_t u, uint32_t v, double score) {
     pairs.push_back({u, v, score});
   });
-  std::sort(pairs.begin(), pairs.end(),
-            [](const PairRecord& a, const PairRecord& b) {
-              return a.u != b.u ? a.u < b.u : a.v < b.v;
-            });
+  auto by_key = [](const PairRecord& a, const PairRecord& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  };
+
+  // The sort and the record-encoding pass dominate large writes; both are
+  // sharded on the shared pool. The chunk partition depends only on the
+  // pair count (ParallelForChunked's contract), each record is encoded at
+  // a precomputed offset, and adjacent sorted chunks are merged in a
+  // fixed order — so the byte stream is identical for any thread count,
+  // including the serial small-matrix path.
+  size_t num_chunks =
+      std::max<size_t>(1, (pairs.size() + kRecordsPerChunk - 1) /
+                              kRecordsPerChunk);
+  bool parallel = num_chunks > 1;
+  auto for_chunks =
+      [&](const std::function<void(size_t, size_t, size_t)>& fn) {
+        if (parallel) {
+          SharedThreadPool().ParallelForChunked(pairs.size(), num_chunks, fn);
+        } else {
+          ThreadPool::SerialForChunked(pairs.size(), num_chunks, fn);
+        }
+      };
+
+  for_chunks([&](size_t, size_t begin, size_t end) {
+    std::sort(pairs.begin() + static_cast<ptrdiff_t>(begin),
+              pairs.begin() + static_cast<ptrdiff_t>(end), by_key);
+  });
+  // Merge sorted chunks pairwise (serial; the merges are cheap relative
+  // to the chunk sorts and their order is fixed).
+  size_t chunk_span = pairs.empty()
+                          ? 0
+                          : (pairs.size() + num_chunks - 1) / num_chunks;
+  for (size_t width = chunk_span; width != 0 && width < pairs.size();
+       width *= 2) {
+    for (size_t begin = 0; begin + width < pairs.size(); begin += 2 * width) {
+      size_t mid = begin + width;
+      size_t end = std::min(begin + 2 * width, pairs.size());
+      std::inplace_merge(pairs.begin() + static_cast<ptrdiff_t>(begin),
+                         pairs.begin() + static_cast<ptrdiff_t>(mid),
+                         pairs.begin() + static_cast<ptrdiff_t>(end),
+                         by_key);
+    }
+  }
 
   std::string buffer;
-  buffer.reserve(kFixedPrefixBytes + method_name.size() + 16 +
+  buffer.reserve(kFixedPrefixBytesV1 + 4 + method_name.size() + 16 +
                  pairs.size() * kPairRecordBytes + kChecksumBytes);
   buffer.append(kMagic, kMagicBytes);
   AppendU32(&buffer, kSnapshotFormatVersion);
+  AppendU32(&buffer, static_cast<uint32_t>(side));
   AppendU32(&buffer, static_cast<uint32_t>(method_name.size()));
   buffer.append(method_name);
   AppendU64(&buffer, matrix.num_nodes());
   AppendU64(&buffer, pairs.size());
-  for (const PairRecord& pair : pairs) {
-    AppendU32(&buffer, pair.u);
-    AppendU32(&buffer, pair.v);
-    AppendDouble(&buffer, pair.score);
-  }
+
+  size_t records_at = buffer.size();
+  buffer.resize(records_at + pairs.size() * kPairRecordBytes);
+  char* records = buffer.data() + records_at;
+  for_chunks([&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      char* out = records + i * kPairRecordBytes;
+      StoreU32(out, pairs[i].u);
+      StoreU32(out + 4, pairs[i].v);
+      StoreDouble(out + 8, pairs[i].score);
+    }
+  });
+
   AppendU64(&buffer, Fnv1a64(buffer.data(), buffer.size()));
+  return buffer;
+}
+
+Status SaveSnapshot(const SimilarityMatrix& matrix,
+                    const std::string& method_name, const std::string& path,
+                    SnapshotSide side) {
+  std::string buffer = SerializeSnapshot(matrix, method_name, side);
 
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) {
@@ -239,6 +337,8 @@ Result<SimilaritySnapshot> LoadSnapshot(const std::string& path) {
 
   SimilaritySnapshot snapshot;
   snapshot.method_name = info.method_name;
+  snapshot.side = info.side;
+  snapshot.checksum = info.checksum;
   snapshot.matrix = SimilarityMatrix(info.num_nodes);
   for (uint64_t i = 0; i < info.num_pairs; ++i) {
     uint32_t u = reader.ReadU32();

@@ -3,11 +3,13 @@
 ///
 /// A snapshot separates the offline SimRank computation from the serving
 /// path (the paper's Figure 2 split): `compute` writes the finalized
-/// query-query scores to disk, and a serving process reloads them into a
+/// similarity scores to disk, and a serving process reloads them into a
 /// RewriteService without re-running any engine. The format is versioned,
 /// checksummed, and byte-deterministic — the same matrix always serializes
 /// to the same bytes, and a round trip reproduces every score
-/// bit-for-bit. See docs/SNAPSHOT_FORMAT.md for the exact layout.
+/// bit-for-bit. Version 2 adds a side tag so one file format carries both
+/// query–query and ad–ad scores; version-1 files (always query–query)
+/// still load. See docs/SNAPSHOT_FORMAT.md for the exact layout.
 #ifndef SIMRANKPP_CORE_SNAPSHOT_H_
 #define SIMRANKPP_CORE_SNAPSHOT_H_
 
@@ -19,15 +21,31 @@
 
 namespace simrankpp {
 
-/// \brief Current writer version. Readers accept exactly this version and
-/// reject anything else with a clear error (the format carries no
-/// compatibility shims yet).
-inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// \brief Current writer version. Readers accept this version and the
+/// compatibility window back to kSnapshotMinReadVersion; anything else is
+/// rejected with a clear error naming both versions.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+
+/// \brief Oldest version readers still decode (version 1 predates the
+/// side tag; such files are query–query by definition).
+inline constexpr uint32_t kSnapshotMinReadVersion = 1;
+
+/// \brief Which node set a similarity snapshot's scores range over. The
+/// serving layer uses the same tag to pick labels and text lookup
+/// (query_label/FindQuery vs ad_label/FindAd).
+enum class SnapshotSide : uint32_t {
+  kQueryQuery = 0,
+  kAdAd = 1,
+};
+
+/// \brief Human-readable side name: "query-query" or "ad-ad".
+const char* SnapshotSideName(SnapshotSide side);
 
 /// \brief Header fields of a snapshot file, readable without trusting the
 /// payload (ReadSnapshotInfo still verifies the checksum).
 struct SnapshotInfo {
   uint32_t version = 0;
+  SnapshotSide side = SnapshotSide::kQueryQuery;
   /// The similarity method that produced the scores ("weighted Simrank",
   /// "Pearson", ...), as recorded by the writer.
   std::string method_name;
@@ -38,17 +56,30 @@ struct SnapshotInfo {
   uint64_t file_bytes = 0;
 };
 
-/// \brief A loaded snapshot: the method label plus the scores.
+/// \brief A loaded snapshot: the method label, side tag, checksum of the
+/// file it came from, and the scores.
 struct SimilaritySnapshot {
   std::string method_name;
+  SnapshotSide side = SnapshotSide::kQueryQuery;
+  uint64_t checksum = 0;
   SimilarityMatrix matrix;
 };
 
-/// \brief Writes `matrix` (with its producing method's name) to `path`.
-/// The stored pair order is canonical (ascending node-pair key), so equal
-/// matrices produce identical files. IOError on filesystem failures.
+/// \brief Serializes `matrix` to the snapshot byte stream without touching
+/// the filesystem. The stored pair order is canonical (ascending node-pair
+/// key), so equal matrices produce identical bytes. The record-encoding
+/// pass is parallelized on the shared thread pool; the output is
+/// byte-identical for any thread count (each record lands at a
+/// precomputed offset).
+std::string SerializeSnapshot(const SimilarityMatrix& matrix,
+                              const std::string& method_name,
+                              SnapshotSide side = SnapshotSide::kQueryQuery);
+
+/// \brief Writes `matrix` (with its producing method's name and side tag)
+/// to `path`. IOError on filesystem failures.
 Status SaveSnapshot(const SimilarityMatrix& matrix,
-                    const std::string& method_name, const std::string& path);
+                    const std::string& method_name, const std::string& path,
+                    SnapshotSide side = SnapshotSide::kQueryQuery);
 
 /// \brief Reads a snapshot back. The returned matrix is not finalized
 /// (call Finalize() before TopK). Fails with a descriptive Status — never

@@ -7,14 +7,14 @@
 namespace simrankpp {
 
 std::vector<AuditedCandidate> AuditRewrites(
-    const BipartiteGraph& graph, const SimilarityMatrix& similarities,
-    QueryId q, const BidDatabase* bids,
+    const NodeLabelFn& label, const SimilarityMatrix& similarities,
+    uint32_t node, const BidDatabase* bids,
     const RewritePipelineOptions& options) {
   std::vector<AuditedCandidate> audited;
   std::vector<ScoredNode> ranked =
-      similarities.TopK(q, options.max_candidates);
+      similarities.TopK(node, options.max_candidates);
 
-  std::string query_key = QueryStemKey(graph.query_label(q));
+  std::string query_key = QueryStemKey(label(node));
   std::unordered_set<std::string> seen_keys;
   size_t kept = 0;
 
@@ -22,7 +22,7 @@ std::vector<AuditedCandidate> AuditRewrites(
     if (scored.score <= options.min_score) break;  // ranked descending
     AuditedCandidate entry;
     entry.candidate.query = scored.node;
-    entry.candidate.text = graph.query_label(scored.node);
+    entry.candidate.text = label(scored.node);
     entry.candidate.score = scored.score;
 
     std::string key = QueryStemKey(entry.candidate.text);
@@ -47,18 +47,40 @@ std::vector<AuditedCandidate> AuditRewrites(
   return audited;
 }
 
-std::vector<RewriteCandidate> SelectRewrites(
+std::vector<AuditedCandidate> AuditRewrites(
     const BipartiteGraph& graph, const SimilarityMatrix& similarities,
     QueryId q, const BidDatabase* bids,
     const RewritePipelineOptions& options) {
+  return AuditRewrites(
+      [&graph](uint32_t n) -> const std::string& {
+        return graph.query_label(n);
+      },
+      similarities, q, bids, options);
+}
+
+std::vector<RewriteCandidate> SelectRewrites(
+    const NodeLabelFn& label, const SimilarityMatrix& similarities,
+    uint32_t node, const BidDatabase* bids,
+    const RewritePipelineOptions& options) {
   std::vector<RewriteCandidate> out;
   for (AuditedCandidate& entry :
-       AuditRewrites(graph, similarities, q, bids, options)) {
+       AuditRewrites(label, similarities, node, bids, options)) {
     if (entry.outcome == DropReason::kKept) {
       out.push_back(std::move(entry.candidate));
     }
   }
   return out;
+}
+
+std::vector<RewriteCandidate> SelectRewrites(
+    const BipartiteGraph& graph, const SimilarityMatrix& similarities,
+    QueryId q, const BidDatabase* bids,
+    const RewritePipelineOptions& options) {
+  return SelectRewrites(
+      [&graph](uint32_t n) -> const std::string& {
+        return graph.query_label(n);
+      },
+      similarities, q, bids, options);
 }
 
 }  // namespace simrankpp

@@ -5,6 +5,7 @@
 #ifndef SIMRANKPP_REWRITE_PIPELINE_H_
 #define SIMRANKPP_REWRITE_PIPELINE_H_
 
+#include <functional>
 #include <vector>
 
 #include "core/similarity_matrix.h"
@@ -24,11 +25,25 @@ struct RewritePipelineOptions {
   /// Candidates must score strictly above this (Pearson can go negative;
   /// non-positive correlation is no similarity evidence).
   double min_score = 0.0;
+
+  bool operator==(const RewritePipelineOptions&) const = default;
 };
 
-/// \brief Runs the pipeline for query `q` over finalized similarity
-/// scores. `graph` supplies candidate texts; `bids` may be null when
-/// apply_bid_filter is false.
+/// \brief Surface text of candidate node `n`. The pipeline is agnostic to
+/// which node set the similarity scores range over — the serving layer
+/// passes `query_label` for query–query scores and `ad_label` for ad–ad
+/// snapshots.
+using NodeLabelFn = std::function<const std::string&(uint32_t)>;
+
+/// \brief Runs the pipeline for node `node` over finalized similarity
+/// scores, reading candidate texts through `label`. `bids` may be null
+/// when apply_bid_filter is false.
+std::vector<RewriteCandidate> SelectRewrites(
+    const NodeLabelFn& label, const SimilarityMatrix& similarities,
+    uint32_t node, const BidDatabase* bids,
+    const RewritePipelineOptions& options);
+
+/// \brief Query-side convenience overload (texts from graph.query_label).
 std::vector<RewriteCandidate> SelectRewrites(
     const BipartiteGraph& graph, const SimilarityMatrix& similarities,
     QueryId q, const BidDatabase* bids,
@@ -36,6 +51,12 @@ std::vector<RewriteCandidate> SelectRewrites(
 
 /// \brief Same pipeline, but returns every considered candidate together
 /// with its outcome (kept / why dropped) for diagnostics.
+std::vector<AuditedCandidate> AuditRewrites(
+    const NodeLabelFn& label, const SimilarityMatrix& similarities,
+    uint32_t node, const BidDatabase* bids,
+    const RewritePipelineOptions& options);
+
+/// \brief Query-side convenience overload (texts from graph.query_label).
 std::vector<AuditedCandidate> AuditRewrites(
     const BipartiteGraph& graph, const SimilarityMatrix& similarities,
     QueryId q, const BidDatabase* bids,

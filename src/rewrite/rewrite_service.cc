@@ -11,10 +11,10 @@ namespace simrankpp {
 
 std::string RewriteServiceStats::ToString() const {
   return StringPrintf(
-      "method=\"%s\" source=%s%s%s queries=%zu pairs=%zu served=%llu",
+      "method=\"%s\" source=%s%s%s side=%s nodes=%zu pairs=%zu served=%llu",
       method_name.c_str(), source.c_str(),
       engine_name.empty() ? "" : " engine=", engine_name.c_str(),
-      num_queries, similarity_pairs,
+      SnapshotSideName(side), num_queries, similarity_pairs,
       static_cast<unsigned long long>(queries_served));
 }
 
@@ -33,12 +33,9 @@ std::vector<RewriteCandidate> RewriteService::TopK(QueryId query,
 
 Result<std::vector<RewriteCandidate>> RewriteService::TopK(
     std::string_view query_text, size_t k) const {
-  std::optional<QueryId> q = graph_->FindQuery(std::string(query_text));
-  if (!q.has_value()) {
-    return Status::NotFound("query not present in the click graph: " +
-                            std::string(query_text));
-  }
-  return TopK(*q, k);
+  // Side-aware lookup: queries for query–query services, ads for ad–ad.
+  SRPP_ASSIGN_OR_RETURN(uint32_t q, rewriter_.ResolveNode(query_text));
+  return TopK(q, k);
 }
 
 std::vector<std::vector<RewriteCandidate>> RewriteService::TopKBatch(
@@ -65,7 +62,22 @@ RewriteServiceStats RewriteService::Stats() const {
 
 Status RewriteService::SaveSnapshot(const std::string& path) const {
   return simrankpp::SaveSnapshot(rewriter_.similarities(),
-                                 base_stats_.method_name, path);
+                                 base_stats_.method_name, path, side());
+}
+
+Result<std::unique_ptr<RewriteService>> RewriteService::RebuildFromSnapshot(
+    const std::string& path) const {
+  // Rebuilding shares every already-loaded input (graph, bids, pipeline)
+  // and re-reads only the snapshot; declaring our side makes a
+  // wrong-direction replacement file fail validation instead of serving
+  // nonsense ids.
+  return RewriteServiceBuilder()
+      .WithGraph(graph_)
+      .WithSnapshot(path)
+      .WithSide(side())
+      .WithBidDatabase(rewriter_.bids())
+      .WithPipelineOptions(rewriter_.pipeline_options())
+      .Build();
 }
 
 RewriteServiceBuilder& RewriteServiceBuilder::WithGraph(
@@ -90,6 +102,11 @@ RewriteServiceBuilder& RewriteServiceBuilder::WithSimilarities(
     SimilarityMatrix similarities, std::string method_name) {
   similarities_ = std::move(similarities);
   method_name_ = std::move(method_name);
+  return *this;
+}
+
+RewriteServiceBuilder& RewriteServiceBuilder::WithSide(SnapshotSide side) {
+  side_ = side;
   return *this;
 }
 
@@ -126,7 +143,7 @@ Result<std::unique_ptr<RewriteService>> RewriteServiceBuilder::Build() {
   }
 
   RewriteServiceStats stats;
-  stats.num_queries = graph_->num_queries();
+  SnapshotSide side = side_.value_or(SnapshotSide::kQueryQuery);
 
   SimilarityMatrix scores;
   if (engine_name_.has_value()) {
@@ -134,7 +151,9 @@ Result<std::unique_ptr<RewriteService>> RewriteServiceBuilder::Build() {
         std::unique_ptr<SimRankEngine> engine,
         CreateSimRankEngine(*engine_name_, engine_options_));
     SRPP_RETURN_NOT_OK(engine->Run(*graph_));
-    scores = engine->ExportQueryScores(min_score_);
+    scores = side == SnapshotSide::kAdAd
+                 ? engine->ExportAdScores(min_score_)
+                 : engine->ExportQueryScores(min_score_);
     stats.source = "engine";
     stats.engine_name = *engine_name_;
     stats.engine_stats = engine->stats();
@@ -142,34 +161,53 @@ Result<std::unique_ptr<RewriteService>> RewriteServiceBuilder::Build() {
   } else if (snapshot_path_.has_value()) {
     SRPP_ASSIGN_OR_RETURN(SimilaritySnapshot snapshot,
                           LoadSnapshot(*snapshot_path_));
-    if (snapshot.matrix.num_nodes() != graph_->num_queries()) {
+    if (side_.has_value() && snapshot.side != *side_) {
       return Status::InvalidArgument(StringPrintf(
-          "snapshot %s covers %zu nodes but the graph has %zu queries — "
+          "snapshot %s carries %s scores but the service was configured "
+          "for %s",
+          snapshot_path_->c_str(), SnapshotSideName(snapshot.side),
+          SnapshotSideName(*side_)));
+    }
+    side = snapshot.side;  // the file's tag is authoritative
+    size_t expected_nodes = side == SnapshotSide::kAdAd
+                                ? graph_->num_ads()
+                                : graph_->num_queries();
+    if (snapshot.matrix.num_nodes() != expected_nodes) {
+      return Status::InvalidArgument(StringPrintf(
+          "snapshot %s covers %zu nodes but the graph has %zu %s — "
           "it was computed on a different graph",
           snapshot_path_->c_str(), snapshot.matrix.num_nodes(),
-          graph_->num_queries()));
+          expected_nodes,
+          side == SnapshotSide::kAdAd ? "ads" : "queries"));
     }
     scores = std::move(snapshot.matrix);
     stats.source = "snapshot";
+    stats.snapshot_checksum = snapshot.checksum;
     stats.method_name = std::move(snapshot.method_name);
   } else {
-    if (similarities_->num_nodes() != graph_->num_queries()) {
+    size_t expected_nodes = side == SnapshotSide::kAdAd
+                                ? graph_->num_ads()
+                                : graph_->num_queries();
+    if (similarities_->num_nodes() != expected_nodes) {
       return Status::InvalidArgument(StringPrintf(
-          "similarity matrix covers %zu nodes but the graph has %zu "
-          "queries",
-          similarities_->num_nodes(), graph_->num_queries()));
+          "similarity matrix covers %zu nodes but the graph has %zu %s",
+          similarities_->num_nodes(), expected_nodes,
+          side == SnapshotSide::kAdAd ? "ads" : "queries"));
     }
     scores = std::move(*similarities_);
     similarities_.reset();
     stats.source = "matrix";
     stats.method_name = method_name_;
   }
+  stats.side = side;
+  stats.num_queries = side == SnapshotSide::kAdAd ? graph_->num_ads()
+                                                  : graph_->num_queries();
   stats.similarity_pairs = scores.num_pairs();
 
   // QueryRewriter finalizes the matrix; after Build() every lookup path
   // reads immutable state only.
   QueryRewriter rewriter(stats.method_name, graph_, std::move(scores), bids_,
-                         pipeline_);
+                         pipeline_, side);
   return std::unique_ptr<RewriteService>(new RewriteService(
       graph_, std::move(rewriter), std::move(stats)));
 }

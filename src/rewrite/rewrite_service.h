@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/simrank_options.h"
+#include "core/snapshot.h"
 #include "graph/bipartite_graph.h"
 #include "rewrite/bid_database.h"
 #include "rewrite/rewriter.h"
@@ -38,8 +39,13 @@ struct RewriteServiceStats {
   std::string engine_name;
   /// Where the scores came from: "engine", "snapshot", or "matrix".
   std::string source;
+  /// Which node set the scores range over (and so which labels serve).
+  SnapshotSide side = SnapshotSide::kQueryQuery;
+  /// Nodes on the serving side (queries for query–query, ads for ad–ad).
   size_t num_queries = 0;
   size_t similarity_pairs = 0;
+  /// Checksum of the loaded snapshot file; 0 for engine/matrix sources.
+  uint64_t snapshot_checksum = 0;
   /// Engine diagnostics when source == "engine"; default elsewhere.
   SimRankStats engine_stats;
   /// Queries answered so far via TopK/TopKBatch (monotonic).
@@ -76,8 +82,21 @@ class RewriteService {
   RewriteServiceStats Stats() const;
 
   /// \brief Writes the service's similarity scores as a snapshot that a
-  /// fresh process can load into an identical service.
+  /// fresh process can load into an identical service. The side tag is
+  /// carried through.
   Status SaveSnapshot(const std::string& path) const;
+
+  /// \brief Builds a fresh service from a replacement snapshot file,
+  /// reusing this service's graph, bid database, pipeline options, and
+  /// side — the cheap half of a hot reload (no graph/bid re-parse; only
+  /// the snapshot is read and validated). Fails, leaving this service
+  /// untouched, when the file is corrupt, covers a different node count,
+  /// or carries the wrong side tag.
+  Result<std::unique_ptr<RewriteService>> RebuildFromSnapshot(
+      const std::string& path) const;
+
+  /// \brief Which node set this service rewrites over.
+  SnapshotSide side() const { return rewriter_.side(); }
 
   /// \brief The inner rewriter (fixed pipeline depth, direct access to
   /// the similarity matrix).
@@ -117,6 +136,13 @@ class RewriteServiceBuilder {
   RewriteServiceBuilder& WithSnapshot(std::string path);
   RewriteServiceBuilder& WithSimilarities(SimilarityMatrix similarities,
                                           std::string method_name);
+  /// \brief Which node set to serve over. For the engine source this
+  /// selects which scores are exported (query–query vs ad–ad); for the
+  /// matrix source it declares what the caller's matrix covers. For the
+  /// snapshot source the file's own side tag is authoritative — setting a
+  /// side here turns into a validation that the file matches. Defaults to
+  /// query–query (and to the file's tag for snapshots).
+  RewriteServiceBuilder& WithSide(SnapshotSide side);
   /// \param bids may be null (disables the bid filter).
   RewriteServiceBuilder& WithBidDatabase(const BidDatabase* bids);
   RewriteServiceBuilder& WithPipelineOptions(RewritePipelineOptions options);
@@ -137,6 +163,7 @@ class RewriteServiceBuilder {
   std::optional<std::string> snapshot_path_;
   std::optional<SimilarityMatrix> similarities_;
   std::string method_name_;
+  std::optional<SnapshotSide> side_;
   const BidDatabase* bids_ = nullptr;
   RewritePipelineOptions pipeline_;
   double min_score_ = 1e-6;

@@ -8,37 +8,63 @@ QueryRewriter::QueryRewriter(std::string method_name,
                              const BipartiteGraph* graph,
                              SimilarityMatrix similarities,
                              const BidDatabase* bids,
-                             RewritePipelineOptions options)
+                             RewritePipelineOptions options,
+                             SnapshotSide side)
     : method_name_(std::move(method_name)),
       graph_(graph),
       similarities_(std::move(similarities)),
       bids_(bids),
-      options_(options) {
+      options_(options),
+      side_(side) {
   similarities_.Finalize();
 }
 
+size_t QueryRewriter::num_nodes() const {
+  return side_ == SnapshotSide::kAdAd ? graph_->num_ads()
+                                      : graph_->num_queries();
+}
+
+const std::string& QueryRewriter::Label(uint32_t node) const {
+  return side_ == SnapshotSide::kAdAd ? graph_->ad_label(node)
+                                      : graph_->query_label(node);
+}
+
 std::vector<RewriteCandidate> QueryRewriter::RewritesFor(QueryId q) const {
-  return SelectRewrites(*graph_, similarities_, q, bids_, options_);
+  return SelectRewrites(
+      [this](uint32_t n) -> const std::string& { return Label(n); },
+      similarities_, q, bids_, options_);
+}
+
+Result<uint32_t> QueryRewriter::ResolveNode(std::string_view text) const {
+  std::optional<uint32_t> node = side_ == SnapshotSide::kAdAd
+                                     ? graph_->FindAd(std::string(text))
+                                     : graph_->FindQuery(std::string(text));
+  if (!node.has_value()) {
+    return Status::NotFound(
+        std::string(side_ == SnapshotSide::kAdAd
+                        ? "ad not present in the click graph: "
+                        : "query not present in the click graph: ") +
+        std::string(text));
+  }
+  return *node;
 }
 
 Result<std::vector<RewriteCandidate>> QueryRewriter::RewritesFor(
     std::string_view query_text) const {
-  std::optional<QueryId> q = graph_->FindQuery(std::string(query_text));
-  if (!q.has_value()) {
-    return Status::NotFound("query not present in the click graph: " +
-                            std::string(query_text));
-  }
-  return RewritesFor(*q);
+  SRPP_ASSIGN_OR_RETURN(uint32_t q, ResolveNode(query_text));
+  return RewritesFor(q);
 }
 
 std::vector<RewriteCandidate> QueryRewriter::TopK(QueryId q, size_t k) const {
-  if (q >= graph_->num_queries() || k == 0) return {};
+  if (q >= num_nodes() || k == 0) return {};
   RewritePipelineOptions options = options_;
   options.max_rewrites = k;
   // Keep considering at least k candidates even when the configured
   // recording depth is narrower than the requested k.
   options.max_candidates = std::max(options.max_candidates, k);
-  return SelectRewrites(*graph_, similarities_, q, bids_, options);
+  return SelectRewrites(
+      [this](uint32_t n) -> const std::string& { return Label(n); },
+      similarities_, q, bids_, options);
 }
 
 }  // namespace simrankpp

@@ -1,0 +1,82 @@
+/// @file manifest.h
+/// @brief The serving manifest: a versioned on-disk description of every
+/// tenant a multi-tenant serving process hosts.
+///
+/// A manifest maps tenant names to the files and configuration that build
+/// their RewriteService: click-graph TSV, similarity snapshot, optional
+/// bid list, optional pinned snapshot checksum, and pipeline knobs. It is
+/// the unit the SnapshotStore watches — edit the manifest (or drop a new
+/// snapshot at a path it names) and PollForChanges hot-swaps exactly the
+/// affected tenants. Format specification: docs/MANIFEST_FORMAT.md.
+#ifndef SIMRANKPP_SERVE_MANIFEST_H_
+#define SIMRANKPP_SERVE_MANIFEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "rewrite/pipeline.h"
+#include "util/status.h"
+
+namespace simrankpp {
+
+/// \brief Current manifest format version. Parsers accept exactly this
+/// version (the text format carries no compatibility shims yet).
+inline constexpr int kManifestFormatVersion = 1;
+
+/// \brief One tenant's serving configuration as declared in a manifest.
+struct ManifestEntry {
+  std::string tenant;
+  /// Click-graph TSV the scores refer to (required).
+  std::string graph_path;
+  /// Similarity snapshot file (required).
+  std::string snapshot_path;
+  /// Bid-list file, one term per line; empty = no bid database.
+  std::string bid_path;
+  /// When set, the snapshot's side tag must match (a wrong-direction
+  /// file fails the load instead of serving nonsense).
+  std::optional<SnapshotSide> expected_side;
+  /// When set, the snapshot's checksum must match (pins an exact build).
+  std::optional<uint64_t> expected_checksum;
+  /// Pipeline knobs; apply_bid_filter defaults to whether a bid file was
+  /// given unless the manifest says otherwise.
+  RewritePipelineOptions pipeline;
+
+  bool operator==(const ManifestEntry&) const = default;
+};
+
+/// \brief A parsed manifest: the version plus one entry per tenant.
+struct ServingManifest {
+  int version = kManifestFormatVersion;
+  std::vector<ManifestEntry> entries;
+
+  /// \brief Entry for `tenant`, or nullptr.
+  const ManifestEntry* Find(std::string_view tenant) const;
+};
+
+/// \brief Parses manifest text. Relative paths inside entries are
+/// resolved against `base_dir` (pass "" to keep them as written).
+/// InvalidArgument — naming the offending line — on malformed input:
+/// missing/unsupported version, unknown keys, duplicate tenants, missing
+/// required keys, unparsable values.
+Result<ServingManifest> ParseManifest(const std::string& content,
+                                      const std::string& base_dir);
+
+/// \brief Reads and parses a manifest file; relative entry paths resolve
+/// against the manifest's own directory. IOError when unreadable.
+Result<ServingManifest> LoadManifest(const std::string& path);
+
+/// \brief Renders a manifest in canonical text form (parseable by
+/// ParseManifest; paths are written as stored).
+std::string ManifestToString(const ServingManifest& manifest);
+
+/// \brief Writes the canonical text form to `path`. IOError on failure.
+Status WriteManifest(const ServingManifest& manifest,
+                     const std::string& path);
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_SERVE_MANIFEST_H_

@@ -1,0 +1,117 @@
+/// @file snapshot_store.h
+/// @brief Manifest-driven loader and hot-reload watcher for a
+/// TenantRegistry.
+///
+/// The SnapshotStore owns the write side of the serving layer: it parses
+/// the manifest (docs/MANIFEST_FORMAT.md), builds each tenant's immutable
+/// serving state (graph + bids + RewriteService over the snapshot), and
+/// publishes generations into the registry. Reloads are atomic by
+/// construction — the replacement is built and fully validated (checksum,
+/// node count, side tag) before the single publish, so a corrupt or
+/// partially-written snapshot file never reaches readers: the previous
+/// generation keeps serving and the failure is surfaced through
+/// TenantServeStats. `PollForChanges` watches the manifest and every
+/// snapshot file by mtime+size fingerprint, so dropping a new file in
+/// place hot-swaps exactly the affected tenants with zero downtime.
+#ifndef SIMRANKPP_SERVE_SNAPSHOT_STORE_H_
+#define SIMRANKPP_SERVE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/manifest.h"
+#include "serve/tenant_registry.h"
+#include "util/status.h"
+
+namespace simrankpp {
+
+/// \brief Loads tenants from a manifest and keeps them fresh.
+///
+/// All methods are safe to call concurrently with any number of registry
+/// readers; the store serializes its own writers internally.
+class SnapshotStore {
+ public:
+  /// \param registry must outlive the store.
+  SnapshotStore(std::string manifest_path, TenantRegistry* registry);
+
+  /// \brief Parses the manifest and (re)builds every tenant it names,
+  /// removing registry tenants the manifest no longer lists. Tenants that
+  /// fail to build are recorded in the registry stats and do not abort
+  /// the rest. Returns OK when every tenant loaded; otherwise the first
+  /// failure, annotated with how many tenants failed.
+  Status LoadAll();
+
+  /// \brief Rebuilds one tenant from its (re-read) manifest entry,
+  /// publishing the next generation on success. On failure the previous
+  /// generation keeps serving, the failure lands in the stats, and the
+  /// error is returned. NotFound when the manifest does not name the
+  /// tenant. Always rebuilds the service, even when nothing changed on
+  /// disk — this is the explicit reload trigger (CLI
+  /// `serve-multi --reload`); the parsed graph/bid assets are reused
+  /// only when both their paths and their file fingerprints are
+  /// unchanged, so an in-place graph or bid-file update is re-read.
+  Status Reload(const std::string& tenant);
+
+  /// \brief Re-stats the manifest and every tenant input file (snapshot,
+  /// graph, bids); rebuilds exactly the tenants whose inputs changed
+  /// (new file bytes, edited manifest entry, added tenants) and removes
+  /// ones the manifest dropped. Returns the names that were (re)loaded
+  /// successfully; failures are recorded per tenant and do not abort the
+  /// sweep. An unreadable or unparsable manifest fails the whole poll
+  /// (serving is unaffected).
+  Result<std::vector<std::string>> PollForChanges();
+
+  const std::string& manifest_path() const { return manifest_path_; }
+
+ private:
+  /// mtime (ns since epoch) + size; cheap to stat, strong enough for a
+  /// poll-driven watcher (the checksum inside the file catches torn
+  /// writes that happen to preserve both).
+  struct Fingerprint {
+    int64_t mtime_ns = -1;
+    uint64_t size = 0;
+
+    bool operator==(const Fingerprint&) const = default;
+  };
+
+  /// What the store last applied for a tenant (entry + the fingerprints
+  /// of every file it was built from).
+  struct Watch {
+    ManifestEntry entry;
+    Fingerprint snapshot_print;
+    Fingerprint graph_print;
+    Fingerprint bid_print;
+  };
+
+  static Fingerprint StatFile(const std::string& path);
+
+  // Builds the next generation for `entry`. `reuse_assets` (decided by
+  // the caller from path + fingerprint equality) lets a snapshot-only
+  // swap adopt `previous`'s parsed graph/bids instead of re-parsing.
+  // Pure — publishes nothing.
+  Result<std::shared_ptr<const Tenant>> BuildTenant(
+      const ManifestEntry& entry,
+      const std::shared_ptr<const Tenant>& previous, bool reuse_assets);
+
+  // Builds + publishes + updates the watch map. Caller holds mu_.
+  Status ApplyEntryLocked(const ManifestEntry& entry);
+
+  // Re-reads the manifest when its fingerprint moved. Caller holds mu_.
+  Status RefreshManifestLocked();
+
+  std::string manifest_path_;
+  TenantRegistry* registry_;
+
+  std::mutex mu_;  // serializes LoadAll / Reload / PollForChanges
+  ServingManifest manifest_;
+  Fingerprint manifest_print_;
+  std::unordered_map<std::string, Watch> watches_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_SERVE_SNAPSHOT_STORE_H_

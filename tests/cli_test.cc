@@ -1,14 +1,17 @@
 // In-process tests of the simrankpp CLI (tools/cli.cc): argument-parsing
-// failures by subcommand, and a TSV round-trip driving
-// generate -> stats -> similar on a small synthetic graph.
+// failures by subcommand, a TSV round-trip driving
+// generate -> stats -> similar, and the multi-tenant serving round trip
+// (compute both sides -> manifest -> serve-multi -> hot swap).
 #include "cli.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "core/snapshot.h"
 #include "graph/graph_io.h"
 
 namespace simrankpp {
@@ -54,6 +57,22 @@ TEST(CliArgsTest, GenerateWithoutOutIsUsageError) {
 TEST(CliArgsTest, SimilarWithoutQueryIsUsageError) {
   EXPECT_EQ(RunCliWith({"similar", "graph.tsv"}), 2);
   EXPECT_EQ(RunCliWith({"rewrite", "graph.tsv"}), 2);
+}
+
+TEST(CliArgsTest, ServeMultiRequiresManifestAndQueries) {
+  EXPECT_EQ(RunCliWith({"serve-multi"}), 2);
+  EXPECT_EQ(RunCliWith({"serve-multi", "--manifest", "m.txt"}), 2);
+  EXPECT_EQ(RunCliWith({"serve-multi", "--queries", "q.tsv"}), 2);
+}
+
+TEST(CliArgsTest, ComputeRejectsUnknownSide) {
+  EXPECT_EQ(RunCliWith({"compute", "graph.tsv", "--snapshot-out", "s.snap",
+                        "--side", "diagonal"}),
+            2);
+}
+
+TEST(CliArgsTest, ManifestInfoOnMissingFileIsRuntimeError) {
+  EXPECT_EQ(RunCliWith({"manifest-info", TempPath("no_manifest.txt")}), 1);
 }
 
 TEST(CliArgsTest, MissingGraphFileIsRuntimeError) {
@@ -115,6 +134,133 @@ TEST_F(CliRoundTripTest, SimilarUnknownMethodFails) {
   ASSERT_TRUE(graph.ok());
   EXPECT_EQ(RunCliWith({"similar", *graph_path_, "--query", graph->query_label(0),
                  "--method", "bogus"}),
+            1);
+}
+
+// Multi-tenant serving round trip over the shared generated graph:
+// compute a query-query and an ad-ad snapshot, describe both tenants in
+// one manifest, validate it, serve a mixed batch, then hot-swap one
+// tenant's snapshot and serve again.
+class CliServeMultiTest : public CliRoundTripTest {
+ protected:
+  void SetUp() override {
+    stem_ = TempPath(
+        std::string("cli_serve_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    qq_snap_ = stem_ + "_qq.snap";
+    ad_snap_ = stem_ + "_ad.snap";
+    manifest_ = stem_ + "_manifest.txt";
+    queries_ = stem_ + "_queries.tsv";
+    out_ = stem_ + "_out.tsv";
+    ASSERT_EQ(RunCliWith({"compute", *graph_path_, "--method", "weighted",
+                          "--snapshot-out", qq_snap_}),
+              0);
+    ASSERT_EQ(RunCliWith({"compute", *graph_path_, "--method", "simrank",
+                          "--side", "ad", "--snapshot-out", ad_snap_}),
+              0);
+    std::ofstream(manifest_) << "manifest-version 1\n"
+                             << "tenant web\n  graph " << *graph_path_
+                             << "\n  snapshot " << qq_snap_ << "\n"
+                             << "tenant ads\n  graph " << *graph_path_
+                             << "\n  snapshot " << ad_snap_
+                             << "\n  side ad-ad\n";
+    Result<BipartiteGraph> graph = LoadGraph(*graph_path_);
+    ASSERT_TRUE(graph.ok());
+    std::ofstream queries(queries_);
+    for (QueryId q = 0; q < 5; ++q) {
+      queries << "web\t" << graph->query_label(q) << "\n";
+    }
+    queries << "ads\t" << graph->ad_label(0) << "\n";
+  }
+
+  void TearDown() override {
+    for (const std::string& path :
+         {qq_snap_, ad_snap_, manifest_, queries_, out_}) {
+      std::remove(path.c_str());
+    }
+  }
+
+  std::string ReadOut() {
+    std::ifstream in(out_);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::string stem_, qq_snap_, ad_snap_, manifest_, queries_, out_;
+};
+
+TEST_F(CliServeMultiTest, AdSideSnapshotReportsItsTag) {
+  Result<SnapshotInfo> info = ReadSnapshotInfo(ad_snap_);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->side, SnapshotSide::kAdAd);
+  EXPECT_EQ(RunCliWith({"snapshot-info", ad_snap_}), 0);
+}
+
+TEST_F(CliServeMultiTest, SnapshotInfoFailsCleanlyOnCorruptFile) {
+  // Flip one payload byte: checksum catches it, exit is nonzero.
+  std::ifstream in(qq_snap_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
+  std::ofstream(qq_snap_, std::ios::binary | std::ios::trunc) << bytes;
+  EXPECT_EQ(RunCliWith({"snapshot-info", qq_snap_}), 1);
+  EXPECT_EQ(RunCliWith({"manifest-info", manifest_}), 1);
+}
+
+TEST_F(CliServeMultiTest, ManifestInfoValidatesBothTenants) {
+  EXPECT_EQ(RunCliWith({"manifest-info", manifest_}), 0);
+}
+
+TEST_F(CliServeMultiTest, ServesBatchAndHotSwapChangesOneTenantOnly) {
+  ASSERT_EQ(RunCliWith({"serve-multi", "--manifest", manifest_, "--queries",
+                        queries_, "--top", "3", "--out", out_}),
+            0);
+  std::string first = ReadOut();
+  ASSERT_FALSE(first.empty());
+  // Every request line produced at least one TSV row, tagged by tenant.
+  EXPECT_NE(first.find("web\t"), std::string::npos);
+  EXPECT_NE(first.find("ads\t"), std::string::npos);
+
+  // Swap the web tenant's snapshot to a different method; the ads rows
+  // must be byte-identical, the web rows must change.
+  ASSERT_EQ(RunCliWith({"compute", *graph_path_, "--method", "evidence",
+                        "--snapshot-out", qq_snap_}),
+            0);
+  ASSERT_EQ(RunCliWith({"serve-multi", "--manifest", manifest_, "--queries",
+                        queries_, "--top", "3", "--out", out_}),
+            0);
+  std::string second = ReadOut();
+  auto rows_of = [](const std::string& text, const std::string& prefix) {
+    std::string rows;
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t end = text.find('\n', pos);
+      if (end == std::string::npos) end = text.size();
+      std::string line = text.substr(pos, end - pos);
+      if (line.rfind(prefix, 0) == 0) rows += line + "\n";
+      pos = end + 1;
+    }
+    return rows;
+  };
+  EXPECT_EQ(rows_of(first, "ads\t"), rows_of(second, "ads\t"));
+  EXPECT_NE(rows_of(first, "web\t"), rows_of(second, "web\t"));
+}
+
+TEST_F(CliServeMultiTest, ReloadTriggerAndPollRun) {
+  EXPECT_EQ(RunCliWith({"serve-multi", "--manifest", manifest_, "--queries",
+                        queries_, "--reload", "web", "--poll", "--out",
+                        out_}),
+            0);
+  EXPECT_EQ(RunCliWith({"serve-multi", "--manifest", manifest_, "--queries",
+                        queries_, "--reload", "nobody"}),
+            1);
+}
+
+TEST_F(CliServeMultiTest, UnknownTenantInQueriesFileFails) {
+  std::ofstream(queries_) << "ghost\tanything\n";
+  EXPECT_EQ(RunCliWith({"serve-multi", "--manifest", manifest_, "--queries",
+                        queries_}),
             1);
 }
 

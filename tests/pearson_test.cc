@@ -4,6 +4,14 @@
 
 #include <cmath>
 
+// gcc 12's -Wrestrict fires a known false positive (impossible
+// 9.2e18-byte memcpy overlap) inside libstdc++'s inlined operator+ for
+// the "a" + std::to_string(i) below, which breaks -Werror builds on that
+// compiler only (GCC bug 105651). Scope the suppression to gcc 12.
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ == 12
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 #include "core/pearson.h"
 #include "core/sample_graphs.h"
 #include "graph/graph_builder.h"

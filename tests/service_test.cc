@@ -273,6 +273,124 @@ TEST(RewriteServiceTest, SnapshotFromDifferentGraphIsRejected) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------------- ad-ad serving
+
+TEST(RewriteServiceTest, AdSideServiceServesAdLabels) {
+  BipartiteGraph graph = SeededGraph();
+  auto service = RewriteServiceBuilder()
+                     .WithGraph(&graph)
+                     .WithEngine("sparse", ServiceEngineOptions())
+                     .WithSide(SnapshotSide::kAdAd)
+                     .WithPipelineOptions(NoBidPipeline())
+                     .Build();
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ((*service)->side(), SnapshotSide::kAdAd);
+  EXPECT_EQ((*service)->Stats().num_queries, graph.num_ads());
+
+  // Candidates are ad labels; text lookup resolves ads, not queries.
+  bool found = false;
+  for (AdId a = 0; a < graph.num_ads() && !found; ++a) {
+    for (const RewriteCandidate& c : (*service)->TopK(a, 5)) {
+      found = true;
+      EXPECT_TRUE(graph.FindAd(c.text).has_value()) << c.text;
+    }
+  }
+  ASSERT_TRUE(found);
+  EXPECT_TRUE((*service)->TopK(graph.ad_label(0), 5).ok());
+  auto as_query = (*service)->TopK(graph.query_label(0), 5);
+  ASSERT_FALSE(as_query.ok());
+  EXPECT_EQ(as_query.status().code(), StatusCode::kNotFound);
+  // Ids beyond the ad count serve empty.
+  EXPECT_TRUE(
+      (*service)->TopK(static_cast<AdId>(graph.num_ads()), 5).empty());
+}
+
+TEST(RewriteServiceTest, AdSideSnapshotRoundTripsThroughTheSideTag) {
+  BipartiteGraph graph = SeededGraph();
+  std::string path = TempPath("service_ad_side.snap");
+  auto computed = RewriteServiceBuilder()
+                      .WithGraph(&graph)
+                      .WithEngine("sparse", ServiceEngineOptions())
+                      .WithSide(SnapshotSide::kAdAd)
+                      .WithPipelineOptions(NoBidPipeline())
+                      .Build();
+  ASSERT_TRUE(computed.ok());
+  ASSERT_TRUE((*computed)->SaveSnapshot(path).ok());
+
+  // No WithSide on the serving end: the file's tag is authoritative.
+  auto served = RewriteServiceBuilder()
+                    .WithGraph(&graph)
+                    .WithSnapshot(path)
+                    .WithPipelineOptions(NoBidPipeline())
+                    .Build();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ((*served)->side(), SnapshotSide::kAdAd);
+  for (AdId a = 0; a < graph.num_ads(); ++a) {
+    EXPECT_EQ((*computed)->TopK(a, 5), (*served)->TopK(a, 5)) << "ad " << a;
+  }
+
+  // Declaring the wrong side rejects the file instead of serving it.
+  auto mismatched = RewriteServiceBuilder()
+                        .WithGraph(&graph)
+                        .WithSnapshot(path)
+                        .WithSide(SnapshotSide::kQueryQuery)
+                        .Build();
+  ASSERT_FALSE(mismatched.ok());
+  EXPECT_EQ(mismatched.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(mismatched.status().message().find("ad-ad"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- rebuild-from-snapshot
+
+TEST(RewriteServiceTest, RebuildFromSnapshotSwapsScoresKeepingConfig) {
+  BipartiteGraph graph = SeededGraph();
+  std::string path_a = TempPath("service_rebuild_a.snap");
+  std::string path_b = TempPath("service_rebuild_b.snap");
+
+  RewritePipelineOptions pipeline = NoBidPipeline();
+  pipeline.max_rewrites = 3;
+  auto service_a = RewriteServiceBuilder()
+                       .WithGraph(&graph)
+                       .WithEngine("sparse", ServiceEngineOptions())
+                       .WithPipelineOptions(pipeline)
+                       .Build();
+  ASSERT_TRUE(service_a.ok());
+  ASSERT_TRUE((*service_a)->SaveSnapshot(path_a).ok());
+
+  SimRankOptions other = ServiceEngineOptions();
+  other.variant = SimRankVariant::kSimRank;
+  other.iterations = 3;
+  auto service_b = RewriteServiceBuilder()
+                       .WithGraph(&graph)
+                       .WithEngine("sparse", other)
+                       .WithPipelineOptions(pipeline)
+                       .Build();
+  ASSERT_TRUE(service_b.ok());
+  ASSERT_TRUE((*service_b)->SaveSnapshot(path_b).ok());
+
+  // Rebuild a's service onto b's snapshot: scores come from b, pipeline
+  // and graph stay a's.
+  auto rebuilt = (*service_a)->RebuildFromSnapshot(path_b);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ((*rebuilt)->Stats().source, "snapshot");
+  EXPECT_EQ((*rebuilt)->Stats().method_name, "Simrank");
+  EXPECT_EQ((*rebuilt)->rewriter().pipeline_options().max_rewrites, 3u);
+  for (QueryId q = 0; q < graph.num_queries(); q += 11) {
+    EXPECT_EQ((*rebuilt)->TopK(q, 5), (*service_b)->TopK(q, 5))
+        << "query " << q;
+  }
+
+  // A corrupt replacement fails and leaves the original fully usable.
+  auto before = (*service_a)->TopK(QueryId{0}, 3);
+  std::ofstream(path_b, std::ios::binary | std::ios::trunc) << "garbage";
+  auto failed = (*service_a)->RebuildFromSnapshot(path_b);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ((*service_a)->TopK(QueryId{0}, 3), before);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
 // -------------------------------------------------- open engine registry
 
 // A stub engine defined entirely inside this test binary: registering and

@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 namespace simrankpp {
 namespace {
@@ -163,8 +166,148 @@ TEST_F(SnapshotTest, FutureVersionIsRejectedWithBothVersions) {
   Result<SimilaritySnapshot> loaded = LoadSnapshot(path_);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
-  EXPECT_NE(loaded.status().message().find("version 2"), std::string::npos);
-  EXPECT_NE(loaded.status().message().find("version 1"), std::string::npos);
+  // The message names the file's version and the supported window.
+  EXPECT_NE(loaded.status().message().find("version 3"), std::string::npos);
+  EXPECT_NE(loaded.status().message().find("versions 1..2"),
+            std::string::npos);
+}
+
+TEST_F(SnapshotTest, SideTagRoundTrips) {
+  ASSERT_TRUE(SaveSnapshot(SampleMatrix(), "Simrank", path_,
+                           SnapshotSide::kAdAd)
+                  .ok());
+  Result<SimilaritySnapshot> loaded = LoadSnapshot(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->side, SnapshotSide::kAdAd);
+  Result<SnapshotInfo> info = ReadSnapshotInfo(path_);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->side, SnapshotSide::kAdAd);
+  EXPECT_EQ(info->version, kSnapshotFormatVersion);
+  // The default (and the implied v1 semantics) is query-query.
+  ASSERT_TRUE(SaveSnapshot(SampleMatrix(), "Simrank", path_).ok());
+  EXPECT_EQ(LoadSnapshot(path_)->side, SnapshotSide::kQueryQuery);
+}
+
+TEST_F(SnapshotTest, UnknownSideTagIsRejected) {
+  ASSERT_TRUE(SaveSnapshot(SampleMatrix(), "m", path_).ok());
+  std::string bytes = ReadAll(path_);
+  // Side is the u32 after magic + version; 2 is out of range. Re-stamp
+  // the checksum so only the side check can fire.
+  bytes[12] = 2;
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i + 8 < bytes.size(); ++i) {
+    hash ^= static_cast<unsigned char>(bytes[i]);
+    hash *= 0x100000001b3ull;
+  }
+  for (int b = 0; b < 8; ++b) {
+    bytes[bytes.size() - 8 + b] = static_cast<char>((hash >> (8 * b)) & 0xff);
+  }
+  WriteAll(path_, bytes);
+  Result<SimilaritySnapshot> loaded = LoadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("side"), std::string::npos);
+}
+
+// Serializes SampleMatrix by hand in the version-1 layout (no side
+// field). Version-1 files predate the side tag and must keep loading, as
+// query-query, until the compatibility window closes.
+TEST_F(SnapshotTest, VersionOneFilesStillLoadAsQueryQuery) {
+  SimilarityMatrix original = SampleMatrix();
+  std::string bytes;
+  bytes.append("SRPPSIM\0", 8);
+  auto append_u32 = [&bytes](uint32_t value) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      bytes.push_back(static_cast<char>((value >> shift) & 0xff));
+    }
+  };
+  auto append_u64 = [&bytes](uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      bytes.push_back(static_cast<char>((value >> shift) & 0xff));
+    }
+  };
+  append_u32(1);  // version 1: no side field follows
+  append_u32(1);  // name_len
+  bytes.push_back('m');
+  append_u64(original.num_nodes());
+  append_u64(original.num_pairs());
+  struct Record {
+    uint32_t u, v;
+    double score;
+  };
+  std::vector<Record> records;
+  original.ForEachPair([&records](uint32_t u, uint32_t v, double score) {
+    records.push_back({u, v, score});
+  });
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  for (const Record& record : records) {
+    append_u32(record.u);
+    append_u32(record.v);
+    uint64_t score_bits;
+    std::memcpy(&score_bits, &record.score, sizeof(score_bits));
+    append_u64(score_bits);
+  }
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (char ch : bytes) {
+    hash ^= static_cast<unsigned char>(ch);
+    hash *= 0x100000001b3ull;
+  }
+  append_u64(hash);
+  WriteAll(path_, bytes);
+
+  Result<SimilaritySnapshot> loaded = LoadSnapshot(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->side, SnapshotSide::kQueryQuery);
+  EXPECT_EQ(loaded->method_name, "m");
+  EXPECT_EQ(loaded->matrix.MaxAbsDifference(original), 0.0);
+  Result<SnapshotInfo> info = ReadSnapshotInfo(path_);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->version, 1u);
+  EXPECT_EQ(info->side, SnapshotSide::kQueryQuery);
+}
+
+TEST_F(SnapshotTest, SerializeMatchesSavedFileAndReportsChecksum) {
+  ASSERT_TRUE(SaveSnapshot(SampleMatrix(), "m", path_,
+                           SnapshotSide::kAdAd)
+                  .ok());
+  // SerializeSnapshot is the writer SaveSnapshot goes through; the bytes
+  // must be identical (and therefore parallel-encoding-order-free).
+  EXPECT_EQ(SerializeSnapshot(SampleMatrix(), "m", SnapshotSide::kAdAd),
+            ReadAll(path_));
+  Result<SimilaritySnapshot> loaded = LoadSnapshot(path_);
+  ASSERT_TRUE(loaded.ok());
+  Result<SnapshotInfo> info = ReadSnapshotInfo(path_);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(loaded->checksum, info->checksum);
+  EXPECT_NE(loaded->checksum, 0u);
+}
+
+// Large enough to split into several serialization chunks (the writer
+// parallelizes the sort + encode passes): the output must stay
+// byte-deterministic and round-trip bit-exactly.
+TEST_F(SnapshotTest, LargeMatrixParallelWriteIsDeterministic) {
+  SimilarityMatrix matrix(512);
+  uint64_t state = 7;
+  for (size_t i = 0; i < 70000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    uint32_t u = static_cast<uint32_t>((state >> 33) % 512);
+    uint32_t v = static_cast<uint32_t>((state >> 13) % 512);
+    if (u == v) continue;
+    matrix.Set(u, v, 1.0 / static_cast<double>(1 + (state % 1000)));
+  }
+  ASSERT_GT(matrix.num_pairs(), 40000u);  // several 32768-record chunks
+
+  ASSERT_TRUE(SaveSnapshot(matrix, "big", path_).ok());
+  std::string first = ReadAll(path_);
+  ASSERT_TRUE(SaveSnapshot(matrix, "big", path_).ok());
+  EXPECT_EQ(ReadAll(path_), first);
+
+  Result<SimilaritySnapshot> loaded = LoadSnapshot(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->matrix.num_pairs(), matrix.num_pairs());
+  EXPECT_EQ(loaded->matrix.MaxAbsDifference(matrix), 0.0);
 }
 
 TEST_F(SnapshotTest, UnwritablePathIsIOError) {

@@ -1,20 +1,24 @@
 #!/usr/bin/env python3
-"""Perf-trajectory smoke gate: compare a fresh bench JSON report against a
+"""Perf-trajectory smoke gate: compare fresh bench JSON report(s) against a
 committed baseline and fail on regressions beyond a headroom factor.
 
-    check_bench_regression.py <baseline.json> <current.json> [--factor 2.0]
+    check_bench_regression.py <baseline.json> <current.json>... [--factor 2.0]
 
-Both files are the `--json` output of the perf benches (perf_harness.h's
+Every file is the `--json` output of the perf benches (perf_harness.h's
 JsonReport): {"benchmarks": [{"name", "reps", "median_ns", "best_ns",
-"note"}, ...]}. Cases are matched by name; a case is a regression when its
-current time exceeds factor * baseline time. By default the best-of-N
-sample is compared — scheduling noise only ever adds time, so best-of-N
-is the stable estimator for the sub-millisecond smoke cases this gate
-runs on (shared CI runners make medians flaky at that scale). The factor
-absorbs machine differences between the committed numbers and CI
-runners — the gate exists to catch hot-path regressions, not 10% noise.
-Cases present on only one side are reported but never fail the gate
-(benches may gain or lose cases across PRs).
+"note"}, ...]}. Several current reports may be given (one per bench
+binary); their cases are merged before the comparison. Cases are matched
+by name; a case is a regression when its current time exceeds factor *
+baseline time. By default the best-of-N sample is compared — scheduling
+noise only ever adds time, so best-of-N is the stable estimator for the
+sub-millisecond smoke cases this gate runs on (shared CI runners make
+medians flaky at that scale). The factor absorbs machine differences
+between the committed numbers and CI runners — the gate exists to catch
+hot-path regressions, not 10% noise. Cases present on only one side never
+fail the gate: benches gain and lose cases across PRs, so a benchmark in
+the fresh report with no baseline yet is reported as "new" (and counted
+in the summary) rather than treated as an error, and a baseline case
+missing from the fresh run is reported as skipped.
 """
 
 import argparse
@@ -31,7 +35,8 @@ def load_cases(path):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("current", nargs="+",
+                        help="one or more fresh reports, merged by case name")
     parser.add_argument("--factor", type=float, default=2.0,
                         help="fail when current time > factor * baseline")
     parser.add_argument("--metric", choices=["best_ns", "median_ns"],
@@ -40,7 +45,14 @@ def main():
     args = parser.parse_args()
 
     baseline = load_cases(args.baseline)
-    current = load_cases(args.current)
+    current = {}
+    for path in args.current:
+        for name, case in load_cases(path).items():
+            if name in current:
+                print(f"error: case {name!r} appears in more than one "
+                      "current report", file=sys.stderr)
+                return 2
+            current[name] = case
 
     regressions = []
     for name, base in sorted(baseline.items()):
@@ -56,14 +68,20 @@ def main():
               f"current {cur_ns / 1e6:.2f} ms ({ratio:.2f}x)")
         if ratio > args.factor:
             regressions.append(name)
-    for name in sorted(set(current) - set(baseline)):
-        print(f"[new ] {name}: no baseline yet")
+    new_cases = sorted(set(current) - set(baseline))
+    for name in new_cases:
+        print(f"[new ] {name}: no baseline yet "
+              f"({current[name][args.metric] / 1e6:.2f} ms)")
 
     if regressions:
         print(f"\n{len(regressions)} case(s) regressed more than "
               f"{args.factor}x: {', '.join(regressions)}")
         return 1
-    print("\nno regressions beyond the headroom factor")
+    summary = "no regressions beyond the headroom factor"
+    if new_cases:
+        summary += (f"; {len(new_cases)} new case(s) not gated yet — "
+                    "refresh the committed baseline to start tracking them")
+    print(f"\n{summary}")
     return 0
 
 

@@ -11,13 +11,23 @@
 //       Run the full rewrite pipeline (no bid filter from the CLI).
 //   simrankpp compute <graph.tsv> --snapshot-out F [--method M] [--engine E]
 //       Offline half of the serving split: compute similarities and write
-//       a binary snapshot (docs/SNAPSHOT_FORMAT.md).
+//       a binary snapshot (docs/SNAPSHOT_FORMAT.md). --side ad exports
+//       the ad-ad scores instead of query-query.
 //   simrankpp snapshot-info <snapshot>
-//       Validate a snapshot (magic, version, checksum) and print its header.
+//       Validate a snapshot (magic, version, checksum) and print its
+//       header, side tag, and matrix dimensions.
 //   simrankpp serve-eval <graph.tsv> --snapshot-in F [--query TEXT] [--top K]
 //       Serving half: load a snapshot into a RewriteService and either
 //       answer one query or batch-serve every graph query and report
 //       coverage.
+//   simrankpp manifest-info <manifest>
+//       Validate a serving manifest (docs/MANIFEST_FORMAT.md) and every
+//       snapshot it references; print one line per tenant.
+//   simrankpp serve-multi --manifest M --queries Q.tsv [--top K] [--out F]
+//       Multi-tenant serving: load every tenant in the manifest, answer a
+//       batch of "tenant<TAB>query" lines as TSV rows, print per-tenant
+//       ServeStats to stderr. --reload TENANT forces a hot reload before
+//       serving; --poll runs one PollForChanges watcher pass first.
 //   simrankpp extract <graph.tsv> [--subgraphs N] [--out-prefix P]
 //       Carve disjoint subgraphs via local partitioning; write P1.tsv...
 #include "cli.h"
@@ -26,8 +36,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <numeric>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/engine_registry.h"
@@ -37,6 +51,9 @@
 #include "graph/graph_stats.h"
 #include "partition/subgraph_extractor.h"
 #include "rewrite/rewrite_service.h"
+#include "serve/manifest.h"
+#include "serve/snapshot_store.h"
+#include "serve/tenant_registry.h"
 #include "synth/click_graph_generator.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -56,9 +73,13 @@ int Usage() {
       "  simrankpp rewrite <graph.tsv> --query TEXT [--method M]\n"
       "  simrankpp compute <graph.tsv> --snapshot-out F [--method M]\n"
       "            [--engine E] [--threads N] [--min-score X]\n"
+      "            [--side query|ad]\n"
       "  simrankpp snapshot-info <snapshot>\n"
       "  simrankpp serve-eval <graph.tsv> --snapshot-in F [--query TEXT]\n"
       "            [--top K] [--batch N]\n"
+      "  simrankpp manifest-info <manifest>\n"
+      "  simrankpp serve-multi --manifest M --queries Q.tsv [--top K]\n"
+      "            [--out F] [--reload TENANT] [--poll]\n"
       "  simrankpp extract <graph.tsv> [--subgraphs N] [--out-prefix P]\n"
       "methods: simrank | evidence | weighted (default) | pearson\n"
       "engines: any registered name (dense | sparse (default) | ...)\n");
@@ -72,6 +93,14 @@ const char* FlagValue(int argc, char** argv, const char* name,
     if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
   }
   return fallback;
+}
+
+// Value-less flag ("--poll").
+bool HasFlag(int argc, char** argv, const char* name) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
 }
 
 // Maps a --method name onto engine options; false for unknown methods
@@ -226,8 +255,16 @@ int CmdCompute(const std::string& path, int argc, char** argv) {
   if (out == nullptr) return Usage();
   std::string method = FlagValue(argc, argv, "--method", "weighted");
   std::string engine = FlagValue(argc, argv, "--engine", "sparse");
+  std::string side_name = FlagValue(argc, argv, "--side", "query");
   double min_score =
       std::strtod(FlagValue(argc, argv, "--min-score", "1e-6"), nullptr);
+  if (side_name != "query" && side_name != "ad") {
+    std::fprintf(stderr, "--side must be \"query\" or \"ad\", got %s\n",
+                 side_name.c_str());
+    return 2;
+  }
+  SnapshotSide side = side_name == "ad" ? SnapshotSide::kAdAd
+                                        : SnapshotSide::kQueryQuery;
 
   Result<BipartiteGraph> graph = LoadGraph(path);
   if (!graph.ok()) {
@@ -237,6 +274,11 @@ int CmdCompute(const std::string& path, int argc, char** argv) {
   std::string method_label;
   Result<SimilarityMatrix> scores = [&]() -> Result<SimilarityMatrix> {
     if (method == "pearson") {
+      if (side == SnapshotSide::kAdAd) {
+        return Status::InvalidArgument(
+            "--side ad is not available for pearson (the baseline scores "
+            "queries only)");
+      }
       method_label = "Pearson";
       return ComputePearsonSimilarities(*graph);
     }
@@ -251,33 +293,48 @@ int CmdCompute(const std::string& path, int argc, char** argv) {
                           CreateSimRankEngine(engine, options));
     SRPP_RETURN_NOT_OK(eng->Run(*graph));
     std::fprintf(stderr, "engine: %s\n", eng->stats().ToString().c_str());
-    return eng->ExportQueryScores(min_score);
+    return side == SnapshotSide::kAdAd ? eng->ExportAdScores(min_score)
+                                       : eng->ExportQueryScores(min_score);
   }();
   if (!scores.ok()) {
     std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
     return 1;
   }
-  if (Status status = SaveSnapshot(*scores, method_label, out);
+  if (Status status = SaveSnapshot(*scores, method_label, out, side);
       !status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s: method \"%s\", %zu nodes, %zu pairs\n", out,
-              method_label.c_str(), scores->num_nodes(),
-              scores->num_pairs());
+  std::printf("wrote %s: method \"%s\", side %s, %zu nodes, %zu pairs\n",
+              out, method_label.c_str(), SnapshotSideName(side),
+              scores->num_nodes(), scores->num_pairs());
   return 0;
 }
 
 int CmdSnapshotInfo(const std::string& path) {
   Result<SnapshotInfo> info = ReadSnapshotInfo(path);
   if (!info.ok()) {
+    // A checksum failure means the bytes on disk are wrong (bit rot or a
+    // partial write) — say so explicitly instead of a generic failure, so
+    // an operator knows to restore/recompute rather than debug config.
+    if (info.status().message().find("checksum mismatch") !=
+        std::string::npos) {
+      std::fprintf(stderr,
+                   "error: snapshot failed checksum validation — the file "
+                   "is corrupt or was partially written; restore it from a "
+                   "good copy or recompute it\n%s\n",
+                   info.status().ToString().c_str());
+      return 1;
+    }
     std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
     return 1;
   }
   std::printf("snapshot:  %s\n", path.c_str());
   std::printf("version:   %u\n", info->version);
+  std::printf("side:      %s\n", SnapshotSideName(info->side));
   std::printf("method:    %s\n", info->method_name.c_str());
-  std::printf("nodes:     %llu\n",
+  std::printf("matrix:    %llu x %llu\n",
+              static_cast<unsigned long long>(info->num_nodes),
               static_cast<unsigned long long>(info->num_nodes));
   std::printf("pairs:     %llu\n",
               static_cast<unsigned long long>(info->num_pairs));
@@ -359,6 +416,194 @@ int CmdServeEval(const std::string& path, int argc, char** argv) {
   return 0;
 }
 
+int CmdManifestInfo(const std::string& path) {
+  Result<ServingManifest> manifest = LoadManifest(path);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "%s\n", manifest.status().ToString().c_str());
+    return 1;
+  }
+  TablePrinter table(StringPrintf("manifest %s (version %d, %zu tenants)",
+                                  path.c_str(), manifest->version,
+                                  manifest->entries.size()));
+  table.SetHeader({"tenant", "side", "method", "nodes", "pairs", "status"});
+  bool all_valid = true;
+  for (const ManifestEntry& entry : manifest->entries) {
+    Result<SnapshotInfo> info = ReadSnapshotInfo(entry.snapshot_path);
+    if (!info.ok()) {
+      all_valid = false;
+      table.AddRow({entry.tenant, "-", "-", "-", "-",
+                    info.status().ToString()});
+      continue;
+    }
+    std::string status = "ok";
+    if (entry.expected_side.has_value() &&
+        info->side != *entry.expected_side) {
+      all_valid = false;
+      status = StringPrintf("side mismatch: manifest says %s, file is %s",
+                            SnapshotSideName(*entry.expected_side),
+                            SnapshotSideName(info->side));
+    } else if (entry.expected_checksum.has_value() &&
+               info->checksum != *entry.expected_checksum) {
+      all_valid = false;
+      status = StringPrintf(
+          "checksum mismatch: manifest pins %016llx, file has %016llx",
+          static_cast<unsigned long long>(*entry.expected_checksum),
+          static_cast<unsigned long long>(info->checksum));
+    }
+    table.AddRow({entry.tenant, SnapshotSideName(info->side),
+                  info->method_name, std::to_string(info->num_nodes),
+                  std::to_string(info->num_pairs), status});
+  }
+  table.Print();
+  if (!all_valid) {
+    std::fprintf(stderr, "manifest %s has invalid tenants (see above)\n",
+                 path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int CmdServeMulti(int argc, char** argv) {
+  const char* manifest_path = FlagValue(argc, argv, "--manifest", nullptr);
+  const char* queries_path = FlagValue(argc, argv, "--queries", nullptr);
+  if (manifest_path == nullptr || queries_path == nullptr) return Usage();
+  size_t top = std::strtoull(FlagValue(argc, argv, "--top", "5"), nullptr, 10);
+  const char* out_path = FlagValue(argc, argv, "--out", nullptr);
+  const char* reload_tenant = FlagValue(argc, argv, "--reload", nullptr);
+
+  TenantRegistry registry;
+  SnapshotStore store(manifest_path, &registry);
+  if (Status status = store.LoadAll(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (reload_tenant != nullptr) {
+    // Explicit hot-reload trigger: rebuild this tenant now (generation
+    // bumps; concurrent serving would keep reading the old one until the
+    // swap).
+    if (Status status = store.Reload(reload_tenant); !status.ok()) {
+      std::fprintf(stderr, "reload %s: %s\n", reload_tenant,
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "reloaded tenant %s\n", reload_tenant);
+  }
+  if (HasFlag(argc, argv, "--poll")) {
+    Result<std::vector<std::string>> reloaded = store.PollForChanges();
+    if (!reloaded.ok()) {
+      std::fprintf(stderr, "%s\n", reloaded.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& name : *reloaded) {
+      std::fprintf(stderr, "poll reloaded tenant %s\n", name.c_str());
+    }
+  }
+
+  // One input line per request: "tenant<TAB>query text".
+  std::ifstream queries_file(queries_path);
+  if (!queries_file) {
+    std::fprintf(stderr, "cannot open queries file: %s\n", queries_path);
+    return 1;
+  }
+  struct Request {
+    std::string tenant;
+    std::string text;
+  };
+  std::vector<Request> requests;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(queries_file, line)) {
+    ++line_number;
+    std::string_view view(line);
+    while (!view.empty() && (view.back() == '\n' || view.back() == '\r')) {
+      view.remove_suffix(1);
+    }
+    if (view.empty() || view.front() == '#') continue;
+    size_t tab = view.find('\t');
+    if (tab == std::string_view::npos) {
+      std::fprintf(stderr,
+                   "%s:%zu: expected \"tenant<TAB>query\", got \"%s\"\n",
+                   queries_path, line_number, std::string(view).c_str());
+      return 1;
+    }
+    requests.push_back(Request{std::string(view.substr(0, tab)),
+                               std::string(view.substr(tab + 1))});
+  }
+
+  // Group requests per tenant (preserving each request's output slot),
+  // pin that tenant's generation once, and batch the lookups on the
+  // shared pool.
+  std::vector<std::vector<RewriteCandidate>> results(requests.size());
+  std::vector<size_t> order(requests.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return requests[a].tenant < requests[b].tenant;
+  });
+  for (size_t start = 0; start < order.size();) {
+    size_t end = start;
+    const std::string& name = requests[order[start]].tenant;
+    while (end < order.size() && requests[order[end]].tenant == name) ++end;
+    std::shared_ptr<const Tenant> tenant = registry.Lookup(name);
+    if (tenant == nullptr) {
+      std::fprintf(stderr, "unknown tenant in queries file: %s\n",
+                   name.c_str());
+      return 1;
+    }
+    const RewriteService& service = *tenant->service;
+    std::vector<uint32_t> ids;
+    std::vector<size_t> slots;
+    for (size_t i = start; i < end; ++i) {
+      const Request& request = requests[order[i]];
+      Result<uint32_t> id = service.rewriter().ResolveNode(request.text);
+      // Texts outside the graph serve empty (reported as rank-0 rows).
+      if (id.ok()) {
+        ids.push_back(*id);
+        slots.push_back(order[i]);
+      }
+    }
+    std::vector<std::vector<RewriteCandidate>> batch =
+        service.TopKBatch(ids, top);
+    for (size_t i = 0; i < slots.size(); ++i) {
+      results[slots[i]] = std::move(batch[i]);
+    }
+    start = end;
+  }
+
+  std::FILE* out = stdout;
+  if (out_path != nullptr) {
+    out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot create output file: %s\n", out_path);
+      return 1;
+    }
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (results[i].empty()) {
+      // Keep one row per request so coverage is visible downstream.
+      std::fprintf(out, "%s\t%s\t0\t-\t0\n", requests[i].tenant.c_str(),
+                   requests[i].text.c_str());
+      continue;
+    }
+    size_t rank = 0;
+    for (const RewriteCandidate& candidate : results[i]) {
+      std::fprintf(out, "%s\t%s\t%zu\t%s\t%.6f\n",
+                   requests[i].tenant.c_str(), requests[i].text.c_str(),
+                   ++rank, candidate.text.c_str(), candidate.score);
+    }
+  }
+  bool write_failed = std::ferror(out) != 0;
+  if (out != stdout && std::fclose(out) != 0) write_failed = true;
+  if (write_failed) {
+    std::fprintf(stderr, "write failure on output\n");
+    return 1;
+  }
+
+  for (const TenantServeStats& stats : registry.Stats()) {
+    std::fprintf(stderr, "%s\n", stats.ToString().c_str());
+  }
+  return 0;
+}
+
 int CmdExtract(const std::string& path, int argc, char** argv) {
   Result<BipartiteGraph> graph = LoadGraph(path);
   if (!graph.ok()) {
@@ -400,6 +645,7 @@ int RunCli(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   if (command == "generate") return CmdGenerate(argc - 2, argv + 2);
+  if (command == "serve-multi") return CmdServeMulti(argc - 2, argv + 2);
   if (argc < 3) return Usage();
   std::string path = argv[2];
   if (command == "stats") return CmdStats(path);
@@ -408,6 +654,7 @@ int RunCli(int argc, char** argv) {
   if (command == "compute") return CmdCompute(path, argc - 3, argv + 3);
   if (command == "snapshot-info") return CmdSnapshotInfo(path);
   if (command == "serve-eval") return CmdServeEval(path, argc - 3, argv + 3);
+  if (command == "manifest-info") return CmdManifestInfo(path);
   if (command == "extract") return CmdExtract(path, argc - 3, argv + 3);
   return Usage();
 }
