@@ -1,0 +1,300 @@
+#include "loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace simrankpp::loadgen {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("cannot parse host address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    close(fd);
+    return Status::IOError(StringPrintf("connect %s:%u: %s", host.c_str(),
+                                        port, std::strerror(err)));
+  }
+  int enable = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+  fd_ = fd;
+  buffer_.clear();
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status Client::SendBytes(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t w = send(fd_, bytes.data() + off, bytes.size() - off,
+                     MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StringPrintf("send: %s", std::strerror(errno)));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status Client::SendTopK(const std::string& tenant, const std::string& query,
+                        uint16_t k, uint32_t request_id) {
+  std::string frame;
+  AppendTopKRequestFrame(TopKRequest{tenant, query, k}, request_id, &frame);
+  return SendBytes(frame);
+}
+
+Status Client::SendPing(uint32_t request_id) {
+  std::string frame;
+  AppendEmptyFrame(FrameType::kPingRequest, WireCode::kOk, request_id,
+                   &frame);
+  return SendBytes(frame);
+}
+
+Status Client::SendStats(uint32_t request_id) {
+  std::string frame;
+  AppendEmptyFrame(FrameType::kStatsRequest, WireCode::kOk, request_id,
+                   &frame);
+  return SendBytes(frame);
+}
+
+Status Client::SendReload(uint32_t request_id) {
+  std::string frame;
+  AppendEmptyFrame(FrameType::kReloadRequest, WireCode::kOk, request_id,
+                   &frame);
+  return SendBytes(frame);
+}
+
+Result<Reply> Client::ReadReply() {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  for (;;) {
+    FrameHeader header;
+    FrameDecode decode =
+        DecodeFrameHeader(buffer_, kMaxFramePayloadBytes, &header);
+    if (decode == FrameDecode::kOk &&
+        buffer_.size() >= kFrameHeaderBytes + header.payload_bytes) {
+      std::string_view payload(buffer_.data() + kFrameHeaderBytes,
+                               header.payload_bytes);
+      Reply reply;
+      reply.type = static_cast<FrameType>(header.type);
+      reply.code = static_cast<WireCode>(header.code);
+      reply.request_id = header.request_id;
+      bool parsed = false;
+      switch (reply.type) {
+        case FrameType::kTopKResponse:
+          parsed = ParseTopKResponsePayload(payload, &reply.items);
+          break;
+        case FrameType::kPingResponse:
+          parsed = payload.empty();
+          break;
+        case FrameType::kStatsResponse:
+        case FrameType::kReloadResponse:
+        case FrameType::kError:
+          parsed = ParseTextPayload(payload, &reply.text);
+          break;
+        default:
+          parsed = false;
+          break;
+      }
+      buffer_.erase(0, kFrameHeaderBytes + header.payload_bytes);
+      if (!parsed) {
+        return Status::InvalidArgument(StringPrintf(
+            "undecodable response frame (type 0x%02x)", header.type));
+      }
+      return reply;
+    }
+    if (decode != FrameDecode::kOk && decode != FrameDecode::kNeedMoreData) {
+      return Status::InvalidArgument("corrupt response frame header");
+    }
+    char chunk[65536];
+    ssize_t r = read(fd_, chunk, sizeof(chunk));
+    if (r == 0) {
+      return Status::IOError("connection closed by daemon");
+    }
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StringPrintf("read: %s", std::strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<size_t>(r));
+  }
+}
+
+Result<Reply> Client::TopK(const std::string& tenant,
+                           const std::string& query, uint16_t k,
+                           uint32_t request_id) {
+  SRPP_RETURN_NOT_OK(SendTopK(tenant, query, k, request_id));
+  return ReadReply();
+}
+
+std::string LoadReport::ToString() const {
+  std::string text = StringPrintf(
+      "loadgen: sent=%llu ok=%llu qps=%.0f mean=%.0fus p50=%.0fus "
+      "p90=%.0fus p99=%.0fus in %.2fs",
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(ok), qps, mean_us, p50_us, p90_us,
+      p99_us, seconds);
+  for (const auto& [code, count] : by_code) {
+    text += StringPrintf(" %s=%llu",
+                         WireCodeName(static_cast<WireCode>(code)),
+                         static_cast<unsigned long long>(count));
+  }
+  return text;
+}
+
+Result<LoadReport> RunLoad(const LoadOptions& options) {
+  if (options.targets.empty()) {
+    return Status::InvalidArgument("RunLoad needs at least one target");
+  }
+  for (const LoadTarget& target : options.targets) {
+    if (target.queries.empty()) {
+      return Status::InvalidArgument("target \"" + target.tenant +
+                                     "\" has no queries");
+    }
+  }
+  size_t window = std::max<size_t>(1, options.pipeline);
+
+  std::mutex merge_mu;
+  SummaryStats latencies(/*keep_samples=*/true);
+  std::map<uint16_t, uint64_t> by_code;
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  Status first_error = Status::OK();
+
+  // Workers record latencies into per-thread vectors; the merge feeds
+  // one shared accumulator after the join.
+  std::vector<std::vector<double>> samples(options.connections);
+  auto worker = [&](size_t index) {
+    Client client;
+    Status status = client.Connect(options.host, options.port);
+    std::map<uint16_t, uint64_t> local_by_code;
+    uint64_t local_sent = 0;
+    uint64_t local_ok = 0;
+    std::vector<double>& local_samples = samples[index];
+    if (status.ok()) {
+      Rng rng(options.seed + index * 7919);
+      std::unordered_map<uint32_t, double> in_flight;
+      uint32_t next_id = 1;
+      size_t remaining = options.requests_per_connection;
+      while (status.ok() && (remaining > 0 || !in_flight.empty())) {
+        while (status.ok() && remaining > 0 && in_flight.size() < window) {
+          const LoadTarget& target =
+              options.targets[rng.NextBounded(options.targets.size())];
+          const std::string& query =
+              target.queries[rng.NextBounded(target.queries.size())];
+          uint32_t id = next_id++;
+          in_flight.emplace(id, NowSeconds());
+          status = client.SendTopK(target.tenant, query, options.k, id);
+          --remaining;
+          ++local_sent;
+        }
+        if (!status.ok() || in_flight.empty()) break;
+        Result<Reply> reply = client.ReadReply();
+        if (!reply.ok()) {
+          status = reply.status();
+          break;
+        }
+        auto it = in_flight.find(reply->request_id);
+        if (it != in_flight.end()) {
+          local_samples.push_back((NowSeconds() - it->second) * 1e6);
+          in_flight.erase(it);
+        }
+        if (reply->ok()) {
+          ++local_ok;
+        } else {
+          ++local_by_code[static_cast<uint16_t>(reply->code)];
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mu);
+    sent += local_sent;
+    ok += local_ok;
+    for (const auto& [code, count] : local_by_code) by_code[code] += count;
+    if (!status.ok() && first_error.ok()) first_error = status;
+  };
+
+  double start = NowSeconds();
+  std::vector<std::thread> threads;
+  threads.reserve(options.connections);
+  for (size_t i = 0; i < options.connections; ++i) {
+    threads.emplace_back(worker, i);
+  }
+  for (std::thread& thread : threads) thread.join();
+  double elapsed = NowSeconds() - start;
+
+  SRPP_RETURN_NOT_OK(first_error);
+
+  for (const std::vector<double>& thread_samples : samples) {
+    for (double value : thread_samples) latencies.Add(value);
+  }
+  LoadReport report;
+  report.sent = sent;
+  report.ok = ok;
+  report.by_code = std::move(by_code);
+  report.seconds = elapsed;
+  report.qps = elapsed > 0.0 ? static_cast<double>(sent) / elapsed : 0.0;
+  report.mean_us = latencies.mean();
+  report.p50_us = latencies.Quantile(0.5);
+  report.p90_us = latencies.Quantile(0.9);
+  report.p99_us = latencies.Quantile(0.99);
+  return report;
+}
+
+}  // namespace simrankpp::loadgen

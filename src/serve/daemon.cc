@@ -1,0 +1,1088 @@
+#include "serve/daemon.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/inotify.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "rewrite/rewrite_service.h"
+#include "serve/manifest.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace simrankpp {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Reads an eventfd counter down to zero (nonblocking fd).
+void DrainEventFd(int fd) {
+  uint64_t value = 0;
+  while (read(fd, &value, sizeof(value)) > 0) {
+  }
+}
+
+void CloseIfOpen(int* fd) {
+  if (*fd >= 0) {
+    close(*fd);
+    *fd = -1;
+  }
+}
+
+// log10 of a latency in microseconds, the shape the latency histogram
+// buckets over (70 buckets across 7 decades: 1us .. 10s).
+double LatencyLog(double latency_us) {
+  return std::log10(std::max(latency_us, 1.0));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Impl
+// ---------------------------------------------------------------------------
+
+class ServeDaemon::Impl {
+ public:
+  explicit Impl(DaemonOptions options) : options_(std::move(options)) {}
+
+  ~Impl() {
+    RequestShutdown();
+    Wait();
+    // Wait() leaves no thread and no pool task alive, so the fds can go.
+    CloseIfOpen(&listen_fd_);
+    CloseIfOpen(&epoll_fd_);
+    CloseIfOpen(&wake_fd_);
+    CloseIfOpen(&shutdown_fd_);
+    CloseIfOpen(&watcher_stop_fd_);
+  }
+
+  Status Boot();
+
+  uint16_t port() const { return port_; }
+  const TenantRegistry& registry() const { return *registry_; }
+
+  void RequestShutdown() {
+    uint64_t one = 1;
+    // Async-signal-safe: one write syscall, result deliberately ignored
+    // (the only failure mode is "already shutting down").
+    [[maybe_unused]] ssize_t rc =
+        write(shutdown_fd_, &one, sizeof(one));
+  }
+
+  int Wait() {
+    std::lock_guard<std::mutex> lock(join_mu_);
+    if (io_thread_.joinable()) io_thread_.join();
+    if (watcher_thread_.joinable()) {
+      uint64_t one = 1;
+      [[maybe_unused]] ssize_t rc =
+          write(watcher_stop_fd_, &one, sizeof(one));
+      watcher_thread_.join();
+    }
+    // Straggling pool tasks signal through work_cv_ as their very last
+    // action; after this wait none of them will touch the Impl again.
+    std::unique_lock<std::mutex> work_lock(work_mu_);
+    work_cv_.wait(work_lock, [this] { return work_count_ == 0; });
+    return exit_code_.load();
+  }
+
+  Result<std::vector<std::string>> PollNow() {
+    Result<std::vector<std::string>> reloaded = store_->PollForChanges();
+    if (reloaded.ok()) {
+      reloads_applied_.fetch_add(reloaded->size());
+    }
+    return reloaded;
+  }
+
+  DaemonMetrics Metrics() const {
+    DaemonMetrics m;
+    m.connections_accepted = connections_accepted_.load();
+    m.connections_refused = connections_refused_.load();
+    m.frames_received = frames_received_.load();
+    m.requests_admitted = requests_admitted_.load();
+    m.requests_shed = requests_shed_.load();
+    m.requests_rate_limited = requests_rate_limited_.load();
+    m.requests_draining = requests_draining_.load();
+    m.bad_frames = bad_frames_.load();
+    m.bad_requests = bad_requests_.load();
+    m.responses_sent = responses_sent_.load();
+    m.batches_executed = batches_executed_.load();
+    m.max_batch_size = max_batch_size_.load();
+    m.reloads_applied = reloads_applied_.load();
+    return m;
+  }
+
+ private:
+  // One live client socket. Owned (and only ever touched) by the I/O
+  // thread; worker results reach it via the outbox, keyed by
+  // (fd, serial) so a recycled fd never receives a dead request's reply.
+  struct Connection {
+    int fd = -1;
+    uint64_t serial = 0;
+    std::string in;
+    std::string out;
+    size_t out_offset = 0;
+    bool close_after_flush = false;
+    bool epollout_armed = false;
+  };
+
+  // A TopK request admitted into a tenant's pending queue.
+  struct PendingRequest {
+    int fd = -1;
+    uint64_t serial = 0;
+    uint32_t request_id = 0;
+    std::string query;
+    uint16_t k = 0;
+    double enqueue_seconds = 0.0;
+  };
+
+  // Per-tenant admission + batching + stats state. The bucket is event-
+  // loop-private; everything else is shared with batch workers under mu.
+  struct TenantState {
+    explicit TenantState(const DaemonOptions& options)
+        : bucket(options.tenant_qps, options.tenant_burst),
+          queue_depth(0.0,
+                      static_cast<double>(options.max_queue_per_tenant) + 1.0,
+                      std::min<size_t>(options.max_queue_per_tenant + 1, 64)),
+          latency_log10_us(0.0, 7.0, 70) {}
+
+    TokenBucket bucket;  // I/O thread only
+
+    std::mutex mu;
+    std::vector<PendingRequest> pending;
+    bool batch_in_flight = false;
+    uint64_t admitted = 0;
+    uint64_t shed = 0;
+    uint64_t rate_limited = 0;
+    uint64_t served = 0;
+    uint64_t batches = 0;
+    uint64_t max_batch = 0;
+    Histogram queue_depth;
+    SummaryStats latency_us;       // streaming moments, O(1) memory
+    Histogram latency_log10_us;    // quantiles over log10(us)
+  };
+
+  // A finished response frame headed back to (fd, serial).
+  struct Completion {
+    int fd = -1;
+    uint64_t serial = 0;
+    std::string bytes;
+  };
+
+  // ----- event loop ----------------------------------------------------
+
+  void IoLoop();
+  void AcceptAll();
+  void OnReadable(Connection* conn);
+  void ParseFrames(Connection* conn);
+  void HandleFrame(Connection* conn, const FrameHeader& header,
+                   std::string_view payload);
+  void AdmitTopK(Connection* conn, uint32_t request_id, TopKRequest request);
+  void AppendOutput(Connection* conn, std::string bytes);
+  void TryFlush(Connection* conn);
+  void SendError(Connection* conn, uint32_t request_id, WireCode code,
+                 const std::string& message);
+  void CloseConnection(int fd);
+  void BeginDrain();
+  bool DrainComplete();
+  void DrainOutbox();
+  std::string StatsText();
+
+  // ----- worker side ---------------------------------------------------
+
+  void RunBatch(std::string tenant_name, TenantState* state);
+  void RunReload(int fd, uint64_t serial, uint32_t request_id);
+  void PushCompletions(std::vector<Completion> completions);
+  void Wake() {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t rc = write(wake_fd_, &one, sizeof(one));
+  }
+  // Marks one unit of submitted pool work as finished. The very last
+  // touch of the Impl by a worker task: Wait() holds work_mu_ until the
+  // count hits zero, so teardown cannot race a straggler.
+  void FinishWork() {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    --work_count_;
+    work_cv_.notify_all();
+  }
+
+  // ----- reload watcher ------------------------------------------------
+
+  void WatchLoop();
+  std::set<std::string> WatchDirectories() const;
+
+  TenantState* GetOrCreateState(const std::string& tenant) {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    auto it = states_.find(tenant);
+    if (it == states_.end()) {
+      it = states_
+               .emplace(tenant, std::make_unique<TenantState>(options_))
+               .first;
+    }
+    return it->second.get();
+  }
+
+  DaemonOptions options_;
+  std::unique_ptr<TenantRegistry> registry_;
+  std::unique_ptr<SnapshotStore> store_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int shutdown_fd_ = -1;
+  int watcher_stop_fd_ = -1;
+
+  std::thread io_thread_;
+  std::thread watcher_thread_;
+  std::mutex join_mu_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<int> exit_code_{0};
+
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  uint64_t next_serial_ = 1;
+
+  std::mutex states_mu_;
+  std::unordered_map<std::string, std::unique_ptr<TenantState>> states_;
+
+  std::mutex outbox_mu_;
+  std::vector<Completion> outbox_;
+
+  // Count of submitted-but-unfinished pool tasks (batches + reloads).
+  std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  size_t work_count_ = 0;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_refused_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> requests_admitted_{0};
+  std::atomic<uint64_t> requests_shed_{0};
+  std::atomic<uint64_t> requests_rate_limited_{0};
+  std::atomic<uint64_t> requests_draining_{0};
+  std::atomic<uint64_t> bad_frames_{0};
+  std::atomic<uint64_t> bad_requests_{0};
+  std::atomic<uint64_t> responses_sent_{0};
+  std::atomic<uint64_t> batches_executed_{0};
+  std::atomic<uint64_t> max_batch_size_{0};
+  std::atomic<uint64_t> reloads_applied_{0};
+
+  friend class ServeDaemon;
+};
+
+// ---------------------------------------------------------------------------
+// Startup
+// ---------------------------------------------------------------------------
+
+Status ServeDaemon::Impl::Boot() {
+  if (options_.manifest_path.empty()) {
+    return Status::InvalidArgument("serve daemon needs a manifest path");
+  }
+  registry_ = std::make_unique<TenantRegistry>();
+  store_ = std::make_unique<SnapshotStore>(options_.manifest_path,
+                                           registry_.get());
+  Status loaded = store_->LoadAll();
+  if (!loaded.ok()) {
+    // An unreadable/unparsable manifest loads nothing — fatal either
+    // way. Per-tenant failures are fatal only under require_all_tenants;
+    // otherwise the loaded tenants serve and STATS carries the failures.
+    if (options_.require_all_tenants || registry_->size() == 0) {
+      return loaded;
+    }
+    SRPP_LOG(Warning) << "serve daemon starting degraded: "
+                      << loaded.ToString();
+  }
+  for (const std::string& name : registry_->TenantNames()) {
+    GetOrCreateState(name);
+  }
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(StringPrintf("socket: %s", std::strerror(errno)));
+  }
+  int enable = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse host address: " +
+                                   options_.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError(StringPrintf("bind %s:%u: %s",
+                                        options_.host.c_str(), options_.port,
+                                        std::strerror(errno)));
+  }
+  if (listen(listen_fd_, 128) != 0) {
+    return Status::IOError(StringPrintf("listen: %s", std::strerror(errno)));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  &addr_len) != 0) {
+    return Status::IOError(
+        StringPrintf("getsockname: %s", std::strerror(errno)));
+  }
+  port_ = ntohs(addr.sin_port);
+
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  shutdown_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  watcher_stop_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (wake_fd_ < 0 || shutdown_fd_ < 0 || watcher_stop_fd_ < 0 ||
+      epoll_fd_ < 0) {
+    return Status::IOError("cannot create eventfd/epoll descriptors");
+  }
+  for (int fd : {listen_fd_, wake_fd_, shutdown_fd_}) {
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+      return Status::IOError(
+          StringPrintf("epoll_ctl add: %s", std::strerror(errno)));
+    }
+  }
+
+  io_thread_ = std::thread([this] { IoLoop(); });
+  if (options_.enable_watcher) {
+    watcher_thread_ = std::thread([this] { WatchLoop(); });
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void ServeDaemon::Impl::IoLoop() {
+  std::vector<epoll_event> events(64);
+  for (;;) {
+    // Blocking normally; short timeout during drain so the final
+    // work-count decrement (which deliberately happens without a wake)
+    // is observed promptly.
+    int timeout_ms = draining_.load() ? 5 : -1;
+    int n = epoll_wait(epoll_fd_, events.data(),
+                       static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      exit_code_.store(1);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == shutdown_fd_) {
+        DrainEventFd(shutdown_fd_);
+        BeginDrain();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        DrainEventFd(wake_fd_);
+        continue;  // the outbox drain below picks the work up
+      }
+      if (fd == listen_fd_) {
+        AcceptAll();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this round
+      Connection* conn = it->second.get();
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(fd);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) TryFlush(conn);
+      if (connections_.find(fd) == connections_.end()) continue;
+      if (events[i].events & EPOLLIN) OnReadable(conn);
+    }
+    DrainOutbox();
+    if (draining_.load() && DrainComplete()) break;
+  }
+  // Drain finished (or the loop failed): nothing in flight, everything
+  // flushed — drop the remaining idle connections.
+  for (auto& [fd, conn] : connections_) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    close(fd);
+  }
+  connections_.clear();
+}
+
+void ServeDaemon::Impl::AcceptAll() {
+  for (;;) {
+    int fd = accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN or a transient accept failure
+    }
+    if (draining_.load() || connections_.size() >= options_.max_connections) {
+      close(fd);
+      connections_refused_.fetch_add(1);
+      continue;
+    }
+    int enable = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof(enable));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->serial = next_serial_++;
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
+      close(fd);
+      connections_refused_.fetch_add(1);
+      continue;
+    }
+    connections_.emplace(fd, std::move(conn));
+    connections_accepted_.fetch_add(1);
+  }
+}
+
+void ServeDaemon::Impl::OnReadable(Connection* conn) {
+  char buffer[65536];
+  // One read per wakeup: level-triggered epoll re-fires while more bytes
+  // wait, which keeps one fast sender from starving the other clients.
+  ssize_t r = read(conn->fd, buffer, sizeof(buffer));
+  if (r == 0) {
+    CloseConnection(conn->fd);
+    return;
+  }
+  if (r < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    CloseConnection(conn->fd);
+    return;
+  }
+  if (!conn->close_after_flush) {
+    conn->in.append(buffer, static_cast<size_t>(r));
+    ParseFrames(conn);
+  }
+}
+
+void ServeDaemon::Impl::ParseFrames(Connection* conn) {
+  // SendError/HandleFrame can flush inline and close the connection on a
+  // hard socket error, destroying *conn — re-check liveness by fd before
+  // every further touch.
+  const int fd = conn->fd;
+  size_t consumed = 0;
+  while (connections_.count(fd) != 0 && !conn->close_after_flush) {
+    std::string_view rest(conn->in.data() + consumed,
+                          conn->in.size() - consumed);
+    FrameHeader header;
+    FrameDecode decode =
+        DecodeFrameHeader(rest, options_.max_frame_payload, &header);
+    if (decode == FrameDecode::kNeedMoreData) break;
+    if (decode != FrameDecode::kOk) {
+      // The stream cannot be resynchronized after a corrupt header: tell
+      // the client why, then drop this connection (others are
+      // unaffected — each socket parses independently). Mark the close
+      // before sending so the flush path hangs up once the error frame
+      // is on the wire.
+      bad_frames_.fetch_add(1);
+      const char* reason = decode == FrameDecode::kBadMagic ? "bad magic"
+                           : decode == FrameDecode::kBadFlags
+                               ? "nonzero flags"
+                               : "payload exceeds limit";
+      conn->in.clear();
+      conn->close_after_flush = true;
+      SendError(conn, 0, WireCode::kBadFrame,
+                StringPrintf("unrecoverable frame header (%s); closing",
+                             reason));
+      return;
+    }
+    size_t frame_bytes = kFrameHeaderBytes + header.payload_bytes;
+    if (rest.size() < frame_bytes) break;
+    frames_received_.fetch_add(1);
+    HandleFrame(conn, header,
+                rest.substr(kFrameHeaderBytes, header.payload_bytes));
+    consumed += frame_bytes;
+  }
+  if (connections_.count(fd) != 0) conn->in.erase(0, consumed);
+}
+
+void ServeDaemon::Impl::HandleFrame(Connection* conn,
+                                    const FrameHeader& header,
+                                    std::string_view payload) {
+  switch (static_cast<FrameType>(header.type)) {
+    case FrameType::kTopKRequest: {
+      TopKRequest request;
+      if (!ParseTopKRequestPayload(payload, &request)) {
+        bad_requests_.fetch_add(1);
+        SendError(conn, header.request_id, WireCode::kBadRequest,
+                  "malformed TopK request payload");
+        return;
+      }
+      AdmitTopK(conn, header.request_id, std::move(request));
+      return;
+    }
+    case FrameType::kPingRequest: {
+      std::string out;
+      AppendEmptyFrame(FrameType::kPingResponse, WireCode::kOk,
+                       header.request_id, &out);
+      responses_sent_.fetch_add(1);
+      AppendOutput(conn, std::move(out));
+      return;
+    }
+    case FrameType::kStatsRequest: {
+      std::string out;
+      AppendTextFrame(FrameType::kStatsResponse, WireCode::kOk,
+                      header.request_id, StatsText(), &out);
+      responses_sent_.fetch_add(1);
+      AppendOutput(conn, std::move(out));
+      return;
+    }
+    case FrameType::kReloadRequest: {
+      if (draining_.load()) {
+        requests_draining_.fetch_add(1);
+        SendError(conn, header.request_id, WireCode::kDraining,
+                  "daemon is draining");
+        return;
+      }
+      int fd = conn->fd;
+      uint64_t serial = conn->serial;
+      uint32_t request_id = header.request_id;
+      {
+        std::lock_guard<std::mutex> lock(work_mu_);
+        ++work_count_;
+      }
+      SharedThreadPool().Submit(
+          [this, fd, serial, request_id] { RunReload(fd, serial, request_id); });
+      return;
+    }
+    default:
+      bad_requests_.fetch_add(1);
+      SendError(conn, header.request_id, WireCode::kBadRequest,
+                StringPrintf("unknown frame type 0x%02x", header.type));
+      return;
+  }
+}
+
+void ServeDaemon::Impl::AdmitTopK(Connection* conn, uint32_t request_id,
+                                  TopKRequest request) {
+  if (draining_.load()) {
+    requests_draining_.fetch_add(1);
+    SendError(conn, request_id, WireCode::kDraining, "daemon is draining");
+    return;
+  }
+  if (request.k == 0 || request.k > kMaxTopKPerRequest) {
+    bad_requests_.fetch_add(1);
+    SendError(conn, request_id, WireCode::kBadRequest,
+              StringPrintf("k must be in [1, %u], got %u",
+                           kMaxTopKPerRequest, request.k));
+    return;
+  }
+  // Existence check against the registry's lock-free read path; the
+  // batch worker re-pins its own generation when it runs.
+  if (registry_->Lookup(request.tenant) == nullptr) {
+    SendError(conn, request_id, WireCode::kUnknownTenant,
+              "unknown tenant \"" + request.tenant + "\"");
+    return;
+  }
+  TenantState* state = GetOrCreateState(request.tenant);
+  if (!state->bucket.TryAcquire(NowSeconds())) {
+    requests_rate_limited_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->rate_limited;
+    }
+    SendError(conn, request_id, WireCode::kRateLimited,
+              "tenant rate limit exceeded");
+    return;
+  }
+  bool submit = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    if (state->pending.size() >= options_.max_queue_per_tenant) {
+      ++state->shed;
+      requests_shed_.fetch_add(1);
+      SendError(conn, request_id, WireCode::kOverloaded,
+                "tenant queue is full; request shed");
+      return;
+    }
+    PendingRequest pending;
+    pending.fd = conn->fd;
+    pending.serial = conn->serial;
+    pending.request_id = request_id;
+    pending.query = std::move(request.query);
+    pending.k = request.k;
+    pending.enqueue_seconds = NowSeconds();
+    state->pending.push_back(std::move(pending));
+    state->queue_depth.Add(static_cast<double>(state->pending.size()));
+    ++state->admitted;
+    if (!state->batch_in_flight) {
+      state->batch_in_flight = true;
+      submit = true;
+    }
+  }
+  requests_admitted_.fetch_add(1);
+  if (submit) {
+    {
+      std::lock_guard<std::mutex> lock(work_mu_);
+      ++work_count_;
+    }
+    std::string tenant = std::move(request.tenant);
+    SharedThreadPool().Submit([this, tenant, state]() mutable {
+      RunBatch(std::move(tenant), state);
+    });
+  }
+}
+
+void ServeDaemon::Impl::SendError(Connection* conn, uint32_t request_id,
+                                  WireCode code, const std::string& message) {
+  std::string out;
+  AppendTextFrame(FrameType::kError, code, request_id, message, &out);
+  responses_sent_.fetch_add(1);
+  AppendOutput(conn, std::move(out));
+}
+
+void ServeDaemon::Impl::AppendOutput(Connection* conn, std::string bytes) {
+  if (conn->out.empty()) {
+    conn->out = std::move(bytes);
+    conn->out_offset = 0;
+  } else {
+    conn->out += bytes;
+  }
+  TryFlush(conn);
+}
+
+void ServeDaemon::Impl::TryFlush(Connection* conn) {
+  while (conn->out_offset < conn->out.size()) {
+    ssize_t w = send(conn->fd, conn->out.data() + conn->out_offset,
+                     conn->out.size() - conn->out_offset, MSG_NOSIGNAL);
+    if (w > 0) {
+      conn->out_offset += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->epollout_armed) {
+        epoll_event event{};
+        event.events = EPOLLIN | EPOLLOUT;
+        event.data.fd = conn->fd;
+        epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event);
+        conn->epollout_armed = true;
+      }
+      return;
+    }
+    CloseConnection(conn->fd);
+    return;
+  }
+  conn->out.clear();
+  conn->out_offset = 0;
+  if (conn->epollout_armed) {
+    epoll_event event{};
+    event.events = EPOLLIN;
+    event.data.fd = conn->fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &event);
+    conn->epollout_armed = false;
+  }
+  if (conn->close_after_flush) CloseConnection(conn->fd);
+}
+
+void ServeDaemon::Impl::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  close(fd);
+  connections_.erase(it);
+}
+
+void ServeDaemon::Impl::BeginDrain() {
+  if (draining_.exchange(true)) return;
+  // Stop accepting: close the listener. Pending queues keep draining,
+  // connected clients' late requests get kDraining, and the loop exits
+  // once every admitted request has been answered and flushed.
+  if (listen_fd_ >= 0) {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+bool ServeDaemon::Impl::DrainComplete() {
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    if (work_count_ != 0) return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    if (!outbox_.empty()) return false;
+  }
+  for (const auto& [fd, conn] : connections_) {
+    if (conn->out_offset < conn->out.size()) return false;
+  }
+  return true;
+}
+
+void ServeDaemon::Impl::DrainOutbox() {
+  std::vector<Completion> items;
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    items.swap(outbox_);
+  }
+  for (Completion& item : items) {
+    auto it = connections_.find(item.fd);
+    if (it == connections_.end() || it->second->serial != item.serial) {
+      continue;  // the requester disconnected; drop the reply
+    }
+    AppendOutput(it->second.get(), std::move(item.bytes));
+  }
+}
+
+std::string ServeDaemon::Impl::StatsText() {
+  DaemonMetrics m = Metrics();
+  std::string text = StringPrintf(
+      "serve-daemon draining=%d connections=%zu accepted=%llu refused=%llu "
+      "frames=%llu admitted=%llu shed=%llu rate_limited=%llu draining_refused=%llu "
+      "bad_frames=%llu bad_requests=%llu responses=%llu batches=%llu "
+      "max_batch=%llu reloads=%llu\n",
+      draining_.load() ? 1 : 0, connections_.size(),
+      static_cast<unsigned long long>(m.connections_accepted),
+      static_cast<unsigned long long>(m.connections_refused),
+      static_cast<unsigned long long>(m.frames_received),
+      static_cast<unsigned long long>(m.requests_admitted),
+      static_cast<unsigned long long>(m.requests_shed),
+      static_cast<unsigned long long>(m.requests_rate_limited),
+      static_cast<unsigned long long>(m.requests_draining),
+      static_cast<unsigned long long>(m.bad_frames),
+      static_cast<unsigned long long>(m.bad_requests),
+      static_cast<unsigned long long>(m.responses_sent),
+      static_cast<unsigned long long>(m.batches_executed),
+      static_cast<unsigned long long>(m.max_batch_size),
+      static_cast<unsigned long long>(m.reloads_applied));
+  for (const TenantServeStats& tenant_stats : registry_->Stats()) {
+    text += tenant_stats.ToString();
+    text += '\n';
+    TenantState* state = GetOrCreateState(tenant_stats.tenant);
+    std::lock_guard<std::mutex> lock(state->mu);
+    text += StringPrintf(
+        "  admission: admitted=%llu shed=%llu rate_limited=%llu "
+        "served=%llu batches=%llu max_batch=%llu\n",
+        static_cast<unsigned long long>(state->admitted),
+        static_cast<unsigned long long>(state->shed),
+        static_cast<unsigned long long>(state->rate_limited),
+        static_cast<unsigned long long>(state->served),
+        static_cast<unsigned long long>(state->batches),
+        static_cast<unsigned long long>(state->max_batch));
+    const Histogram& lat = state->latency_log10_us;
+    text += StringPrintf(
+        "  latency_us: count=%llu mean=%.1f min=%.1f max=%.1f "
+        "p50=%.1f p90=%.1f p99=%.1f\n",
+        static_cast<unsigned long long>(state->latency_us.count()),
+        state->latency_us.mean(), state->latency_us.min(),
+        state->latency_us.max(), std::pow(10.0, lat.ApproxQuantile(0.5)),
+        std::pow(10.0, lat.ApproxQuantile(0.9)),
+        std::pow(10.0, lat.ApproxQuantile(0.99)));
+    text += StringPrintf(
+        "  queue_depth: count=%llu mean=%.2f max=%.0f p99=%.1f\n",
+        static_cast<unsigned long long>(state->queue_depth.total()),
+        state->queue_depth.mean(),
+        state->queue_depth.total() == 0
+            ? 0.0
+            : state->queue_depth.ApproxQuantile(1.0),
+        state->queue_depth.ApproxQuantile(0.99));
+  }
+  return text;
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+void ServeDaemon::Impl::PushCompletions(std::vector<Completion> completions) {
+  if (completions.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(outbox_mu_);
+    for (Completion& completion : completions) {
+      outbox_.push_back(std::move(completion));
+    }
+  }
+  Wake();
+}
+
+void ServeDaemon::Impl::RunBatch(std::string tenant_name,
+                                 TenantState* state) {
+  std::vector<PendingRequest> batch;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    batch.swap(state->pending);
+    if (batch.empty()) {
+      state->batch_in_flight = false;
+    }
+  }
+  if (batch.empty()) {
+    FinishWork();
+    return;
+  }
+  if (options_.debug_batch_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.debug_batch_delay_ms));
+  }
+
+  // Pin one generation for the whole micro-batch: every response in it
+  // reflects exactly this tenant snapshot, even if a reload publishes a
+  // successor mid-call.
+  std::shared_ptr<const Tenant> tenant = registry_->Lookup(tenant_name);
+  std::vector<Completion> completions;
+  completions.reserve(batch.size());
+  if (tenant == nullptr) {
+    for (const PendingRequest& request : batch) {
+      Completion completion;
+      completion.fd = request.fd;
+      completion.serial = request.serial;
+      AppendTextFrame(FrameType::kError, WireCode::kUnknownTenant,
+                      request.request_id, "tenant was removed",
+                      &completion.bytes);
+      completions.push_back(std::move(completion));
+    }
+  } else {
+    const RewriteService& service = *tenant->service;
+    // Coalesce per distinct k (usually one): TopKBatch takes a single
+    // depth, and mixing depths must not change any request's answer.
+    std::vector<size_t> order(batch.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return batch[a].k < batch[b].k;
+    });
+    completions.resize(batch.size());
+    for (size_t start = 0; start < order.size();) {
+      size_t end = start;
+      uint16_t k = batch[order[start]].k;
+      while (end < order.size() && batch[order[end]].k == k) ++end;
+      std::vector<QueryId> ids;
+      std::vector<size_t> slots;
+      ids.reserve(end - start);
+      for (size_t i = start; i < end; ++i) {
+        const PendingRequest& request = batch[order[i]];
+        Result<uint32_t> id = service.rewriter().ResolveNode(request.query);
+        if (id.ok()) {
+          ids.push_back(*id);
+          slots.push_back(order[i]);
+        } else {
+          // Text outside this generation's graph: empty result, ok code
+          // (mirrors serve-multi's rank-0 convention).
+          AppendTopKResponseFrame(request.request_id, {},
+                                  &completions[order[i]].bytes);
+        }
+      }
+      std::vector<std::vector<RewriteCandidate>> results =
+          service.TopKBatch(ids, k);
+      for (size_t i = 0; i < slots.size(); ++i) {
+        std::vector<TopKItem> items;
+        items.reserve(results[i].size());
+        for (const RewriteCandidate& candidate : results[i]) {
+          items.push_back(TopKItem{candidate.text, candidate.score});
+        }
+        AppendTopKResponseFrame(batch[slots[i]].request_id, items,
+                                &completions[slots[i]].bytes);
+      }
+      start = end;
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      completions[i].fd = batch[i].fd;
+      completions[i].serial = batch[i].serial;
+    }
+  }
+
+  double now = NowSeconds();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->served += batch.size();
+    ++state->batches;
+    state->max_batch = std::max(state->max_batch, batch.size());
+    for (const PendingRequest& request : batch) {
+      double latency_us = (now - request.enqueue_seconds) * 1e6;
+      state->latency_us.Add(latency_us);
+      state->latency_log10_us.Add(LatencyLog(latency_us));
+    }
+  }
+  batches_executed_.fetch_add(1);
+  uint64_t observed = max_batch_size_.load();
+  while (observed < batch.size() &&
+         !max_batch_size_.compare_exchange_weak(observed, batch.size())) {
+  }
+  responses_sent_.fetch_add(batch.size());
+  PushCompletions(std::move(completions));
+
+  // Yield between micro-batches instead of looping: requests that piled
+  // up during this batch become the next coalesced TopKBatch, and other
+  // tenants' batches get pool time in between.
+  bool more = false;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    more = !state->pending.empty();
+    if (!more) state->batch_in_flight = false;
+  }
+  if (more) {
+    SharedThreadPool().Submit([this, tenant_name, state]() mutable {
+      RunBatch(std::move(tenant_name), state);
+    });
+    return;  // work_count_ stays held by the resubmitted batch
+  }
+  FinishWork();
+}
+
+void ServeDaemon::Impl::RunReload(int fd, uint64_t serial,
+                                  uint32_t request_id) {
+  Result<std::vector<std::string>> reloaded = store_->PollForChanges();
+  Completion completion;
+  completion.fd = fd;
+  completion.serial = serial;
+  if (reloaded.ok()) {
+    reloads_applied_.fetch_add(reloaded->size());
+    std::string text;
+    for (const std::string& name : *reloaded) {
+      if (!text.empty()) text += '\n';
+      text += name;
+    }
+    AppendTextFrame(FrameType::kReloadResponse, WireCode::kOk, request_id,
+                    text, &completion.bytes);
+  } else {
+    AppendTextFrame(FrameType::kError, WireCode::kInternal, request_id,
+                    reloaded.status().ToString(), &completion.bytes);
+  }
+  responses_sent_.fetch_add(1);
+  std::vector<Completion> completions;
+  completions.push_back(std::move(completion));
+  PushCompletions(std::move(completions));
+  FinishWork();
+}
+
+// ---------------------------------------------------------------------------
+// Reload watcher
+// ---------------------------------------------------------------------------
+
+std::set<std::string> ServeDaemon::Impl::WatchDirectories() const {
+  std::set<std::string> dirs;
+  auto add = [&dirs](const std::string& path) {
+    if (path.empty()) return;
+    std::string dir = std::filesystem::path(path).parent_path().string();
+    dirs.insert(dir.empty() ? std::string(".") : dir);
+  };
+  add(options_.manifest_path);
+  Result<ServingManifest> manifest = LoadManifest(options_.manifest_path);
+  if (manifest.ok()) {
+    for (const ManifestEntry& entry : manifest->entries) {
+      add(entry.graph_path);
+      add(entry.snapshot_path);
+      add(entry.bid_path);
+    }
+  }
+  return dirs;
+}
+
+void ServeDaemon::Impl::WatchLoop() {
+  int inotify_fd = -1;
+  if (options_.use_inotify) {
+    inotify_fd = inotify_init1(IN_NONBLOCK | IN_CLOEXEC);
+  }
+  std::vector<int> watches;
+  auto refresh_watches = [&] {
+    if (inotify_fd < 0) return;
+    for (int wd : watches) inotify_rm_watch(inotify_fd, wd);
+    watches.clear();
+    for (const std::string& dir : WatchDirectories()) {
+      int wd = inotify_add_watch(inotify_fd, dir.c_str(),
+                                 IN_CLOSE_WRITE | IN_MOVED_TO | IN_CREATE |
+                                     IN_DELETE | IN_MODIFY | IN_MOVED_FROM |
+                                     IN_ATTRIB);
+      if (wd >= 0) watches.push_back(wd);
+    }
+  };
+  refresh_watches();
+
+  // With inotify the timed PollForChanges is a rare backstop (watch
+  // descriptors can go stale across renames on some filesystems);
+  // without it, it is the primary trigger at the configured cadence.
+  int poll_ms = std::max(1, static_cast<int>(
+                                options_.watch_poll_seconds * 1000.0));
+  int timeout_ms = inotify_fd >= 0 ? poll_ms * 20 : poll_ms;
+
+  for (;;) {
+    pollfd pfds[2];
+    pfds[0] = {watcher_stop_fd_, POLLIN, 0};
+    pfds[1] = {inotify_fd, POLLIN, 0};
+    nfds_t nfds = inotify_fd >= 0 ? 2 : 1;
+    int rc = poll(pfds, nfds, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pfds[0].revents & POLLIN) break;  // stop requested
+    if (inotify_fd >= 0 && (pfds[1].revents & POLLIN)) {
+      // Drain, then debounce: snapshot drops are multi-write events and
+      // one PollForChanges per quiet period is enough.
+      char buffer[4096] __attribute__((aligned(alignof(inotify_event))));
+      while (read(inotify_fd, buffer, sizeof(buffer)) > 0) {
+      }
+      for (;;) {
+        pollfd debounce = {inotify_fd, POLLIN, 0};
+        if (poll(&debounce, 1, 30) <= 0) break;
+        while (read(inotify_fd, buffer, sizeof(buffer)) > 0) {
+        }
+      }
+    }
+    Result<std::vector<std::string>> reloaded = store_->PollForChanges();
+    if (reloaded.ok()) {
+      reloads_applied_.fetch_add(reloaded->size());
+      if (!reloaded->empty()) refresh_watches();
+    }
+  }
+  if (inotify_fd >= 0) close(inotify_fd);
+}
+
+// ---------------------------------------------------------------------------
+// Public wrapper
+// ---------------------------------------------------------------------------
+
+ServeDaemon::ServeDaemon(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+ServeDaemon::~ServeDaemon() = default;
+
+Result<std::unique_ptr<ServeDaemon>> ServeDaemon::Start(
+    DaemonOptions options) {
+  auto impl = std::make_unique<Impl>(std::move(options));
+  SRPP_RETURN_NOT_OK(impl->Boot());
+  return std::unique_ptr<ServeDaemon>(new ServeDaemon(std::move(impl)));
+}
+
+uint16_t ServeDaemon::port() const { return impl_->port(); }
+
+void ServeDaemon::RequestShutdown() { impl_->RequestShutdown(); }
+
+int ServeDaemon::Wait() { return impl_->Wait(); }
+
+Result<std::vector<std::string>> ServeDaemon::PollNow() {
+  return impl_->PollNow();
+}
+
+DaemonMetrics ServeDaemon::Metrics() const { return impl_->Metrics(); }
+
+const TenantRegistry& ServeDaemon::registry() const {
+  return impl_->registry();
+}
+
+}  // namespace simrankpp

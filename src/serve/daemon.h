@@ -1,0 +1,144 @@
+/// @file daemon.h
+/// @brief The serve-daemon: a persistent TCP front door over the
+/// multi-tenant serving layer.
+///
+/// One daemon owns a listening socket, an epoll event loop on a dedicated
+/// I/O thread, and the reload loop for its SnapshotStore. Clients speak
+/// the length-prefixed binary protocol in serve/protocol.h
+/// (docs/DAEMON_PROTOCOL.md). Requests are admitted per tenant — a token
+/// bucket rate limit plus a bounded pending queue that sheds on overflow
+/// — and concurrent TopK requests for the same tenant are coalesced into
+/// TopKBatch micro-batches executed on the process-wide SharedThreadPool.
+/// Per-tenant latency and queue-depth histograms are served through the
+/// STATS request.
+///
+/// Hot reload: a watcher thread drives SnapshotStore::PollForChanges —
+/// woken by inotify on the manifest/snapshot directories when available,
+/// by mtime polling otherwise — so snapshot swaps happen while
+/// connections are live; the registry's RCU contract keeps every
+/// in-flight batch on exactly one tenant generation. SIGTERM-style
+/// shutdown (RequestShutdown, async-signal-safe) drains gracefully: the
+/// listener closes immediately, admitted requests complete and flush,
+/// late requests are refused with kDraining, then Wait() returns 0.
+#ifndef SIMRANKPP_SERVE_DAEMON_H_
+#define SIMRANKPP_SERVE_DAEMON_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/snapshot_store.h"
+#include "serve/tenant_registry.h"
+#include "serve/token_bucket.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace simrankpp {
+
+/// \brief Configuration of one daemon instance.
+struct DaemonOptions {
+  /// Serving manifest (docs/MANIFEST_FORMAT.md); required.
+  std::string manifest_path;
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the bound one back via port().
+  uint16_t port = 0;
+  /// Connections beyond this are accepted and immediately closed.
+  size_t max_connections = 256;
+  /// Pending-queue bound per tenant; requests beyond it are shed with
+  /// kOverloaded.
+  size_t max_queue_per_tenant = 512;
+  /// Token-bucket refill per tenant in requests/second; 0 = unlimited.
+  double tenant_qps = 0.0;
+  /// Token-bucket capacity (burst size).
+  double tenant_burst = 64.0;
+  /// Frames announcing a larger payload are rejected as kBadFrame.
+  uint32_t max_frame_payload = kMaxFramePayloadBytes;
+  /// Run the hot-reload watcher thread.
+  bool enable_watcher = true;
+  /// Prefer inotify wakeups; mtime polling is used when false or when
+  /// inotify is unavailable. Either way PollForChanges does the diffing.
+  bool use_inotify = true;
+  /// Fallback poll cadence (and inotify debounce backstop), seconds.
+  double watch_poll_seconds = 0.5;
+  /// When true, Start fails unless every manifest tenant loads; when
+  /// false the daemon serves the tenants that did load (failures stay
+  /// visible in STATS).
+  bool require_all_tenants = false;
+  /// Test hook: sleep this long inside each micro-batch execution, so
+  /// coalescing/shedding/drain windows are deterministic in tests.
+  int debug_batch_delay_ms = 0;
+};
+
+/// \brief Point-in-time daemon counters (process-wide; per-tenant detail
+/// travels in the STATS response text).
+struct DaemonMetrics {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_refused = 0;
+  uint64_t frames_received = 0;
+  uint64_t requests_admitted = 0;
+  uint64_t requests_shed = 0;
+  uint64_t requests_rate_limited = 0;
+  uint64_t requests_draining = 0;
+  uint64_t bad_frames = 0;
+  uint64_t bad_requests = 0;
+  uint64_t responses_sent = 0;
+  uint64_t batches_executed = 0;
+  uint64_t max_batch_size = 0;
+  uint64_t reloads_applied = 0;
+};
+
+/// \brief A running serve daemon. Construction via Start() binds the
+/// socket and spawns the threads; destruction (or Wait() after
+/// RequestShutdown) tears everything down.
+class ServeDaemon {
+ public:
+  /// \brief Loads the manifest, binds host:port, and starts the event
+  /// loop + watcher threads. On error nothing is left running.
+  static Result<std::unique_ptr<ServeDaemon>> Start(DaemonOptions options);
+
+  /// \brief Stops (graceful drain) if still running, then joins.
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// \brief The bound TCP port (useful with options.port == 0).
+  uint16_t port() const;
+
+  /// \brief Begins graceful drain. Async-signal-safe (one write to an
+  /// eventfd): call it straight from a SIGTERM handler. Idempotent.
+  void RequestShutdown();
+
+  /// \brief Blocks until the drain completes and every thread has
+  /// joined. Returns 0 on a clean drain (all admitted requests answered
+  /// and flushed), nonzero only on internal I/O-loop failure.
+  int Wait();
+
+  /// \brief Forces one PollForChanges pass on the calling thread
+  /// (deterministic reload trigger for tests; the wire-level equivalent
+  /// is a RELOAD frame). Returns the tenants reloaded.
+  Result<std::vector<std::string>> PollNow();
+
+  DaemonMetrics Metrics() const;
+
+  /// \brief The registry backing this daemon (read-only lookups are safe
+  /// from any thread).
+  const TenantRegistry& registry() const;
+
+ private:
+  class Impl;
+
+  explicit ServeDaemon(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_SERVE_DAEMON_H_

@@ -244,9 +244,8 @@ Result<ServingManifest> ParseManifest(const std::string& content,
   }
 
   if (manifest.version == 0) {
-    return Status::InvalidArgument(
-        "manifest is empty: expected \"manifest-version " +
-        std::to_string(kManifestFormatVersion) + "\"");
+    return LineError(1, "manifest is empty: expected \"manifest-version " +
+                            std::to_string(kManifestFormatVersion) + "\"");
   }
   if (current != nullptr) {
     SRPP_RETURN_NOT_OK(

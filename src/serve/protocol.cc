@@ -1,0 +1,205 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace simrankpp {
+
+namespace {
+
+void PutU16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  PutU16(static_cast<uint16_t>(v & 0xffff), out);
+  PutU16(static_cast<uint16_t>(v >> 16), out);
+}
+
+void PutF64(double v, std::string* out) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(static_cast<uint32_t>(bits & 0xffffffffu), out);
+  PutU32(static_cast<uint32_t>(bits >> 32), out);
+}
+
+// Cursor over a payload: every Take* checks the remaining length, so a
+// truncated or hostile payload reads as "false", never out of bounds.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool TakeU16(uint16_t* out) {
+    if (bytes_.size() < 2) return false;
+    *out = static_cast<uint16_t>(
+        static_cast<uint8_t>(bytes_[0]) |
+        (static_cast<uint16_t>(static_cast<uint8_t>(bytes_[1])) << 8));
+    bytes_.remove_prefix(2);
+    return true;
+  }
+
+  bool TakeU32(uint32_t* out) {
+    uint16_t lo = 0;
+    uint16_t hi = 0;
+    if (!TakeU16(&lo) || !TakeU16(&hi)) return false;
+    *out = static_cast<uint32_t>(lo) | (static_cast<uint32_t>(hi) << 16);
+    return true;
+  }
+
+  bool TakeF64(double* out) {
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    if (!TakeU32(&lo) || !TakeU32(&hi)) return false;
+    uint64_t bits = static_cast<uint64_t>(lo) |
+                    (static_cast<uint64_t>(hi) << 32);
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+
+  bool TakeString(size_t length, std::string* out) {
+    if (bytes_.size() < length) return false;
+    out->assign(bytes_.substr(0, length));
+    bytes_.remove_prefix(length);
+    return true;
+  }
+
+  bool exhausted() const { return bytes_.empty(); }
+
+ private:
+  std::string_view bytes_;
+};
+
+void AppendHeader(FrameType type, WireCode code, uint32_t payload_bytes,
+                  uint32_t request_id, std::string* out) {
+  PutU32(kFrameMagic, out);
+  out->push_back(static_cast<char>(type));
+  out->push_back(0);  // flags
+  PutU16(static_cast<uint16_t>(code), out);
+  PutU32(payload_bytes, out);
+  PutU32(request_id, out);
+}
+
+}  // namespace
+
+const char* WireCodeName(WireCode code) {
+  switch (code) {
+    case WireCode::kOk:
+      return "ok";
+    case WireCode::kBadFrame:
+      return "bad-frame";
+    case WireCode::kBadRequest:
+      return "bad-request";
+    case WireCode::kUnknownTenant:
+      return "unknown-tenant";
+    case WireCode::kRateLimited:
+      return "rate-limited";
+    case WireCode::kOverloaded:
+      return "overloaded";
+    case WireCode::kDraining:
+      return "draining";
+    case WireCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+FrameDecode DecodeFrameHeader(std::string_view bytes, uint32_t max_payload,
+                              FrameHeader* out) {
+  if (bytes.size() < kFrameHeaderBytes) return FrameDecode::kNeedMoreData;
+  Reader reader(bytes.substr(0, kFrameHeaderBytes));
+  uint32_t magic = 0;
+  reader.TakeU32(&magic);
+  if (magic != kFrameMagic) return FrameDecode::kBadMagic;
+  uint16_t type_and_flags = 0;
+  reader.TakeU16(&type_and_flags);
+  out->type = static_cast<uint8_t>(type_and_flags & 0xff);
+  out->flags = static_cast<uint8_t>(type_and_flags >> 8);
+  reader.TakeU16(&out->code);
+  reader.TakeU32(&out->payload_bytes);
+  reader.TakeU32(&out->request_id);
+  if (out->flags != 0) return FrameDecode::kBadFlags;
+  if (out->payload_bytes > max_payload) return FrameDecode::kOversized;
+  return FrameDecode::kOk;
+}
+
+void AppendTopKRequestFrame(const TopKRequest& request, uint32_t request_id,
+                            std::string* out) {
+  std::string payload;
+  PutU16(static_cast<uint16_t>(request.tenant.size()), &payload);
+  payload += request.tenant;
+  PutU16(static_cast<uint16_t>(request.query.size()), &payload);
+  payload += request.query;
+  PutU16(request.k, &payload);
+  AppendHeader(FrameType::kTopKRequest, WireCode::kOk,
+               static_cast<uint32_t>(payload.size()), request_id, out);
+  *out += payload;
+}
+
+bool ParseTopKRequestPayload(std::string_view payload, TopKRequest* out) {
+  Reader reader(payload);
+  uint16_t tenant_len = 0;
+  uint16_t query_len = 0;
+  return reader.TakeU16(&tenant_len) &&
+         reader.TakeString(tenant_len, &out->tenant) &&
+         reader.TakeU16(&query_len) &&
+         reader.TakeString(query_len, &out->query) &&
+         reader.TakeU16(&out->k) && reader.exhausted();
+}
+
+void AppendTopKResponseFrame(uint32_t request_id,
+                             std::span<const TopKItem> items,
+                             std::string* out) {
+  std::string payload;
+  PutU16(static_cast<uint16_t>(items.size()), &payload);
+  for (const TopKItem& item : items) {
+    PutU16(static_cast<uint16_t>(item.text.size()), &payload);
+    payload += item.text;
+    PutF64(item.score, &payload);
+  }
+  AppendHeader(FrameType::kTopKResponse, WireCode::kOk,
+               static_cast<uint32_t>(payload.size()), request_id, out);
+  *out += payload;
+}
+
+bool ParseTopKResponsePayload(std::string_view payload,
+                              std::vector<TopKItem>* out) {
+  Reader reader(payload);
+  uint16_t count = 0;
+  if (!reader.TakeU16(&count)) return false;
+  out->clear();
+  out->reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    TopKItem item;
+    uint16_t text_len = 0;
+    if (!reader.TakeU16(&text_len) ||
+        !reader.TakeString(text_len, &item.text) ||
+        !reader.TakeF64(&item.score)) {
+      return false;
+    }
+    out->push_back(std::move(item));
+  }
+  return reader.exhausted();
+}
+
+void AppendEmptyFrame(FrameType type, WireCode code, uint32_t request_id,
+                      std::string* out) {
+  AppendHeader(type, code, 0, request_id, out);
+}
+
+void AppendTextFrame(FrameType type, WireCode code, uint32_t request_id,
+                     std::string_view text, std::string* out) {
+  AppendHeader(type, code,
+               static_cast<uint32_t>(4 + text.size()), request_id, out);
+  PutU32(static_cast<uint32_t>(text.size()), out);
+  out->append(text);
+}
+
+bool ParseTextPayload(std::string_view payload, std::string* out) {
+  Reader reader(payload);
+  uint32_t length = 0;
+  return reader.TakeU32(&length) && reader.TakeString(length, out) &&
+         reader.exhausted();
+}
+
+}  // namespace simrankpp

@@ -1,0 +1,44 @@
+/// @file token_bucket.h
+/// @brief Per-tenant admission rate limiter for the serve daemon.
+///
+/// A classic token bucket: tokens refill continuously at `rate` per
+/// second up to `burst`, and each admitted request spends one. The clock
+/// is an explicit caller argument (monotonic seconds) so tests drive it
+/// deterministically and the daemon reads its steady clock exactly once
+/// per admission decision. Not thread-safe — the daemon consults it from
+/// its single event-loop thread only.
+#ifndef SIMRANKPP_SERVE_TOKEN_BUCKET_H_
+#define SIMRANKPP_SERVE_TOKEN_BUCKET_H_
+
+namespace simrankpp {
+
+/// \brief Continuous-refill token bucket; `rate <= 0` disables limiting.
+class TokenBucket {
+ public:
+  /// \param rate tokens added per second; <= 0 means unlimited.
+  /// \param burst bucket capacity (and initial fill); clamped to >= 1.
+  TokenBucket(double rate, double burst);
+
+  /// \brief Spends one token if available. `now_seconds` must be
+  /// monotonic non-decreasing across calls (a clock going backwards is
+  /// treated as no time having passed).
+  bool TryAcquire(double now_seconds);
+
+  /// \brief Tokens available at `now_seconds` (for stats/tests).
+  double AvailableAt(double now_seconds) const;
+
+  bool unlimited() const { return rate_ <= 0.0; }
+
+ private:
+  void RefillTo(double now_seconds);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_refill_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_SERVE_TOKEN_BUCKET_H_

@@ -68,6 +68,30 @@ void Histogram::Add(double value) {
                             static_cast<int64_t>(counts_.size()) - 1);
   ++counts_[static_cast<size_t>(idx)];
   ++total_;
+  sum_ += value;
+}
+
+double Histogram::mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+double Histogram::ApproxQuantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based; q=0 maps to the first sample.
+  double target = q * static_cast<double>(total_ - 1) + 1.0;
+  uint64_t seen = 0;
+  double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    double in_bucket = static_cast<double>(counts_[i]);
+    if (static_cast<double>(seen) + in_bucket >= target) {
+      double frac = (target - static_cast<double>(seen)) / in_bucket;
+      return BucketLow(i) + width * frac;
+    }
+    seen += counts_[i];
+  }
+  return hi_;
 }
 
 double Histogram::BucketLow(size_t i) const {

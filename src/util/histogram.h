@@ -55,6 +55,17 @@ class Histogram {
   uint64_t bucket(size_t i) const { return counts_[i]; }
   uint64_t total() const { return total_; }
 
+  /// \brief Sum of every added value (pre-clamp), so mean() stays exact
+  /// even when edge buckets absorbed out-of-range values.
+  double sum() const { return sum_; }
+  double mean() const;
+
+  /// \brief Approximate quantile in [0,1] by linear interpolation inside
+  /// the bucket holding the q-th sample. Resolution is one bucket width;
+  /// values clamped into the edge buckets bias toward [lo, hi). 0 when
+  /// empty.
+  double ApproxQuantile(double q) const;
+
   /// \brief Lower bound of bucket i.
   double BucketLow(size_t i) const;
 
@@ -66,6 +77,7 @@ class Histogram {
   double hi_;
   std::vector<uint64_t> counts_;
   uint64_t total_ = 0;
+  double sum_ = 0.0;
 };
 
 }  // namespace simrankpp

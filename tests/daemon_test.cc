@@ -1,0 +1,609 @@
+// serve-daemon tests: wire-protocol round-trips, malformed/truncated/
+// oversized frame handling (one poisoned connection never disturbs its
+// neighbors), per-tenant admission control (unknown tenant, rate limit,
+// queue shedding), TopK micro-batch coalescing, network-triggered hot
+// reload, and graceful-drain semantics (admitted requests complete, late
+// ones get kDraining, new connects are refused, Wait() returns 0).
+//
+// Runs as one ctest entry (SINGLE_PROCESS): every case shares the static
+// two-tenant serving world below — the engine runs that build its
+// snapshots are the expensive part.
+#include "serve/daemon.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <thread>
+
+#include "core/engine_registry.h"
+#include "graph/graph_io.h"
+#include "loadgen.h"
+#include "serve/protocol.h"
+#include "synth/click_graph_generator.h"
+#include "util/logging.h"
+
+namespace simrankpp {
+namespace {
+
+using loadgen::Client;
+using loadgen::Reply;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteAllBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+BipartiteGraph SeededGraph(size_t num_queries, uint64_t seed) {
+  GeneratorOptions options;
+  options.num_queries = num_queries;
+  options.num_ads = num_queries / 3;
+  options.taxonomy.num_categories = 8;
+  options.taxonomy.subtopics_per_category = 6;
+  options.mean_impressions_per_query = 25.0;
+  options.seed = seed;
+  auto world = GenerateClickGraph(options);
+  SRPP_CHECK(world.ok());
+  return std::move(world)->graph;
+}
+
+void WriteSnapshotFile(const BipartiteGraph& graph, SimRankVariant variant,
+                       size_t iterations, const std::string& path) {
+  SimRankOptions options;
+  options.variant = variant;
+  options.iterations = iterations;
+  options.prune_threshold = 1e-6;
+  options.max_partners_per_node = 100;
+  options.num_threads = 1;
+  auto engine = CreateSimRankEngine("sparse", options);
+  SRPP_CHECK(engine.ok());
+  SRPP_CHECK((*engine)->Run(graph).ok());
+  SRPP_CHECK(SaveSnapshot((*engine)->ExportQueryScores(1e-6),
+                          SimRankVariantName(variant), path,
+                          SnapshotSide::kQueryQuery)
+                 .ok());
+}
+
+// The shared two-tenant world: "alpha" and "beta" with distinct graphs.
+// snapshot_a_alt holds a second, different-scores generation for alpha
+// (reload tests overwrite alpha's snapshot with it and back).
+struct DaemonWorld {
+  BipartiteGraph graph_a;
+  BipartiteGraph graph_b;
+  std::string graph_a_path = TempPath("daemon_a_graph.tsv");
+  std::string graph_b_path = TempPath("daemon_b_graph.tsv");
+  std::string snapshot_a_path = TempPath("daemon_a.snap");
+  std::string snapshot_b_path = TempPath("daemon_b.snap");
+  std::string manifest_path = TempPath("daemon_manifest.txt");
+  std::string bytes_a_v1;
+  std::string bytes_a_v2;
+
+  DaemonWorld() : graph_a(SeededGraph(150, 42)), graph_b(SeededGraph(150, 43)) {
+    SetLogLevel(LogLevel::kError);
+    SRPP_CHECK(SaveGraph(graph_a, graph_a_path).ok());
+    SRPP_CHECK(SaveGraph(graph_b, graph_b_path).ok());
+    WriteSnapshotFile(graph_a, SimRankVariant::kWeighted, 5, snapshot_a_path);
+    bytes_a_v1 = ReadAllBytes(snapshot_a_path);
+    WriteSnapshotFile(graph_a, SimRankVariant::kEvidence, 4, snapshot_a_path);
+    bytes_a_v2 = ReadAllBytes(snapshot_a_path);
+    SRPP_CHECK(bytes_a_v1 != bytes_a_v2);
+    WriteAllBytes(snapshot_a_path, bytes_a_v1);
+    WriteSnapshotFile(graph_b, SimRankVariant::kWeighted, 5, snapshot_b_path);
+    WriteAllBytes(manifest_path,
+                  "manifest-version 1\n"
+                  "tenant alpha\n  graph " + graph_a_path + "\n  snapshot " +
+                      snapshot_a_path + "\n"
+                  "tenant beta\n  graph " + graph_b_path + "\n  snapshot " +
+                      snapshot_b_path + "\n");
+  }
+
+  // Resets alpha to its v1 snapshot (tests that reload must not leak
+  // state into later cases call this from their teardown path).
+  void RestoreAlphaV1() { WriteAllBytes(snapshot_a_path, bytes_a_v1); }
+
+  DaemonOptions Options() const {
+    DaemonOptions options;
+    options.manifest_path = manifest_path;
+    options.enable_watcher = false;  // tests trigger reloads explicitly
+    return options;
+  }
+};
+
+DaemonWorld& World() {
+  static DaemonWorld* world = new DaemonWorld();
+  return *world;
+}
+
+std::unique_ptr<ServeDaemon> StartDaemon(const DaemonOptions& options) {
+  Result<std::unique_ptr<ServeDaemon>> daemon = ServeDaemon::Start(options);
+  SRPP_CHECK(daemon.ok());
+  return std::move(daemon).value();
+}
+
+Client ConnectTo(const ServeDaemon& daemon) {
+  Client client;
+  SRPP_CHECK(client.Connect("127.0.0.1", daemon.port()).ok());
+  return client;
+}
+
+// Expected wire items for `query` under the daemon's currently-published
+// generation of `tenant` — same call path the daemon's batch worker uses.
+std::vector<TopKItem> ExpectedItems(const ServeDaemon& daemon,
+                                    const std::string& tenant,
+                                    const std::string& query, size_t k) {
+  std::shared_ptr<const Tenant> generation = daemon.registry().Lookup(tenant);
+  SRPP_CHECK(generation != nullptr);
+  Result<uint32_t> id = generation->service->rewriter().ResolveNode(query);
+  if (!id.ok()) return {};
+  std::vector<TopKItem> items;
+  for (const RewriteCandidate& candidate :
+       generation->service->TopK(*id, k)) {
+    items.push_back(TopKItem{candidate.text, candidate.score});
+  }
+  return items;
+}
+
+// ------------------------------------------------ protocol round-trips
+
+TEST(DaemonProtocolTest, FrameHeaderRoundTrips) {
+  std::string frame;
+  AppendEmptyFrame(FrameType::kPingRequest, WireCode::kOk, 0xdeadbeef,
+                   &frame);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes);
+  FrameHeader header;
+  ASSERT_EQ(DecodeFrameHeader(frame, kMaxFramePayloadBytes, &header),
+            FrameDecode::kOk);
+  EXPECT_EQ(header.type, static_cast<uint8_t>(FrameType::kPingRequest));
+  EXPECT_EQ(header.code, 0u);
+  EXPECT_EQ(header.payload_bytes, 0u);
+  EXPECT_EQ(header.request_id, 0xdeadbeefu);
+}
+
+TEST(DaemonProtocolTest, TopKRequestRoundTrips) {
+  TopKRequest request{"tenant-x", "a query with spaces", 17};
+  std::string frame;
+  AppendTopKRequestFrame(request, 7, &frame);
+  FrameHeader header;
+  ASSERT_EQ(DecodeFrameHeader(frame, kMaxFramePayloadBytes, &header),
+            FrameDecode::kOk);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + header.payload_bytes);
+  TopKRequest decoded;
+  ASSERT_TRUE(ParseTopKRequestPayload(
+      std::string_view(frame).substr(kFrameHeaderBytes), &decoded));
+  EXPECT_EQ(decoded, request);
+}
+
+TEST(DaemonProtocolTest, TopKResponseScoresAreBitExact) {
+  // Scores chosen to have awkward bit patterns; the wire carries the
+  // IEEE-754 bits verbatim, so equality must be exact, not approximate.
+  std::vector<TopKItem> items = {
+      {"first", 0.1 + 0.2},
+      {"second", 1.0 / 3.0},
+      {"third", 5e-324},  // smallest subnormal
+  };
+  std::string frame;
+  AppendTopKResponseFrame(99, items, &frame);
+  FrameHeader header;
+  ASSERT_EQ(DecodeFrameHeader(frame, kMaxFramePayloadBytes, &header),
+            FrameDecode::kOk);
+  std::vector<TopKItem> decoded;
+  ASSERT_TRUE(ParseTopKResponsePayload(
+      std::string_view(frame).substr(kFrameHeaderBytes), &decoded));
+  EXPECT_EQ(decoded, items);
+}
+
+TEST(DaemonProtocolTest, HeaderRejectionsClassify) {
+  FrameHeader header;
+  EXPECT_EQ(DecodeFrameHeader("short", kMaxFramePayloadBytes, &header),
+            FrameDecode::kNeedMoreData);
+
+  std::string frame;
+  AppendEmptyFrame(FrameType::kPingRequest, WireCode::kOk, 1, &frame);
+  std::string bad_magic = frame;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(DecodeFrameHeader(bad_magic, kMaxFramePayloadBytes, &header),
+            FrameDecode::kBadMagic);
+
+  std::string bad_flags = frame;
+  bad_flags[5] = 0x01;
+  EXPECT_EQ(DecodeFrameHeader(bad_flags, kMaxFramePayloadBytes, &header),
+            FrameDecode::kBadFlags);
+
+  std::string oversized = frame;
+  oversized[8] = static_cast<char>(0xff);  // payload_bytes low byte
+  oversized[11] = static_cast<char>(0x7f);  // ... and a huge high byte
+  EXPECT_EQ(DecodeFrameHeader(oversized, kMaxFramePayloadBytes, &header),
+            FrameDecode::kOversized);
+}
+
+TEST(DaemonProtocolTest, TruncatedPayloadsParseFalse) {
+  TopKRequest request{"tenant", "query", 5};
+  std::string frame;
+  AppendTopKRequestFrame(request, 1, &frame);
+  std::string_view payload = std::string_view(frame).substr(kFrameHeaderBytes);
+  TopKRequest decoded;
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(ParseTopKRequestPayload(payload.substr(0, len), &decoded))
+        << "truncation at " << len << " bytes parsed";
+  }
+  // Trailing garbage must be rejected too.
+  EXPECT_FALSE(
+      ParseTopKRequestPayload(std::string(payload) + "x", &decoded));
+}
+
+// ------------------------------------------------------- basic serving
+
+TEST(ServeDaemonTest, AnswersTopKBitIdentical) {
+  auto daemon = StartDaemon(World().Options());
+  Client client = ConnectTo(*daemon);
+  const std::string query = World().graph_a.query_label(3);
+  std::vector<TopKItem> expected = ExpectedItems(*daemon, "alpha", query, 10);
+  ASSERT_FALSE(expected.empty());
+
+  Result<Reply> reply = client.TopK("alpha", query, 10, 41);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, FrameType::kTopKResponse);
+  EXPECT_EQ(reply->code, WireCode::kOk);
+  EXPECT_EQ(reply->request_id, 41u);
+  EXPECT_EQ(reply->items, expected);
+}
+
+TEST(ServeDaemonTest, UnknownQueryServesEmptyOk) {
+  auto daemon = StartDaemon(World().Options());
+  Client client = ConnectTo(*daemon);
+  Result<Reply> reply =
+      client.TopK("alpha", "no such query text", 10, 1);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, WireCode::kOk);
+  EXPECT_TRUE(reply->items.empty());
+}
+
+TEST(ServeDaemonTest, PingAndStats) {
+  auto daemon = StartDaemon(World().Options());
+  Client client = ConnectTo(*daemon);
+  ASSERT_TRUE(client.SendPing(5).ok());
+  Result<Reply> pong = client.ReadReply();
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->type, FrameType::kPingResponse);
+  EXPECT_EQ(pong->request_id, 5u);
+
+  ASSERT_TRUE(client.TopK("alpha", World().graph_a.query_label(0), 5, 6).ok());
+  ASSERT_TRUE(client.SendStats(7).ok());
+  Result<Reply> stats = client.ReadReply();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->type, FrameType::kStatsResponse);
+  EXPECT_NE(stats->text.find("serve-daemon"), std::string::npos);
+  EXPECT_NE(stats->text.find("alpha"), std::string::npos);
+  EXPECT_NE(stats->text.find("beta"), std::string::npos);
+  EXPECT_NE(stats->text.find("latency_us"), std::string::npos);
+  EXPECT_NE(stats->text.find("queue_depth"), std::string::npos);
+}
+
+// --------------------------------------------------- admission control
+
+TEST(ServeDaemonTest, UnknownTenantCodeAndConnectionSurvives) {
+  auto daemon = StartDaemon(World().Options());
+  Client client = ConnectTo(*daemon);
+  Result<Reply> reply = client.TopK("nope", "anything", 5, 11);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_EQ(reply->code, WireCode::kUnknownTenant);
+  EXPECT_EQ(reply->request_id, 11u);
+  // The connection is intact.
+  ASSERT_TRUE(client.SendPing(12).ok());
+  Result<Reply> pong = client.ReadReply();
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->type, FrameType::kPingResponse);
+}
+
+TEST(ServeDaemonTest, ZeroAndHugeKAreBadRequests) {
+  auto daemon = StartDaemon(World().Options());
+  Client client = ConnectTo(*daemon);
+  Result<Reply> zero = client.TopK("alpha", "q", 0, 1);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->code, WireCode::kBadRequest);
+  Result<Reply> huge =
+      client.TopK("alpha", "q", kMaxTopKPerRequest + 1, 2);
+  ASSERT_TRUE(huge.ok());
+  EXPECT_EQ(huge->code, WireCode::kBadRequest);
+}
+
+TEST(ServeDaemonTest, RateLimitReturnsDedicatedCode) {
+  DaemonOptions options = World().Options();
+  options.tenant_qps = 0.001;  // effectively: burst only
+  options.tenant_burst = 2.0;
+  auto daemon = StartDaemon(options);
+  Client client = ConnectTo(*daemon);
+  const std::string query = World().graph_a.query_label(1);
+  std::map<WireCode, int> codes;
+  for (uint32_t i = 0; i < 4; ++i) {
+    Result<Reply> reply = client.TopK("alpha", query, 5, i);
+    ASSERT_TRUE(reply.ok());
+    ++codes[reply->code];
+  }
+  EXPECT_EQ(codes[WireCode::kOk], 2);
+  EXPECT_EQ(codes[WireCode::kRateLimited], 2);
+  EXPECT_EQ(daemon->Metrics().requests_rate_limited, 2u);
+}
+
+TEST(ServeDaemonTest, FullQueueShedsWithOverloaded) {
+  DaemonOptions options = World().Options();
+  options.max_queue_per_tenant = 1;
+  options.debug_batch_delay_ms = 300;
+  auto daemon = StartDaemon(options);
+  Client client = ConnectTo(*daemon);
+  const std::string query = World().graph_a.query_label(2);
+
+  // r1 is swapped into the (now sleeping) batch worker; r2 occupies the
+  // single queue slot; r3 must be shed.
+  ASSERT_TRUE(client.SendTopK("alpha", query, 5, 1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(client.SendTopK("alpha", query, 5, 2).ok());
+  ASSERT_TRUE(client.SendTopK("alpha", query, 5, 3).ok());
+
+  std::map<uint32_t, WireCode> codes;
+  for (int i = 0; i < 3; ++i) {
+    Result<Reply> reply = client.ReadReply();
+    ASSERT_TRUE(reply.ok());
+    codes[reply->request_id] = reply->code;
+  }
+  EXPECT_EQ(codes[1], WireCode::kOk);
+  EXPECT_EQ(codes[2], WireCode::kOk);
+  EXPECT_EQ(codes[3], WireCode::kOverloaded);
+  EXPECT_EQ(daemon->Metrics().requests_shed, 1u);
+}
+
+TEST(ServeDaemonTest, ConcurrentRequestsCoalesceIntoBatches) {
+  DaemonOptions options = World().Options();
+  options.debug_batch_delay_ms = 100;
+  auto daemon = StartDaemon(options);
+  Client client = ConnectTo(*daemon);
+  const std::string query = World().graph_a.query_label(4);
+  std::vector<TopKItem> expected = ExpectedItems(*daemon, "alpha", query, 5);
+
+  // r1 opens a batch (which then sleeps); r2..r5 pile up and must be
+  // served by one coalesced TopKBatch call.
+  ASSERT_TRUE(client.SendTopK("alpha", query, 5, 1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  for (uint32_t id = 2; id <= 5; ++id) {
+    ASSERT_TRUE(client.SendTopK("alpha", query, 5, id).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    Result<Reply> reply = client.ReadReply();
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->code, WireCode::kOk);
+    EXPECT_EQ(reply->items, expected);
+  }
+  DaemonMetrics metrics = daemon->Metrics();
+  EXPECT_GE(metrics.max_batch_size, 2u);
+  EXPECT_LT(metrics.batches_executed, 5u);
+}
+
+TEST(ServeDaemonTest, MixedKValuesInOneBatchAnswerPerRequest) {
+  DaemonOptions options = World().Options();
+  options.debug_batch_delay_ms = 100;
+  auto daemon = StartDaemon(options);
+  Client client = ConnectTo(*daemon);
+  const std::string query = World().graph_a.query_label(5);
+
+  ASSERT_TRUE(client.SendTopK("alpha", query, 3, 1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ASSERT_TRUE(client.SendTopK("alpha", query, 7, 2).ok());
+  ASSERT_TRUE(client.SendTopK("alpha", query, 2, 3).ok());
+
+  std::map<uint32_t, std::vector<TopKItem>> replies;
+  for (int i = 0; i < 3; ++i) {
+    Result<Reply> reply = client.ReadReply();
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->code, WireCode::kOk);
+    replies[reply->request_id] = reply->items;
+  }
+  EXPECT_EQ(replies[1], ExpectedItems(*daemon, "alpha", query, 3));
+  EXPECT_EQ(replies[2], ExpectedItems(*daemon, "alpha", query, 7));
+  EXPECT_EQ(replies[3], ExpectedItems(*daemon, "alpha", query, 2));
+}
+
+// ----------------------------------------------------- malformed input
+
+TEST(ServeDaemonTest, BadMagicClosesOnlyThatConnection) {
+  auto daemon = StartDaemon(World().Options());
+  Client bystander = ConnectTo(*daemon);
+  Client offender = ConnectTo(*daemon);
+
+  ASSERT_TRUE(offender.SendBytes("XXXXGARBAGEGARBAGE").ok());
+  Result<Reply> error = offender.ReadReply();
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->type, FrameType::kError);
+  EXPECT_EQ(error->code, WireCode::kBadFrame);
+  // After the error frame the daemon hangs up on the offender...
+  Result<Reply> eof = offender.ReadReply();
+  EXPECT_FALSE(eof.ok());
+
+  // ...while the bystander's connection keeps serving.
+  Result<Reply> reply =
+      bystander.TopK("beta", World().graph_b.query_label(0), 5, 9);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, WireCode::kOk);
+}
+
+TEST(ServeDaemonTest, OversizedFrameHeaderIsRejected) {
+  auto daemon = StartDaemon(World().Options());
+  Client client = ConnectTo(*daemon);
+  // A valid-magic header announcing a payload over the ceiling.
+  std::string frame;
+  AppendEmptyFrame(FrameType::kTopKRequest, WireCode::kOk, 1, &frame);
+  frame[8] = static_cast<char>(0xff);
+  frame[9] = static_cast<char>(0xff);
+  frame[10] = static_cast<char>(0xff);
+  frame[11] = static_cast<char>(0x7f);
+  ASSERT_TRUE(client.SendBytes(frame).ok());
+  Result<Reply> error = client.ReadReply();
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->code, WireCode::kBadFrame);
+  EXPECT_FALSE(client.ReadReply().ok());  // connection dropped
+  EXPECT_EQ(daemon->Metrics().bad_frames, 1u);
+}
+
+TEST(ServeDaemonTest, MalformedPayloadKeepsConnectionAlive) {
+  auto daemon = StartDaemon(World().Options());
+  Client client = ConnectTo(*daemon);
+  // Valid header (type TopK), garbage payload: framing is intact, so
+  // only this request dies.
+  std::string garbage = "\xff\xff\xff\xff garbage payload";
+  std::string frame;
+  AppendTextFrame(FrameType::kTopKRequest, WireCode::kOk, 21, garbage,
+                  &frame);
+  // AppendTextFrame writes a length-prefixed string; corrupt the length
+  // so the payload cannot parse as a TopK request.
+  frame[kFrameHeaderBytes] = static_cast<char>(0xee);
+  ASSERT_TRUE(client.SendBytes(frame).ok());
+  Result<Reply> error = client.ReadReply();
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->type, FrameType::kError);
+  EXPECT_EQ(error->code, WireCode::kBadRequest);
+  EXPECT_EQ(error->request_id, 21u);
+
+  Result<Reply> reply =
+      client.TopK("alpha", World().graph_a.query_label(6), 5, 22);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, WireCode::kOk);
+  EXPECT_EQ(daemon->Metrics().bad_requests, 1u);
+}
+
+TEST(ServeDaemonTest, TruncatedFrameThenRestIsOneRequest) {
+  auto daemon = StartDaemon(World().Options());
+  Client client = ConnectTo(*daemon);
+  const std::string query = World().graph_a.query_label(7);
+  std::string frame;
+  AppendTopKRequestFrame(TopKRequest{"alpha", query, 5}, 31, &frame);
+  // Dribble the frame across three writes; the daemon must buffer and
+  // answer exactly once.
+  ASSERT_TRUE(client.SendBytes(std::string_view(frame).substr(0, 7)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(client.SendBytes(std::string_view(frame).substr(7, 13)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ASSERT_TRUE(client.SendBytes(std::string_view(frame).substr(20)).ok());
+  Result<Reply> reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->code, WireCode::kOk);
+  EXPECT_EQ(reply->request_id, 31u);
+  EXPECT_EQ(reply->items, ExpectedItems(*daemon, "alpha", query, 5));
+}
+
+TEST(ServeDaemonTest, UnknownFrameTypeIsBadRequest) {
+  auto daemon = StartDaemon(World().Options());
+  Client client = ConnectTo(*daemon);
+  std::string frame;
+  AppendEmptyFrame(static_cast<FrameType>(0x55), WireCode::kOk, 77, &frame);
+  ASSERT_TRUE(client.SendBytes(frame).ok());
+  Result<Reply> error = client.ReadReply();
+  ASSERT_TRUE(error.ok());
+  EXPECT_EQ(error->code, WireCode::kBadRequest);
+  EXPECT_EQ(error->request_id, 77u);
+}
+
+// -------------------------------------------------------------- reload
+
+TEST(ServeDaemonTest, ReloadFrameSwapsSnapshotWhileServing) {
+  auto daemon = StartDaemon(World().Options());
+  Client client = ConnectTo(*daemon);
+  const std::string query = World().graph_a.query_label(8);
+  std::vector<TopKItem> before = ExpectedItems(*daemon, "alpha", query, 10);
+  uint64_t generation_before =
+      daemon->registry().Lookup("alpha")->generation;
+
+  WriteAllBytes(World().snapshot_a_path, World().bytes_a_v2);
+  ASSERT_TRUE(client.SendReload(91).ok());
+  Result<Reply> reloaded = client.ReadReply();
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->type, FrameType::kReloadResponse);
+  EXPECT_EQ(reloaded->code, WireCode::kOk);
+  EXPECT_NE(reloaded->text.find("alpha"), std::string::npos);
+  EXPECT_EQ(daemon->registry().Lookup("alpha")->generation,
+            generation_before + 1);
+
+  std::vector<TopKItem> after = ExpectedItems(*daemon, "alpha", query, 10);
+  EXPECT_NE(after, before);
+  Result<Reply> reply = client.TopK("alpha", query, 10, 92);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->items, after);
+
+  World().RestoreAlphaV1();
+  ASSERT_TRUE(daemon->PollNow().ok());
+}
+
+// --------------------------------------------------------------- drain
+
+TEST(ServeDaemonTest, GracefulDrainCompletesAdmittedWork) {
+  DaemonOptions options = World().Options();
+  options.debug_batch_delay_ms = 300;
+  auto daemon = StartDaemon(options);
+  Client client = ConnectTo(*daemon);
+  const std::string query = World().graph_a.query_label(9);
+  std::vector<TopKItem> expected = ExpectedItems(*daemon, "alpha", query, 5);
+
+  // r1 enters the sleeping batch; r2 waits in the queue. Both were
+  // admitted, so both must be answered despite the shutdown below.
+  ASSERT_TRUE(client.SendTopK("alpha", query, 5, 1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ASSERT_TRUE(client.SendTopK("alpha", query, 5, 2).ok());
+
+  daemon->RequestShutdown();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // New connections are refused once the drain begins.
+  Client late;
+  Status late_connect = late.Connect("127.0.0.1", daemon->port());
+  if (late_connect.ok()) {
+    // A race-window accept is allowed, but the socket must be dead.
+    EXPECT_FALSE(late.ReadReply().ok());
+  }
+
+  // A request sent after the drain started is refused with kDraining.
+  ASSERT_TRUE(client.SendTopK("alpha", query, 5, 3).ok());
+
+  std::map<uint32_t, Reply> replies;
+  for (int i = 0; i < 3; ++i) {
+    Result<Reply> reply = client.ReadReply();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    replies[reply->request_id] = *reply;
+  }
+  EXPECT_EQ(replies[1].code, WireCode::kOk);
+  EXPECT_EQ(replies[1].items, expected);
+  EXPECT_EQ(replies[2].code, WireCode::kOk);
+  EXPECT_EQ(replies[2].items, expected);
+  EXPECT_EQ(replies[3].code, WireCode::kDraining);
+
+  EXPECT_EQ(daemon->Wait(), 0);
+}
+
+TEST(ServeDaemonTest, ShutdownIsIdempotentAndDestructorJoins) {
+  auto daemon = StartDaemon(World().Options());
+  daemon->RequestShutdown();
+  daemon->RequestShutdown();
+  EXPECT_EQ(daemon->Wait(), 0);
+  EXPECT_EQ(daemon->Wait(), 0);  // Wait after Wait is a no-op
+  daemon.reset();                 // destructor after Wait is clean
+}
+
+TEST(ServeDaemonTest, StartFailsOnUnreadableManifest) {
+  DaemonOptions options;
+  options.manifest_path = TempPath("daemon_no_such_manifest.txt");
+  Result<std::unique_ptr<ServeDaemon>> daemon = ServeDaemon::Start(options);
+  EXPECT_FALSE(daemon.ok());
+}
+
+}  // namespace
+}  // namespace simrankpp

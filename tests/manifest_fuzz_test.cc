@@ -1,0 +1,256 @@
+// Seeded random-mutation fuzzing over the two text/binary surfaces that
+// accept bytes from outside the process:
+//
+//   1. ParseManifest: byte flips, truncations, and line splices over
+//      valid manifests must never crash, and every rejection must name
+//      the offending line ("manifest line N: ...") — operators fix
+//      manifests by line number.
+//   2. The daemon frame decoder: arbitrary frame headers and payloads
+//      must classify cleanly, never crash, and never read out of
+//      bounds (the sanitizer jobs run this suite too).
+//
+// Deterministic: one seed per iteration derived from a fixed root, so a
+// failure reproduces by iteration index.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/manifest.h"
+#include "serve/protocol.h"
+#include "util/random.h"
+
+namespace simrankpp {
+namespace {
+
+// A valid manifest exercising every key the format documents.
+const char kValidManifest[] =
+    "# fuzz corpus seed document\n"
+    "manifest-version 1\n"
+    "\n"
+    "tenant us-web\n"
+    "  graph graphs/us.tsv\n"
+    "  snapshot snaps/us.snap\n"
+    "  bids bids/us.txt\n"
+    "  side query-query\n"
+    "  checksum 00ff00ff00ff00ff\n"
+    "  max-rewrites 8\n"
+    "  max-candidates 64\n"
+    "  min-score 0.001\n"
+    "  dedup off\n"
+    "  bid-filter on\n"
+    "tenant us-ads\n"
+    "  graph graphs/ads.tsv\n"
+    "  snapshot snaps/ads.snap\n"
+    "  side ad-ad\n"
+    "tenant eu-web\n"
+    "  graph graphs/eu.tsv\n"
+    "  snapshot snaps/eu.snap\n"
+    "  min-score 0.01\n";
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string text;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    text += lines[i];
+    if (i + 1 < lines.size()) text += '\n';
+  }
+  return text;
+}
+
+// One random structural or byte-level mutation.
+std::string Mutate(const std::string& input, Rng* rng) {
+  if (input.empty()) return input;
+  std::string out = input;
+  switch (rng->NextBounded(6)) {
+    case 0: {  // flip one byte
+      size_t pos = rng->NextBounded(out.size());
+      out[pos] = static_cast<char>(rng->NextBounded(256));
+      break;
+    }
+    case 1: {  // truncate at a random position
+      out.resize(rng->NextBounded(out.size()));
+      break;
+    }
+    case 2: {  // splice: move a random line elsewhere
+      std::vector<std::string> lines = SplitLines(out);
+      if (lines.size() >= 2) {
+        size_t from = rng->NextBounded(lines.size());
+        std::string line = lines[from];
+        lines.erase(lines.begin() + static_cast<ptrdiff_t>(from));
+        size_t to = rng->NextBounded(lines.size() + 1);
+        lines.insert(lines.begin() + static_cast<ptrdiff_t>(to), line);
+      }
+      out = JoinLines(lines);
+      break;
+    }
+    case 3: {  // duplicate a random line
+      std::vector<std::string> lines = SplitLines(out);
+      size_t which = rng->NextBounded(lines.size());
+      lines.insert(lines.begin() + static_cast<ptrdiff_t>(which),
+                   lines[which]);
+      out = JoinLines(lines);
+      break;
+    }
+    case 4: {  // delete a random line
+      std::vector<std::string> lines = SplitLines(out);
+      if (lines.size() >= 2) {
+        lines.erase(lines.begin() +
+                    static_cast<ptrdiff_t>(rng->NextBounded(lines.size())));
+      }
+      out = JoinLines(lines);
+      break;
+    }
+    default: {  // insert random bytes at a random position
+      size_t pos = rng->NextBounded(out.size() + 1);
+      size_t count = 1 + rng->NextBounded(8);
+      std::string junk;
+      for (size_t i = 0; i < count; ++i) {
+        junk += static_cast<char>(rng->NextBounded(256));
+      }
+      out.insert(pos, junk);
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(ManifestFuzzTest, MutatedManifestsNeverCrashAndErrorsCarryLines) {
+  const size_t kIterations = 3000;
+  size_t rejected = 0;
+  for (size_t iteration = 0; iteration < kIterations; ++iteration) {
+    Rng rng(0xf0520000u + iteration);
+    std::string content = kValidManifest;
+    size_t mutations = 1 + rng.NextBounded(8);
+    for (size_t m = 0; m < mutations; ++m) content = Mutate(content, &rng);
+
+    Result<ServingManifest> manifest = ParseManifest(content, "");
+    if (!manifest.ok()) {
+      ++rejected;
+      EXPECT_NE(manifest.status().message().find("manifest line "),
+                std::string::npos)
+          << "iteration " << iteration
+          << " rejected without a line number: "
+          << manifest.status().ToString();
+    }
+  }
+  // The corpus must actually exercise the rejection paths.
+  EXPECT_GT(rejected, kIterations / 2);
+}
+
+TEST(ManifestFuzzTest, EveryPrefixOfAValidManifestFailsWithLineNumber) {
+  const std::string content = kValidManifest;
+  for (size_t len = 0; len < content.size(); ++len) {
+    Result<ServingManifest> manifest =
+        ParseManifest(content.substr(0, len), "");
+    if (!manifest.ok()) {
+      EXPECT_NE(manifest.status().message().find("manifest line "),
+                std::string::npos)
+          << "prefix of " << len << " bytes: "
+          << manifest.status().ToString();
+    }
+  }
+}
+
+// ------------------------------------------------- frame header fuzzing
+
+TEST(FrameFuzzTest, RandomHeadersClassifyWithoutCrashing) {
+  const size_t kIterations = 20000;
+  for (size_t iteration = 0; iteration < kIterations; ++iteration) {
+    Rng rng(0xfa3e0000u + iteration);
+    size_t len = rng.NextBounded(kFrameHeaderBytes * 2 + 1);
+    std::string bytes;
+    for (size_t i = 0; i < len; ++i) {
+      bytes += static_cast<char>(rng.NextBounded(256));
+    }
+    // Half the time, plant the real magic so the deeper checks run.
+    if (bytes.size() >= 4 && rng.NextBounded(2) == 0) {
+      bytes[0] = 'S';
+      bytes[1] = 'R';
+      bytes[2] = 'P';
+      bytes[3] = '1';
+    }
+    FrameHeader header;
+    FrameDecode decode =
+        DecodeFrameHeader(bytes, kMaxFramePayloadBytes, &header);
+    if (bytes.size() < kFrameHeaderBytes) {
+      EXPECT_EQ(decode, FrameDecode::kNeedMoreData);
+    } else {
+      EXPECT_TRUE(decode == FrameDecode::kOk ||
+                  decode == FrameDecode::kBadMagic ||
+                  decode == FrameDecode::kBadFlags ||
+                  decode == FrameDecode::kOversized);
+    }
+  }
+}
+
+TEST(FrameFuzzTest, RandomPayloadsNeverCrashTheParsers) {
+  const size_t kIterations = 20000;
+  for (size_t iteration = 0; iteration < kIterations; ++iteration) {
+    Rng rng(0xbeef0000u + iteration);
+    size_t len = rng.NextBounded(256);
+    std::string payload;
+    for (size_t i = 0; i < len; ++i) {
+      payload += static_cast<char>(rng.NextBounded(256));
+    }
+    TopKRequest request;
+    ParseTopKRequestPayload(payload, &request);
+    std::vector<TopKItem> items;
+    ParseTopKResponsePayload(payload, &items);
+    std::string text;
+    ParseTextPayload(payload, &text);
+  }
+}
+
+TEST(FrameFuzzTest, MutatedValidFramesNeverCrashTheParsers) {
+  std::string valid;
+  AppendTopKRequestFrame(TopKRequest{"tenant-name", "query text", 25}, 7,
+                         &valid);
+  const std::vector<TopKItem> items_in = {
+      {"a", 0.5}, {"b", 0.25}, {"c", 0.125}};
+  std::string valid_response;
+  AppendTopKResponseFrame(7, items_in, &valid_response);
+  const size_t kIterations = 5000;
+  for (size_t iteration = 0; iteration < kIterations; ++iteration) {
+    Rng rng(0xc0de0000u + iteration);
+    std::string frame = rng.NextBounded(2) == 0 ? valid : valid_response;
+    size_t flips = 1 + rng.NextBounded(4);
+    for (size_t f = 0; f < flips; ++f) {
+      size_t pos = rng.NextBounded(frame.size());
+      frame[pos] = static_cast<char>(rng.NextBounded(256));
+    }
+    if (rng.NextBounded(2) == 0) {
+      frame.resize(rng.NextBounded(frame.size() + 1));
+    }
+    FrameHeader header;
+    if (DecodeFrameHeader(frame, kMaxFramePayloadBytes, &header) !=
+        FrameDecode::kOk) {
+      continue;
+    }
+    if (frame.size() < kFrameHeaderBytes + header.payload_bytes) continue;
+    std::string_view payload =
+        std::string_view(frame).substr(kFrameHeaderBytes,
+                                       header.payload_bytes);
+    TopKRequest request;
+    ParseTopKRequestPayload(payload, &request);
+    std::vector<TopKItem> items;
+    ParseTopKResponsePayload(payload, &items);
+  }
+}
+
+}  // namespace
+}  // namespace simrankpp

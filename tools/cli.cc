@@ -28,11 +28,18 @@
 //       batch of "tenant<TAB>query" lines as TSV rows, print per-tenant
 //       ServeStats to stderr. --reload TENANT forces a hot reload before
 //       serving; --poll runs one PollForChanges watcher pass first.
+//   simrankpp serve-daemon --manifest M [--host H] [--port P] ...
+//       Persistent network front door: serve every manifest tenant over
+//       the length-prefixed binary protocol (docs/DAEMON_PROTOCOL.md)
+//       with per-tenant admission control, TopK micro-batching, and a
+//       hot-reload watcher. SIGTERM/SIGINT drain gracefully (exit 0).
 //   simrankpp extract <graph.tsv> [--subgraphs N] [--out-prefix P]
 //       Carve disjoint subgraphs via local partitioning; write P1.tsv...
 #include "cli.h"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -51,6 +58,7 @@
 #include "graph/graph_stats.h"
 #include "partition/subgraph_extractor.h"
 #include "rewrite/rewrite_service.h"
+#include "serve/daemon.h"
 #include "serve/manifest.h"
 #include "serve/snapshot_store.h"
 #include "serve/tenant_registry.h"
@@ -80,6 +88,9 @@ int Usage() {
       "  simrankpp manifest-info <manifest>\n"
       "  simrankpp serve-multi --manifest M --queries Q.tsv [--top K]\n"
       "            [--out F] [--reload TENANT] [--poll]\n"
+      "  simrankpp serve-daemon --manifest M [--host H] [--port P]\n"
+      "            [--port-file F] [--max-queue N] [--qps X] [--burst B]\n"
+      "            [--poll-interval S] [--no-inotify] [--no-watch]\n"
       "  simrankpp extract <graph.tsv> [--subgraphs N] [--out-prefix P]\n"
       "methods: simrank | evidence | weighted (default) | pearson\n"
       "engines: any registered name (dense | sparse (default) | ...)\n");
@@ -604,6 +615,74 @@ int CmdServeMulti(int argc, char** argv) {
   return 0;
 }
 
+// The running daemon, published for the signal handlers. RequestShutdown
+// is async-signal-safe (a single eventfd write), so the handler may call
+// it directly.
+std::atomic<ServeDaemon*> g_serve_daemon{nullptr};
+
+void HandleShutdownSignal(int) {
+  ServeDaemon* daemon = g_serve_daemon.load();
+  if (daemon != nullptr) daemon->RequestShutdown();
+}
+
+int CmdServeDaemon(int argc, char** argv) {
+  const char* manifest_path = FlagValue(argc, argv, "--manifest", nullptr);
+  if (manifest_path == nullptr) return Usage();
+  DaemonOptions options;
+  options.manifest_path = manifest_path;
+  options.host = FlagValue(argc, argv, "--host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(
+      std::strtoul(FlagValue(argc, argv, "--port", "0"), nullptr, 10));
+  options.max_queue_per_tenant = std::strtoull(
+      FlagValue(argc, argv, "--max-queue", "512"), nullptr, 10);
+  options.tenant_qps =
+      std::strtod(FlagValue(argc, argv, "--qps", "0"), nullptr);
+  options.tenant_burst =
+      std::strtod(FlagValue(argc, argv, "--burst", "64"), nullptr);
+  options.watch_poll_seconds = std::strtod(
+      FlagValue(argc, argv, "--poll-interval", "0.5"), nullptr);
+  options.use_inotify = !HasFlag(argc, argv, "--no-inotify");
+  options.enable_watcher = !HasFlag(argc, argv, "--no-watch");
+  const char* port_file = FlagValue(argc, argv, "--port-file", nullptr);
+
+  Result<std::unique_ptr<ServeDaemon>> daemon =
+      ServeDaemon::Start(std::move(options));
+  if (!daemon.ok()) {
+    std::fprintf(stderr, "%s\n", daemon.status().ToString().c_str());
+    return 1;
+  }
+  g_serve_daemon.store(daemon->get());
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+
+  std::printf("serve-daemon listening on %s:%u (%zu tenants)\n",
+              FlagValue(argc, argv, "--host", "127.0.0.1"),
+              (*daemon)->port(), (*daemon)->registry().size());
+  std::fflush(stdout);
+  if (port_file != nullptr) {
+    // Written after the socket is live: pollers of this file may connect
+    // the moment it appears (the CI smoke does).
+    std::ofstream out(port_file, std::ios::trunc);
+    out << (*daemon)->port() << "\n";
+  }
+  for (const TenantServeStats& stats : (*daemon)->registry().Stats()) {
+    std::fprintf(stderr, "%s\n", stats.ToString().c_str());
+  }
+
+  int exit_code = (*daemon)->Wait();
+  g_serve_daemon.store(nullptr);
+  DaemonMetrics metrics = (*daemon)->Metrics();
+  std::fprintf(stderr,
+               "serve-daemon drained: admitted=%llu responses=%llu "
+               "batches=%llu reloads=%llu exit=%d\n",
+               static_cast<unsigned long long>(metrics.requests_admitted),
+               static_cast<unsigned long long>(metrics.responses_sent),
+               static_cast<unsigned long long>(metrics.batches_executed),
+               static_cast<unsigned long long>(metrics.reloads_applied),
+               exit_code);
+  return exit_code;
+}
+
 int CmdExtract(const std::string& path, int argc, char** argv) {
   Result<BipartiteGraph> graph = LoadGraph(path);
   if (!graph.ok()) {
@@ -646,6 +725,7 @@ int RunCli(int argc, char** argv) {
   std::string command = argv[1];
   if (command == "generate") return CmdGenerate(argc - 2, argv + 2);
   if (command == "serve-multi") return CmdServeMulti(argc - 2, argv + 2);
+  if (command == "serve-daemon") return CmdServeDaemon(argc - 2, argv + 2);
   if (argc < 3) return Usage();
   std::string path = argv[2];
   if (command == "stats") return CmdStats(path);
