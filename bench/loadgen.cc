@@ -9,13 +9,13 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "util/histogram.h"
 #include "util/random.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 
 namespace simrankpp::loadgen {
 
@@ -211,12 +211,17 @@ Result<LoadReport> RunLoad(const LoadOptions& options) {
   }
   size_t window = std::max<size_t>(1, options.pipeline);
 
-  std::mutex merge_mu;
+  // Workers fold their per-thread tallies into this after their run; a
+  // named struct (not locals) so the guarded_by relation is annotatable.
+  struct MergedTotals {
+    Mutex mu;
+    std::map<uint16_t, uint64_t> by_code SRPP_GUARDED_BY(mu);
+    uint64_t sent SRPP_GUARDED_BY(mu) = 0;
+    uint64_t ok SRPP_GUARDED_BY(mu) = 0;
+    Status first_error SRPP_GUARDED_BY(mu) = Status::OK();
+  };
+  MergedTotals merged;
   SummaryStats latencies(/*keep_samples=*/true);
-  std::map<uint16_t, uint64_t> by_code;
-  uint64_t sent = 0;
-  uint64_t ok = 0;
-  Status first_error = Status::OK();
 
   // Workers record latencies into per-thread vectors; the merge feeds
   // one shared accumulator after the join.
@@ -263,11 +268,13 @@ Result<LoadReport> RunLoad(const LoadOptions& options) {
         }
       }
     }
-    std::lock_guard<std::mutex> lock(merge_mu);
-    sent += local_sent;
-    ok += local_ok;
-    for (const auto& [code, count] : local_by_code) by_code[code] += count;
-    if (!status.ok() && first_error.ok()) first_error = status;
+    MutexLock lock(&merged.mu);
+    merged.sent += local_sent;
+    merged.ok += local_ok;
+    for (const auto& [code, count] : local_by_code) {
+      merged.by_code[code] += count;
+    }
+    if (!status.ok() && merged.first_error.ok()) merged.first_error = status;
   };
 
   double start = NowSeconds();
@@ -279,17 +286,20 @@ Result<LoadReport> RunLoad(const LoadOptions& options) {
   for (std::thread& thread : threads) thread.join();
   double elapsed = NowSeconds() - start;
 
-  SRPP_RETURN_NOT_OK(first_error);
+  // All workers joined: merged is quiescent from here on.
+  MutexLock lock(&merged.mu);
+  SRPP_RETURN_NOT_OK(merged.first_error);
 
   for (const std::vector<double>& thread_samples : samples) {
     for (double value : thread_samples) latencies.Add(value);
   }
   LoadReport report;
-  report.sent = sent;
-  report.ok = ok;
-  report.by_code = std::move(by_code);
+  report.sent = merged.sent;
+  report.ok = merged.ok;
+  report.by_code = std::move(merged.by_code);
   report.seconds = elapsed;
-  report.qps = elapsed > 0.0 ? static_cast<double>(sent) / elapsed : 0.0;
+  report.qps =
+      elapsed > 0.0 ? static_cast<double>(merged.sent) / elapsed : 0.0;
   report.mean_us = latencies.mean();
   report.p50_us = latencies.Quantile(0.5);
   report.p90_us = latencies.Quantile(0.9);

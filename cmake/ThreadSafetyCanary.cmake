@@ -1,0 +1,51 @@
+# Negative-compile canary for clang Thread Safety Analysis.
+#
+# Proves at configure time that -Wthread-safety is really rejecting lock
+# misuse with this compiler + these macros: a well-formed snippet must
+# compile and a snippet that touches a GUARDED_BY field without the lock
+# must NOT. Catches the failure mode where the analysis silently turns
+# into a no-op (flag dropped, macros compiled out, attribute unsupported)
+# while the build stays green. Only meaningful under clang; callers gate
+# on the compiler id. tools/check_thread_safety_canary.py runs the same
+# two snippets from ctest.
+
+function(simrankpp_check_thread_safety_canary)
+  set(_canary_dir ${CMAKE_CURRENT_SOURCE_DIR}/cmake/tsa_canary)
+  set(_canary_flags "-Wthread-safety;-Werror")
+
+  try_compile(_tsa_good_ok
+    ${CMAKE_BINARY_DIR}/tsa_canary_good
+    ${_canary_dir}/tsa_canary_good.cc
+    COMPILE_DEFINITIONS "${_canary_flags}"
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=${CMAKE_CXX_STANDARD}"
+    OUTPUT_VARIABLE _tsa_good_output)
+  if(NOT _tsa_good_ok)
+    message(FATAL_ERROR
+      "Thread-safety canary: the well-formed snippet failed to compile "
+      "under -Wthread-safety -Werror. The annotation macros in "
+      "src/util/thread_annotations.h are broken for this compiler.\n"
+      "${_tsa_good_output}")
+  endif()
+
+  try_compile(_tsa_bad_ok
+    ${CMAKE_BINARY_DIR}/tsa_canary_bad
+    ${_canary_dir}/tsa_canary_bad.cc
+    COMPILE_DEFINITIONS "${_canary_flags}"
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=${CMAKE_CXX_STANDARD}")
+  if(_tsa_bad_ok)
+    message(FATAL_ERROR
+      "Thread-safety canary: the deliberately ill-formed snippet "
+      "(unlocked access to a GUARDED_BY field) COMPILED under "
+      "-Wthread-safety -Werror, so the analysis is not rejecting lock "
+      "misuse. Check that the flag reaches the compiler and that the "
+      "SRPP_* macros expand to real attributes under clang.")
+  endif()
+
+  message(STATUS
+    "Thread-safety canary: -Wthread-safety accepts annotated code and "
+    "rejects unlocked GUARDED_BY access")
+endfunction()

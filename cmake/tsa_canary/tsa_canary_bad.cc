@@ -1,0 +1,28 @@
+// Thread-safety-analysis canary: the ill-formed half. Touches a
+// GUARDED_BY field without holding its mutex and must FAIL to compile
+// under -Wthread-safety -Werror. If this ever builds, the analysis is
+// not actually rejecting lock misuse (e.g. the flag fell off the build
+// or the macros degraded to no-ops on clang) and the configure step
+// aborts. Paired with tsa_canary_good.cc.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BUG by design: no lock held.
+  }
+
+ private:
+  simrankpp::Mutex mu_;
+  int value_ SRPP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return 0;
+}

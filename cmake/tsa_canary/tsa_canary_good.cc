@@ -1,0 +1,32 @@
+// Thread-safety-analysis canary: the well-formed half. Correct
+// MutexLock/GUARDED_BY usage that must COMPILE under
+// -Wthread-safety -Werror. If this stops building, the annotation
+// macros themselves broke. Paired with tsa_canary_bad.cc.
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    simrankpp::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Get() {
+    simrankpp::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  simrankpp::Mutex mu_;
+  int value_ SRPP_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Get() == 1 ? 0 : 1;
+}

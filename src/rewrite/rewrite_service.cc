@@ -208,6 +208,8 @@ Result<std::unique_ptr<RewriteService>> RewriteServiceBuilder::Build() {
   // reads immutable state only.
   QueryRewriter rewriter(stats.method_name, graph_, std::move(scores), bids_,
                          pipeline_, side);
+  // srpp:allow(naked-new): the constructor is private (builder-only),
+  // so make_unique cannot reach it; ownership transfers immediately.
   return std::unique_ptr<RewriteService>(new RewriteService(
       graph_, std::move(rewriter), std::move(stats)));
 }

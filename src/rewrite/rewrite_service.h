@@ -113,6 +113,11 @@ class RewriteService {
   const BipartiteGraph* graph_;
   QueryRewriter rewriter_;
   RewriteServiceStats base_stats_;
+  /// Pure statistics counter bumped from concurrent TopK calls; relaxed
+  /// ordering is deliberate (no data is published through it, so there
+  /// is nothing for acquire/release to order). Everything else in the
+  /// service is immutable after construction, which is what makes
+  /// const-concurrent serving safe.
   mutable std::atomic<uint64_t> queries_served_{0};
 };
 

@@ -15,7 +15,6 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstring>
 #include <filesystem>
 #include <set>
@@ -26,6 +25,7 @@
 #include "serve/manifest.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace simrankpp {
@@ -93,7 +93,7 @@ class ServeDaemon::Impl {
   }
 
   int Wait() {
-    std::lock_guard<std::mutex> lock(join_mu_);
+    MutexLock lock(&join_mu_);
     if (io_thread_.joinable()) io_thread_.join();
     if (watcher_thread_.joinable()) {
       uint64_t one = 1;
@@ -103,8 +103,8 @@ class ServeDaemon::Impl {
     }
     // Straggling pool tasks signal through work_cv_ as their very last
     // action; after this wait none of them will touch the Impl again.
-    std::unique_lock<std::mutex> work_lock(work_mu_);
-    work_cv_.wait(work_lock, [this] { return work_count_ == 0; });
+    MutexLock work_lock(&work_mu_);
+    while (work_count_ != 0) work_cv_.Wait(work_mu_);
     return exit_code_.load();
   }
 
@@ -168,20 +168,21 @@ class ServeDaemon::Impl {
                       std::min<size_t>(options.max_queue_per_tenant + 1, 64)),
           latency_log10_us(0.0, 7.0, 70) {}
 
-    TokenBucket bucket;  // I/O thread only
+    TokenBucket bucket;  // I/O thread only (see TokenBucket's contract)
 
-    std::mutex mu;
-    std::vector<PendingRequest> pending;
-    bool batch_in_flight = false;
-    uint64_t admitted = 0;
-    uint64_t shed = 0;
-    uint64_t rate_limited = 0;
-    uint64_t served = 0;
-    uint64_t batches = 0;
-    uint64_t max_batch = 0;
-    Histogram queue_depth;
-    SummaryStats latency_us;       // streaming moments, O(1) memory
-    Histogram latency_log10_us;    // quantiles over log10(us)
+    Mutex mu;
+    std::vector<PendingRequest> pending SRPP_GUARDED_BY(mu);
+    bool batch_in_flight SRPP_GUARDED_BY(mu) = false;
+    uint64_t admitted SRPP_GUARDED_BY(mu) = 0;
+    uint64_t shed SRPP_GUARDED_BY(mu) = 0;
+    uint64_t rate_limited SRPP_GUARDED_BY(mu) = 0;
+    uint64_t served SRPP_GUARDED_BY(mu) = 0;
+    uint64_t batches SRPP_GUARDED_BY(mu) = 0;
+    uint64_t max_batch SRPP_GUARDED_BY(mu) = 0;
+    Histogram queue_depth SRPP_GUARDED_BY(mu);
+    // Streaming moments (O(1) memory) and quantiles over log10(us).
+    SummaryStats latency_us SRPP_GUARDED_BY(mu);
+    Histogram latency_log10_us SRPP_GUARDED_BY(mu);
   };
 
   // A finished response frame headed back to (fd, serial).
@@ -223,9 +224,9 @@ class ServeDaemon::Impl {
   // touch of the Impl by a worker task: Wait() holds work_mu_ until the
   // count hits zero, so teardown cannot race a straggler.
   void FinishWork() {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(&work_mu_);
     --work_count_;
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
 
   // ----- reload watcher ------------------------------------------------
@@ -234,7 +235,7 @@ class ServeDaemon::Impl {
   std::set<std::string> WatchDirectories() const;
 
   TenantState* GetOrCreateState(const std::string& tenant) {
-    std::lock_guard<std::mutex> lock(states_mu_);
+    MutexLock lock(&states_mu_);
     auto it = states_.find(tenant);
     if (it == states_.end()) {
       it = states_
@@ -257,24 +258,31 @@ class ServeDaemon::Impl {
 
   std::thread io_thread_;
   std::thread watcher_thread_;
-  std::mutex join_mu_;
+  Mutex join_mu_;
 
   std::atomic<bool> draining_{false};
   std::atomic<int> exit_code_{0};
 
+  // I/O-thread-private (no capability to annotate — single-owner by
+  // construction; the outbox + eventfd handoff is how other threads
+  // reach connection state).
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;
   uint64_t next_serial_ = 1;
 
-  std::mutex states_mu_;
-  std::unordered_map<std::string, std::unique_ptr<TenantState>> states_;
+  Mutex states_mu_;
+  // Values are stable pointers: a TenantState is never destroyed while
+  // the daemon runs, so holding states_mu_ is only required for the map
+  // itself, not for using a looked-up TenantState (which has its own mu).
+  std::unordered_map<std::string, std::unique_ptr<TenantState>> states_
+      SRPP_GUARDED_BY(states_mu_);
 
-  std::mutex outbox_mu_;
-  std::vector<Completion> outbox_;
+  Mutex outbox_mu_;
+  std::vector<Completion> outbox_ SRPP_GUARDED_BY(outbox_mu_);
 
   // Count of submitted-but-unfinished pool tasks (batches + reloads).
-  std::mutex work_mu_;
-  std::condition_variable work_cv_;
-  size_t work_count_ = 0;
+  Mutex work_mu_;
+  CondVar work_cv_;
+  size_t work_count_ SRPP_GUARDED_BY(work_mu_) = 0;
 
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> connections_refused_{0};
@@ -564,7 +572,7 @@ void ServeDaemon::Impl::HandleFrame(Connection* conn,
       uint64_t serial = conn->serial;
       uint32_t request_id = header.request_id;
       {
-        std::lock_guard<std::mutex> lock(work_mu_);
+        MutexLock lock(&work_mu_);
         ++work_count_;
       }
       SharedThreadPool().Submit(
@@ -604,7 +612,7 @@ void ServeDaemon::Impl::AdmitTopK(Connection* conn, uint32_t request_id,
   if (!state->bucket.TryAcquire(NowSeconds())) {
     requests_rate_limited_.fetch_add(1);
     {
-      std::lock_guard<std::mutex> lock(state->mu);
+      MutexLock lock(&state->mu);
       ++state->rate_limited;
     }
     SendError(conn, request_id, WireCode::kRateLimited,
@@ -613,7 +621,7 @@ void ServeDaemon::Impl::AdmitTopK(Connection* conn, uint32_t request_id,
   }
   bool submit = false;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     if (state->pending.size() >= options_.max_queue_per_tenant) {
       ++state->shed;
       requests_shed_.fetch_add(1);
@@ -639,7 +647,7 @@ void ServeDaemon::Impl::AdmitTopK(Connection* conn, uint32_t request_id,
   requests_admitted_.fetch_add(1);
   if (submit) {
     {
-      std::lock_guard<std::mutex> lock(work_mu_);
+      MutexLock lock(&work_mu_);
       ++work_count_;
     }
     std::string tenant = std::move(request.tenant);
@@ -723,11 +731,11 @@ void ServeDaemon::Impl::BeginDrain() {
 
 bool ServeDaemon::Impl::DrainComplete() {
   {
-    std::lock_guard<std::mutex> lock(work_mu_);
+    MutexLock lock(&work_mu_);
     if (work_count_ != 0) return false;
   }
   {
-    std::lock_guard<std::mutex> lock(outbox_mu_);
+    MutexLock lock(&outbox_mu_);
     if (!outbox_.empty()) return false;
   }
   for (const auto& [fd, conn] : connections_) {
@@ -739,7 +747,7 @@ bool ServeDaemon::Impl::DrainComplete() {
 void ServeDaemon::Impl::DrainOutbox() {
   std::vector<Completion> items;
   {
-    std::lock_guard<std::mutex> lock(outbox_mu_);
+    MutexLock lock(&outbox_mu_);
     items.swap(outbox_);
   }
   for (Completion& item : items) {
@@ -776,7 +784,7 @@ std::string ServeDaemon::Impl::StatsText() {
     text += tenant_stats.ToString();
     text += '\n';
     TenantState* state = GetOrCreateState(tenant_stats.tenant);
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     text += StringPrintf(
         "  admission: admitted=%llu shed=%llu rate_limited=%llu "
         "served=%llu batches=%llu max_batch=%llu\n",
@@ -814,7 +822,7 @@ std::string ServeDaemon::Impl::StatsText() {
 void ServeDaemon::Impl::PushCompletions(std::vector<Completion> completions) {
   if (completions.empty()) return;
   {
-    std::lock_guard<std::mutex> lock(outbox_mu_);
+    MutexLock lock(&outbox_mu_);
     for (Completion& completion : completions) {
       outbox_.push_back(std::move(completion));
     }
@@ -826,7 +834,7 @@ void ServeDaemon::Impl::RunBatch(std::string tenant_name,
                                  TenantState* state) {
   std::vector<PendingRequest> batch;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     batch.swap(state->pending);
     if (batch.empty()) {
       state->batch_in_flight = false;
@@ -908,7 +916,7 @@ void ServeDaemon::Impl::RunBatch(std::string tenant_name,
 
   double now = NowSeconds();
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     state->served += batch.size();
     ++state->batches;
     state->max_batch = std::max(state->max_batch, batch.size());
@@ -931,7 +939,7 @@ void ServeDaemon::Impl::RunBatch(std::string tenant_name,
   // tenants' batches get pool time in between.
   bool more = false;
   {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(&state->mu);
     more = !state->pending.empty();
     if (!more) state->batch_in_flight = false;
   }
@@ -1066,6 +1074,8 @@ Result<std::unique_ptr<ServeDaemon>> ServeDaemon::Start(
     DaemonOptions options) {
   auto impl = std::make_unique<Impl>(std::move(options));
   SRPP_RETURN_NOT_OK(impl->Boot());
+  // srpp:allow(naked-new): private constructor (Start() is the only
+  // entry point), so make_unique cannot reach it; wrapped immediately.
   return std::unique_ptr<ServeDaemon>(new ServeDaemon(std::move(impl)));
 }
 

@@ -154,7 +154,7 @@ Status SnapshotStore::RefreshManifestLocked() {
 }
 
 Status SnapshotStore::LoadAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   SRPP_RETURN_NOT_OK(RefreshManifestLocked());
 
   // Drop tenants the manifest no longer names (LoadAll is authoritative).
@@ -183,7 +183,7 @@ Status SnapshotStore::LoadAll() {
 }
 
 Status SnapshotStore::Reload(const std::string& tenant) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Pick up manifest edits when the file moved; a vanished manifest is an
   // error for an explicit reload.
   if (StatFile(manifest_path_) != manifest_print_) {
@@ -197,7 +197,7 @@ Status SnapshotStore::Reload(const std::string& tenant) {
 }
 
 Result<std::vector<std::string>> SnapshotStore::PollForChanges() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> reloaded;
 
   bool manifest_moved = StatFile(manifest_path_) != manifest_print_;

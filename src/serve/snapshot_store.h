@@ -18,7 +18,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +25,7 @@
 #include "serve/manifest.h"
 #include "serve/tenant_registry.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace simrankpp {
 
@@ -97,19 +97,19 @@ class SnapshotStore {
       const ManifestEntry& entry,
       const std::shared_ptr<const Tenant>& previous, bool reuse_assets);
 
-  // Builds + publishes + updates the watch map. Caller holds mu_.
-  Status ApplyEntryLocked(const ManifestEntry& entry);
+  // Builds + publishes + updates the watch map.
+  Status ApplyEntryLocked(const ManifestEntry& entry) SRPP_REQUIRES(mu_);
 
-  // Re-reads the manifest when its fingerprint moved. Caller holds mu_.
-  Status RefreshManifestLocked();
+  // Re-reads the manifest when its fingerprint moved.
+  Status RefreshManifestLocked() SRPP_REQUIRES(mu_);
 
   std::string manifest_path_;
   TenantRegistry* registry_;
 
-  std::mutex mu_;  // serializes LoadAll / Reload / PollForChanges
-  ServingManifest manifest_;
-  Fingerprint manifest_print_;
-  std::unordered_map<std::string, Watch> watches_;
+  Mutex mu_;  // serializes LoadAll / Reload / PollForChanges
+  ServingManifest manifest_ SRPP_GUARDED_BY(mu_);
+  Fingerprint manifest_print_ SRPP_GUARDED_BY(mu_);
+  std::unordered_map<std::string, Watch> watches_ SRPP_GUARDED_BY(mu_);
 };
 
 }  // namespace simrankpp

@@ -110,7 +110,7 @@ std::shared_ptr<TenantRegistry::Slot> TenantRegistry::GetOrCreateSlotLocked(
 }
 
 void TenantRegistry::Upsert(std::shared_ptr<const Tenant> tenant) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   std::shared_ptr<Slot> slot = GetOrCreateSlotLocked(tenant->name);
   slot->last_reload.store(std::make_shared<const ReloadEvent>(),
                           std::memory_order_release);
@@ -134,7 +134,7 @@ void TenantRegistry::Upsert(std::shared_ptr<const Tenant> tenant) {
 }
 
 bool TenantRegistry::Remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   std::shared_ptr<const Table> table = LoadTable();
   auto it = table->find(name);
   if (it == table->end()) return false;
@@ -154,7 +154,7 @@ bool TenantRegistry::Remove(const std::string& name) {
 
 void TenantRegistry::RecordReloadFailure(const std::string& name,
                                          const Status& status) {
-  std::lock_guard<std::mutex> lock(write_mu_);
+  MutexLock lock(&write_mu_);
   std::shared_ptr<Slot> slot = GetOrCreateSlotLocked(name);
   auto event = std::make_shared<ReloadEvent>();
   event->ok = false;

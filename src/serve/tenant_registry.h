@@ -17,7 +17,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -26,6 +25,7 @@
 #include "graph/bipartite_graph.h"
 #include "rewrite/bid_database.h"
 #include "rewrite/rewrite_service.h"
+#include "util/thread_annotations.h"
 
 namespace simrankpp {
 
@@ -142,13 +142,20 @@ class TenantRegistry {
   }
 
   // Returns the slot for `name`, creating it (via a copy-on-write table
-  // swap) when absent. Caller must hold write_mu_.
-  std::shared_ptr<Slot> GetOrCreateSlotLocked(const std::string& name);
+  // swap) when absent.
+  std::shared_ptr<Slot> GetOrCreateSlotLocked(const std::string& name)
+      SRPP_REQUIRES(write_mu_);
 
+  /// RCU-published: readers load with acquire and never block; the
+  /// store side (a release store of a freshly-built COW table) is
+  /// serialized by write_mu_. Not SRPP_GUARDED_BY — lock-free reads are
+  /// the point — the acquire/release pairing is the contract instead,
+  /// and tools/lint_invariants.py rejects any relaxed-order operation
+  /// on it.
   std::atomic<std::shared_ptr<const Table>> table_;
   /// Serializes table swaps and generation publishes; never taken on the
   /// read path.
-  mutable std::mutex write_mu_;
+  mutable Mutex write_mu_;
 };
 
 }  // namespace simrankpp

@@ -5,8 +5,13 @@
 /// second up to `burst`, and each admitted request spends one. The clock
 /// is an explicit caller argument (monotonic seconds) so tests drive it
 /// deterministically and the daemon reads its steady clock exactly once
-/// per admission decision. Not thread-safe — the daemon consults it from
-/// its single event-loop thread only.
+/// per admission decision. Thread-compatible, not thread-safe: each
+/// instance is owned by exactly one thread (the daemon consults its
+/// buckets from the single I/O event-loop thread only), so there is no
+/// lock here and no capability to annotate — the single-owner contract
+/// is the invariant (see docs/STATIC_ANALYSIS.md). If a bucket ever
+/// needs cross-thread access, wrap it behind an `srpp::Mutex` with
+/// `SRPP_GUARDED_BY` at the owning site rather than adding a lock here.
 #ifndef SIMRANKPP_SERVE_TOKEN_BUCKET_H_
 #define SIMRANKPP_SERVE_TOKEN_BUCKET_H_
 

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/thread_annotations.h"
 
 namespace simrankpp {
 
@@ -11,9 +12,10 @@ namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 
-// Serializes writes so concurrent log lines do not interleave.
-std::mutex& LogMutex() {
-  static std::mutex mu;
+// Serializes writes so concurrent log lines do not interleave. What it
+// guards is stderr itself, so there is no field to SRPP_GUARDED_BY.
+Mutex& LogMutex() {
+  static Mutex mu;
   return mu;
 }
 
@@ -55,7 +57,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(&LogMutex());
   std::FILE* out = level_ >= LogLevel::kWarning ? stderr : stdout;
   std::fputs(stream_.str().c_str(), out);
   std::fputc('\n', out);
@@ -68,7 +70,7 @@ FatalMessage::FatalMessage(const char* file, int line) {
 
 FatalMessage::~FatalMessage() {
   {
-    std::lock_guard<std::mutex> lock(LogMutex());
+    MutexLock lock(&LogMutex());
     std::fputs(stream_.str().c_str(), stderr);
     std::fputc('\n', stderr);
     std::fflush(stderr);

@@ -1,0 +1,154 @@
+/// @file thread_annotations.h
+/// @brief Clang Thread Safety Analysis macros plus capability-annotated
+/// mutex/condition primitives (docs/STATIC_ANALYSIS.md).
+///
+/// The serving layer's concurrency invariants — which fields a mutex
+/// guards, which functions require a lock held — are encoded with these
+/// macros so clang's `-Wthread-safety` proves them at compile time. On
+/// compilers without the attribute (gcc) every macro expands to nothing
+/// and `srpp::Mutex` is a zero-cost veneer over `std::mutex`, so the
+/// annotations cost nothing where they cannot be checked.
+///
+/// Idiom:
+///
+///   class Queue {
+///    public:
+///     void Push(Task t) {
+///       srpp::MutexLock lock(&mu_);
+///       tasks_.push_back(std::move(t));   // provably holds mu_
+///     }
+///    private:
+///     srpp::Mutex mu_;
+///     std::vector<Task> tasks_ SRPP_GUARDED_BY(mu_);
+///   };
+///
+/// Condition waits use explicit while loops, not predicate lambdas —
+/// the analysis cannot see that a lambda body runs under the lock:
+///
+///   srpp::MutexLock lock(&mu_);
+///   while (!ready_) cv_.Wait(mu_);
+#ifndef SIMRANKPP_UTIL_THREAD_ANNOTATIONS_H_
+#define SIMRANKPP_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define SRPP_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SRPP_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a capability ("mutex") the analysis can track.
+#define SRPP_CAPABILITY(x) SRPP_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SRPP_SCOPED_CAPABILITY SRPP_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated field may only be read or written while holding `x`.
+#define SRPP_GUARDED_BY(x) SRPP_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The pointee of the annotated pointer is guarded by `x`.
+#define SRPP_PT_GUARDED_BY(x) SRPP_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function acquires the listed capabilities and does not release
+/// them before returning.
+#define SRPP_ACQUIRE(...) \
+  SRPP_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities.
+#define SRPP_RELEASE(...) \
+  SRPP_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; the first argument is the
+/// return value that means "acquired".
+#define SRPP_TRY_ACQUIRE(...) \
+  SRPP_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Callers must hold the listed capabilities (a `...Locked()` helper).
+#define SRPP_REQUIRES(...) \
+  SRPP_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Callers must NOT hold the listed capabilities (deadlock guard).
+#define SRPP_EXCLUDES(...) SRPP_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the listed capability.
+#define SRPP_RETURN_CAPABILITY(x) SRPP_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function is deliberately outside the analysis.
+/// Every use should carry a comment explaining why it is sound.
+#define SRPP_NO_THREAD_SAFETY_ANALYSIS \
+  SRPP_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace simrankpp {
+
+/// \brief Capability-annotated exclusive mutex over `std::mutex`.
+///
+/// Same semantics and cost as `std::mutex`; what it adds is the
+/// `capability` attribute that lets `-Wthread-safety` connect
+/// `SRPP_GUARDED_BY(mu_)` fields to `MutexLock`/`Lock` scopes. Use this
+/// (not raw `std::mutex`) for any lock whose protected state is
+/// annotated.
+class SRPP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SRPP_ACQUIRE() { mu_.lock(); }
+  void Unlock() SRPP_RELEASE() { mu_.unlock(); }
+  bool TryLock() SRPP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable spellings so `CondVar` (condition_variable_any) can
+  /// release/reacquire during a wait. Intentionally outside the analysis:
+  /// they are only called from inside `CondVar::Wait`, which already
+  /// REQUIRES the capability, and annotating them would double-count the
+  /// acquire.
+  void lock() SRPP_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() SRPP_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// \brief RAII lock for `srpp::Mutex`, tracked as a scoped capability.
+class SRPP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) SRPP_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() SRPP_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// \brief Condition variable paired with `srpp::Mutex`.
+///
+/// `Wait` takes the mutex explicitly and REQUIRES it held, so the
+/// analysis verifies every wait sits inside the right critical section.
+/// There is deliberately no predicate overload: a predicate lambda's
+/// body is analyzed as a lock-free function and every guarded read in it
+/// would be (correctly, from the analysis's viewpoint) rejected. Spell
+/// waits as `while (!condition) cv.Wait(mu);` instead.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  /// Spurious wakeups happen; always re-check the condition in a loop.
+  void Wait(Mutex& mu) SRPP_REQUIRES(mu) { cv_.wait(mu); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_UTIL_THREAD_ANNOTATIONS_H_

@@ -19,24 +19,24 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push(std::move(task));
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(queue_.empty() && active_ == 0)) all_idle_.Wait(mu_);
 }
 
 namespace {
@@ -80,8 +80,8 @@ bool ThreadPool::RunOneChunk(Batch& batch) {
   size_t end = std::min(begin + batch.chunk_size, batch.count);
   (*batch.fn)(index, begin, end);
   {
-    std::lock_guard<std::mutex> lock(batch.mu);
-    if (++batch.done == batch.num_chunks) batch.done_cv.notify_all();
+    MutexLock lock(&batch.mu);
+    if (++batch.done == batch.num_chunks) batch.done_cv.NotifyAll();
   }
   return true;
 }
@@ -120,9 +120,8 @@ void ThreadPool::ParallelForChunked(
   // is itself a pool worker (nested call) and every other worker is busy.
   while (RunOneChunk(*batch)) {
   }
-  std::unique_lock<std::mutex> lock(batch->mu);
-  batch->done_cv.wait(lock,
-                      [&] { return batch->done == batch->num_chunks; });
+  MutexLock lock(&batch->mu);
+  while (batch->done != batch->num_chunks) batch->done_cv.Wait(batch->mu);
 }
 
 void ThreadPool::ParallelFor(size_t count,
@@ -143,9 +142,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) task_available_.Wait(mu_);
       if (shutdown_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -153,9 +151,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+      if (queue_.empty() && active_ == 0) all_idle_.NotifyAll();
     }
   }
 }

@@ -4,14 +4,14 @@
 #define SIMRANKPP_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace simrankpp {
 
@@ -93,14 +93,15 @@ class ThreadPool {
   // shared with helper tasks so a helper popped after the batch finished
   // still sees a live (exhausted) batch.
   struct Batch {
+    // Set once before any helper is submitted, read-only afterwards.
     const std::function<void(size_t, size_t, size_t)>* fn = nullptr;
     size_t count = 0;
     size_t chunk_size = 0;
     size_t num_chunks = 0;
     std::atomic<size_t> next{0};
-    std::mutex mu;
-    std::condition_variable done_cv;
-    size_t done = 0;
+    Mutex mu;
+    CondVar done_cv;
+    size_t done SRPP_GUARDED_BY(mu) = 0;
   };
 
   // Claims and runs one chunk; false when the batch is exhausted.
@@ -108,13 +109,14 @@ class ThreadPool {
 
   void WorkerLoop();
 
+  // Immutable after the constructor returns (workers never touch it).
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_idle_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  std::queue<std::function<void()>> queue_ SRPP_GUARDED_BY(mu_);
+  CondVar task_available_;
+  CondVar all_idle_;
+  size_t active_ SRPP_GUARDED_BY(mu_) = 0;
+  bool shutdown_ SRPP_GUARDED_BY(mu_) = false;
 };
 
 /// \brief The process-wide shared pool, sized to hardware concurrency and

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""ctest-facing twin of cmake/ThreadSafetyCanary.cmake.
+
+Compiles the two canary snippets under ``-Wthread-safety -Werror`` with
+whatever clang++ is available and verifies the analysis accepts the
+well-formed one and rejects the unlocked GUARDED_BY access. Exits 77
+(the ctest SKIP_RETURN_CODE) when no clang is on the machine — gcc
+cannot run the analysis, so there is nothing to check locally; the CI
+clang leg runs it for real.
+
+Usage: check_thread_safety_canary.py [--repo-root DIR] [--clangxx PATH]
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+SKIP = 77
+
+
+def find_clangxx(explicit):
+    """Returns a clang++ executable path, or None."""
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    env = os.environ.get("CLANGXX")
+    if env:
+        candidates.append(env)
+    candidates.append("clang++")
+    candidates.extend(f"clang++-{major}" for major in range(21, 11, -1))
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def compile_snippet(clangxx, repo_root, source, out_dir):
+    """Compiles one canary file; returns the CompletedProcess."""
+    out = os.path.join(out_dir, os.path.basename(source) + ".o")
+    cmd = [
+        clangxx,
+        "-std=c++20",
+        "-Wthread-safety",
+        "-Werror",
+        "-I",
+        os.path.join(repo_root, "src"),
+        "-c",
+        source,
+        "-o",
+        out,
+    ]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repo-root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of this script)",
+    )
+    parser.add_argument(
+        "--clangxx", default=None, help="clang++ executable to use"
+    )
+    options = parser.parse_args()
+
+    clangxx = find_clangxx(options.clangxx)
+    if clangxx is None:
+        print("SKIP: no clang++ found; thread-safety analysis needs clang")
+        return SKIP
+
+    canary_dir = os.path.join(options.repo_root, "cmake", "tsa_canary")
+    good = os.path.join(canary_dir, "tsa_canary_good.cc")
+    bad = os.path.join(canary_dir, "tsa_canary_bad.cc")
+    for path in (good, bad):
+        if not os.path.exists(path):
+            print(f"FAIL: canary source missing: {path}")
+            return 1
+
+    with tempfile.TemporaryDirectory() as out_dir:
+        result = compile_snippet(clangxx, options.repo_root, good, out_dir)
+        if result.returncode != 0:
+            print(
+                "FAIL: well-formed canary did not compile under "
+                "-Wthread-safety -Werror; the SRPP_* macros are broken:\n"
+                + result.stderr
+            )
+            return 1
+
+        result = compile_snippet(clangxx, options.repo_root, bad, out_dir)
+        if result.returncode == 0:
+            print(
+                "FAIL: ill-formed canary (unlocked GUARDED_BY access) "
+                "compiled cleanly — -Wthread-safety is not rejecting "
+                "lock misuse"
+            )
+            return 1
+        if "thread-safety" not in result.stderr:
+            print(
+                "FAIL: ill-formed canary was rejected, but not by the "
+                "thread-safety analysis:\n" + result.stderr
+            )
+            return 1
+
+    print(f"OK: {clangxx} -Wthread-safety accepts good, rejects bad")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
