@@ -1,8 +1,9 @@
 #include "core/similarity_matrix.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/logging.h"
 
 namespace simrankpp {
 
@@ -10,8 +11,10 @@ SimilarityMatrix::SimilarityMatrix(size_t num_nodes)
     : num_nodes_(num_nodes) {}
 
 void SimilarityMatrix::Set(uint32_t u, uint32_t v, double score) {
-  assert(u != v && "self-similarity is fixed at 1 and cannot be set");
-  assert(u < num_nodes_ && v < num_nodes_);
+  SRPP_CHECK(u != v) << "self-similarity is fixed at 1 and cannot be set";
+  SRPP_CHECK(u < num_nodes_ && v < num_nodes_)
+      << "node out of range: (" << u << ", " << v << ") with "
+      << num_nodes_ << " nodes";
   finalized_ = false;
   if (score == 0.0) {
     scores_.erase(PairKey(u, v));
@@ -33,6 +36,9 @@ bool SimilarityMatrix::Contains(uint32_t u, uint32_t v) const {
 
 void SimilarityMatrix::ForEachPair(
     const std::function<void(uint32_t, uint32_t, double)>& fn) const {
+  // srpp:allow(unordered-iteration): deliberately unordered — the
+  // contract (see header) makes callers impose order; core/snapshot.cc
+  // sorts the collected pairs into canonical key order before writing.
   for (const auto& [key, score] : scores_) {
     fn(static_cast<uint32_t>(key >> 32),
        static_cast<uint32_t>(key & 0xffffffffu), score);
@@ -41,6 +47,8 @@ void SimilarityMatrix::ForEachPair(
 
 void SimilarityMatrix::Finalize() {
   partners_.assign(num_nodes_, {});
+  // srpp:allow(unordered-iteration): visit order is erased by the
+  // deterministic (score desc, node asc) sort over every list below.
   for (const auto& [key, score] : scores_) {
     uint32_t u = static_cast<uint32_t>(key >> 32);
     uint32_t v = static_cast<uint32_t>(key & 0xffffffffu);
@@ -59,7 +67,7 @@ void SimilarityMatrix::Finalize() {
 
 std::vector<ScoredNode> SimilarityMatrix::TopK(uint32_t node,
                                                size_t k) const {
-  assert(finalized_ && "call Finalize() before TopK()");
+  SRPP_CHECK(finalized_) << "call Finalize() before TopK()";
   const auto& list = partners_[node];
   size_t take = std::min(k, list.size());
   return std::vector<ScoredNode>(list.begin(), list.begin() + take);
@@ -67,18 +75,20 @@ std::vector<ScoredNode> SimilarityMatrix::TopK(uint32_t node,
 
 const std::vector<ScoredNode>& SimilarityMatrix::Partners(
     uint32_t node) const {
-  assert(finalized_ && "call Finalize() before Partners()");
+  SRPP_CHECK(finalized_) << "call Finalize() before Partners()";
   return partners_[node];
 }
 
 double SimilarityMatrix::MaxAbsDifference(
     const SimilarityMatrix& other) const {
   double max_diff = 0.0;
+  // srpp:allow(unordered-iteration): max() is order-independent.
   for (const auto& [key, score] : scores_) {
     auto it = other.scores_.find(key);
     double theirs = it == other.scores_.end() ? 0.0 : it->second;
     max_diff = std::max(max_diff, std::fabs(score - theirs));
   }
+  // srpp:allow(unordered-iteration): max() is order-independent.
   for (const auto& [key, score] : other.scores_) {
     if (scores_.count(key) == 0) {
       max_diff = std::max(max_diff, std::fabs(score));

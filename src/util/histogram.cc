@@ -1,9 +1,9 @@
 #include "util/histogram.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace simrankpp {
@@ -40,7 +40,8 @@ double SummaryStats::variance() const {
 double SummaryStats::stddev() const { return std::sqrt(variance()); }
 
 double SummaryStats::Quantile(double q) const {
-  assert(keep_samples_);
+  SRPP_CHECK(keep_samples_)
+      << "Quantile() needs SummaryStats(/*keep_samples=*/true)";
   if (samples_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
@@ -56,8 +57,8 @@ double SummaryStats::Quantile(double q) const {
 
 Histogram::Histogram(double lo, double hi, size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets, 0) {
-  assert(hi > lo);
-  assert(buckets > 0);
+  SRPP_CHECK(hi > lo) << "Histogram range [" << lo << ", " << hi << ")";
+  SRPP_CHECK(buckets > 0) << "Histogram needs at least one bucket";
 }
 
 void Histogram::Add(double value) {

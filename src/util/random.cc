@@ -1,7 +1,8 @@
 #include "util/random.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/logging.h"
 
 namespace simrankpp {
 
@@ -43,7 +44,7 @@ double Rng::NextDouble() {
 }
 
 uint64_t Rng::NextBounded(uint64_t bound) {
-  assert(bound != 0);
+  SRPP_CHECK(bound != 0) << "NextBounded(0) has no valid result";
   // Lemire's nearly-divisionless method.
   uint64_t x = Next();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -60,7 +61,7 @@ uint64_t Rng::NextBounded(uint64_t bound) {
 }
 
 int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  SRPP_CHECK(lo <= hi) << "NextInRange: lo " << lo << " > hi " << hi;
   uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
   return lo + static_cast<int64_t>(NextBounded(span));
 }
@@ -89,7 +90,7 @@ double Rng::NextGaussian() {
 }
 
 double Rng::NextExponential(double lambda) {
-  assert(lambda > 0.0);
+  SRPP_CHECK(lambda > 0.0) << "NextExponential rate must be positive";
   // 1 - NextDouble() is in (0, 1], so the log is finite.
   return -std::log(1.0 - NextDouble()) / lambda;
 }
@@ -101,10 +102,10 @@ double Rng::NextLogNormal(double mu, double sigma) {
 size_t Rng::NextWeighted(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) {
-    assert(w >= 0.0);
+    SRPP_CHECK(w >= 0.0) << "NextWeighted: negative weight " << w;
     total += w;
   }
-  assert(total > 0.0);
+  SRPP_CHECK(total > 0.0) << "NextWeighted: all weights are zero";
   double target = NextDouble() * total;
   double acc = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {

@@ -5,10 +5,11 @@
 #ifndef SIMRANKPP_UTIL_STATUS_H_
 #define SIMRANKPP_UTIL_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "util/logging.h"
 
 namespace simrankpp {
 
@@ -96,22 +97,23 @@ class Result {
 
   /// Implicit from a non-OK Status: allows `return Status::NotFound(...)`.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    SRPP_CHECK(!status_.ok())
+        << "Result constructed from OK status without value";
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    SRPP_CHECK(ok()) << "Result::value() on error: " << status_.message();
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    SRPP_CHECK(ok()) << "Result::value() on error: " << status_.message();
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    SRPP_CHECK(ok()) << "Result::value() on error: " << status_.message();
     return std::move(*value_);
   }
 

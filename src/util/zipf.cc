@@ -1,14 +1,15 @@
 #include "util/zipf.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "util/logging.h"
 
 namespace simrankpp {
 
 ZipfSampler::ZipfSampler(size_t n, double s) : n_(n), s_(s) {
-  assert(n >= 1);
-  assert(s > 0.0);
+  SRPP_CHECK(n >= 1) << "ZipfSampler needs a nonempty domain";
+  SRPP_CHECK(s > 0.0) << "Zipf exponent must be positive, got " << s;
   h_x1_ = H(1.5) - 1.0;
   h_n_ = H(static_cast<double>(n) + 0.5);
   threshold_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
