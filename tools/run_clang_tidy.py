@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for the simrankpp tree (docs/STATIC_ANALYSIS.md).
+
+Runs the repo's .clang-tidy profile over the translation units in a
+build directory's compile_commands.json, in parallel, with a per-file
+result cache so re-runs only pay for what changed.
+
+  tools/run_clang_tidy.py --build-dir build             # whole tree
+  tools/run_clang_tidy.py --build-dir build --changed-only --base-ref origin/main
+  tools/run_clang_tidy.py --build-dir build src/serve/daemon.cc
+
+Cache: each file's verdict is keyed on the clang-tidy version, the
+.clang-tidy profile, the file's exact compile command, and the content
+hash of the file plus every in-repo header it includes (transitively).
+A cache hit with a clean verdict is skipped entirely; findings are
+never cached. CI persists the cache directory keyed on
+compile_commands.json.
+
+Exits 77 (ctest's skip code) when no clang-tidy binary exists — the
+local toolchain may be gcc-only; the CI clang job runs the real gate.
+Exits 1 on findings, 0 when clean.
+"""
+
+import argparse
+import concurrent.futures
+import hashlib
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+SKIP = 77
+
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+
+def find_clang_tidy(explicit):
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        candidates.append(env)
+    candidates.append("clang-tidy")
+    candidates.extend(f"clang-tidy-{major}" for major in range(21, 11, -1))
+    for name in candidates:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def load_compile_db(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        print(f"error: {db_path} not found; configure with cmake first "
+              "(CMAKE_EXPORT_COMPILE_COMMANDS is on by default)",
+              file=sys.stderr)
+        sys.exit(2)
+    with open(db_path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def in_scope(repo_root, path):
+    rel = os.path.relpath(path, repo_root).replace(os.sep, "/")
+    return (not rel.startswith("..")
+            and rel.startswith(("src/", "bench/", "examples/", "tools/"))
+            and rel.endswith(".cc"))
+
+
+def changed_files(repo_root, base_ref):
+    merge_base = subprocess.run(
+        ["git", "merge-base", "HEAD", base_ref],
+        cwd=repo_root, capture_output=True, text=True)
+    ref = merge_base.stdout.strip() if merge_base.returncode == 0 else base_ref
+    diff = subprocess.run(
+        ["git", "diff", "--name-only", ref, "--"],
+        cwd=repo_root, capture_output=True, text=True, check=True)
+    return {line.strip() for line in diff.stdout.splitlines() if line.strip()}
+
+
+def transitive_local_headers(repo_root, path, seen=None):
+    """Repo-relative headers reachable from `path` via "..." includes."""
+    if seen is None:
+        seen = set()
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return seen
+    for inc in _INCLUDE_RE.findall(text):
+        # Quoted includes resolve against src/ (the one include root).
+        candidate = os.path.join(repo_root, "src", inc)
+        if not os.path.exists(candidate):
+            candidate = os.path.join(os.path.dirname(path), inc)
+        candidate = os.path.normpath(candidate)
+        if os.path.exists(candidate) and candidate not in seen:
+            seen.add(candidate)
+            transitive_local_headers(repo_root, candidate, seen)
+    return seen
+
+
+def cache_key(tidy_version, config_text, entry, repo_root):
+    h = hashlib.sha256()
+    h.update(tidy_version.encode())
+    h.update(config_text.encode())
+    h.update(entry.get("command", " ".join(entry.get("arguments", [])))
+             .encode())
+    path = entry["file"]
+    with open(path, "rb") as f:
+        h.update(f.read())
+    for header in sorted(transitive_local_headers(repo_root, path)):
+        h.update(header.encode())
+        with open(header, "rb") as f:
+            h.update(f.read())
+    return h.hexdigest()
+
+
+def run_one(tidy, build_dir, path):
+    result = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", path],
+        capture_output=True, text=True)
+    output = (result.stdout + result.stderr).strip()
+    # clang-tidy exits nonzero on errors (WarningsAsErrors included);
+    # plain warnings leave exit 0 but still print diagnostics.
+    noisy = [line for line in output.splitlines()
+             if "warnings generated" not in line
+             and "Use -header-filter" not in line]
+    return result.returncode, "\n".join(noisy).strip()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--clang-tidy", dest="clang_tidy", default=None)
+    parser.add_argument(
+        "--repo-root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    parser.add_argument(
+        "--changed-only", action="store_true",
+        help="only lint files that differ from --base-ref")
+    parser.add_argument("--base-ref", default="origin/main")
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory for per-file verdict cache (default: "
+             "<build-dir>/clang-tidy-cache)")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 2)
+    parser.add_argument("paths", nargs="*",
+                        help="restrict to these files (repo-relative)")
+    options = parser.parse_args()
+
+    repo_root = os.path.abspath(options.repo_root)
+    build_dir = os.path.abspath(options.build_dir)
+
+    tidy = find_clang_tidy(options.clang_tidy)
+    if tidy is None:
+        print("SKIP: no clang-tidy on this machine; the CI clang job "
+              "runs the gate")
+        return SKIP
+
+    version = subprocess.run([tidy, "--version"], capture_output=True,
+                             text=True).stdout.strip()
+    with open(os.path.join(repo_root, ".clang-tidy"),
+              encoding="utf-8") as f:
+        config_text = f.read()
+
+    entries = [e for e in load_compile_db(build_dir)
+               if in_scope(repo_root, e["file"])]
+
+    if options.paths:
+        wanted = {os.path.normpath(os.path.join(repo_root, p))
+                  for p in options.paths}
+        entries = [e for e in entries
+                   if os.path.normpath(e["file"]) in wanted]
+    elif options.changed_only:
+        changed = changed_files(repo_root, options.base_ref)
+        config_changed = any(
+            c in (".clang-tidy",) or c.startswith("tools/run_clang_tidy")
+            for c in changed)
+        if not config_changed:
+            # A changed header pulls in every TU that includes it; the
+            # cheap, safe approximation is: keep TUs whose own file OR
+            # any transitively included repo header changed.
+            changed_abs = {os.path.normpath(os.path.join(repo_root, c))
+                           for c in changed}
+            kept = []
+            for e in entries:
+                deps = {os.path.normpath(e["file"])}
+                deps |= transitive_local_headers(repo_root, e["file"])
+                if deps & changed_abs:
+                    kept.append(e)
+            entries = kept
+
+    if not entries:
+        print("clang-tidy: nothing to lint")
+        return 0
+
+    cache_dir = options.cache_dir or os.path.join(build_dir,
+                                                  "clang-tidy-cache")
+    os.makedirs(cache_dir, exist_ok=True)
+
+    todo = []
+    skipped = 0
+    keys = {}
+    for e in entries:
+        key = cache_key(version, config_text, e, repo_root)
+        keys[e["file"]] = key
+        if os.path.exists(os.path.join(cache_dir, key)):
+            skipped += 1
+        else:
+            todo.append(e)
+
+    print(f"clang-tidy: {len(todo)} file(s) to lint, "
+          f"{skipped} cached-clean, {options.jobs} jobs")
+
+    failures = []
+    with concurrent.futures.ThreadPoolExecutor(options.jobs) as pool:
+        futures = {pool.submit(run_one, tidy, build_dir, e["file"]): e
+                   for e in todo}
+        for future in concurrent.futures.as_completed(futures):
+            entry = futures[future]
+            code, output = future.result()
+            rel = os.path.relpath(entry["file"], repo_root)
+            if code != 0 or output:
+                failures.append((rel, output))
+                print(f"FAIL {rel}\n{output}\n")
+            else:
+                with open(os.path.join(cache_dir, keys[entry["file"]]),
+                          "w", encoding="utf-8") as f:
+                    f.write("clean\n")
+
+    if failures:
+        print(f"clang-tidy: {len(failures)} file(s) with findings",
+              file=sys.stderr)
+        return 1
+    print("clang-tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
