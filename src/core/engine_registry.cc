@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/dense_engine.h"
+#include "core/linearized_engine.h"
 #include "core/sparse_engine.h"
 #include "util/string_util.h"
 #include "util/thread_annotations.h"
@@ -39,6 +40,12 @@ Registry& GlobalRegistry() {
                      -> Result<std::unique_ptr<SimRankEngine>> {
           return std::unique_ptr<SimRankEngine>(
               std::make_unique<DenseSimRankEngine>(options));
+        });
+    r->factories.emplace(
+        "linearized", [](const SimRankOptions& options)
+                          -> Result<std::unique_ptr<SimRankEngine>> {
+          return std::unique_ptr<SimRankEngine>(
+              std::make_unique<LinearizedSimRankEngine>(options));
         });
     r->factories.emplace(
         "sparse", [](const SimRankOptions& options)

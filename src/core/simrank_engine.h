@@ -1,14 +1,17 @@
 /// @file simrank_engine.h
 /// @brief Abstract interface shared by the SimRank computation engines.
 ///
-/// Two implementations exist:
+/// Three implementations exist:
 ///  - DenseSimRankEngine: exact dense-matrix iteration, O((|Q|+|A|)^2)
 ///    memory; the reference implementation for small graphs and for
 ///    validating the sparse engine.
 ///  - SparseSimRankEngine: threshold-pruned pair maps, scaling to the
 ///    Table-5-sized subgraphs the evaluation uses.
-/// Both implement the same three variants (plain / evidence-based /
-/// weighted, see SimRankVariant) with identical read-side semantics.
+///  - LinearizedSimRankEngine: linear-system reformulation with
+///    single-source rows answerable on demand (also an OnDemandScorer;
+///    plain / evidence variants only — weighted does not linearize).
+/// All implement the SimRankVariant read-side semantics identically for
+/// the variants they support.
 #ifndef SIMRANKPP_CORE_SIMRANK_ENGINE_H_
 #define SIMRANKPP_CORE_SIMRANK_ENGINE_H_
 
@@ -49,6 +52,34 @@ class SimRankEngine {
 
   /// \brief The options the engine was constructed with.
   virtual const SimRankOptions& options() const = 0;
+};
+
+/// \brief Optional engine capability: single-source rows answerable at
+/// query time, without an all-pairs Run.
+///
+/// Engines that can score one node against every other node on demand
+/// (today the linearized engine) additionally implement this interface;
+/// the serving layer discovers it with a dynamic_cast on the
+/// registry-created engine. The contract mirrors the serving layer's
+/// needs: Prepare once (graph analysis, e.g. the linearized engine's
+/// diagonal estimation), then any number of concurrent const ScoredRow
+/// calls — implementations must not mutate shared state after Prepare.
+class OnDemandScorer {
+ public:
+  virtual ~OnDemandScorer() = default;
+
+  /// \brief One-time graph analysis. The graph must outlive every
+  /// subsequent ScoredRow call.
+  virtual Status Prepare(const BipartiteGraph& graph) = 0;
+
+  /// \brief Scores of `node` against every other node of its side
+  /// (queries when ad_side is false), sorted by descending score with
+  /// ties broken by ascending node id. Entries <= min_score are dropped
+  /// and at most max_partners are returned (0 = unlimited). OutOfRange
+  /// for a node outside the graph; FailedPrecondition before Prepare.
+  virtual Result<std::vector<ScoredNode>> ScoredRow(
+      bool ad_side, uint32_t node, double min_score,
+      size_t max_partners) const = 0;
 };
 
 // Engine instantiation is name-based: see core/engine_registry.h for

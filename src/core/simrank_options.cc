@@ -41,6 +41,15 @@ Status SimRankOptions::Validate() const {
     return Status::InvalidArgument(StringPrintf(
         "prune_threshold must be >= 0, got %f", prune_threshold));
   }
+  if (linearized_series_depth == 0) {
+    return Status::InvalidArgument(
+        "linearized_series_depth must be positive, got 0");
+  }
+  if (linearized_diag_tolerance <= 0.0) {
+    return Status::InvalidArgument(StringPrintf(
+        "linearized_diag_tolerance must be > 0, got %f",
+        linearized_diag_tolerance));
+  }
   return Status::OK();
 }
 

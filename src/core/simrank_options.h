@@ -79,6 +79,16 @@ struct SimRankOptions {
   /// pair every iteration.
   bool incremental = true;
 
+  /// Linearized engine: truncation depth T of the power-series
+  /// evaluation. The omitted tail is bounded by
+  /// (C1*C2)^(T+1) / (1 - C1*C2) — at the paper defaults C1 = C2 = 0.8
+  /// the default depth keeps it under ~2e-4 (docs/LINEARIZED_ENGINE.md).
+  size_t linearized_series_depth = 20;
+
+  /// Linearized engine: the diagonal-correction estimation stops once the
+  /// largest violation of the diag(S) = 1 condition falls below this.
+  double linearized_diag_tolerance = 1e-4;
+
   /// Worker threads for the iteration loops (0 = hardware concurrency,
   /// 1 = single-threaded). Engines borrow the process-wide shared pool
   /// (SharedThreadPool) capped at this many participating threads rather

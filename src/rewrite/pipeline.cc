@@ -7,12 +7,13 @@
 namespace simrankpp {
 
 std::vector<AuditedCandidate> AuditRewrites(
-    const NodeLabelFn& label, const SimilarityMatrix& similarities,
+    const NodeLabelFn& label, std::span<const ScoredNode> ranked,
     uint32_t node, const BidDatabase* bids,
     const RewritePipelineOptions& options) {
   std::vector<AuditedCandidate> audited;
-  std::vector<ScoredNode> ranked =
-      similarities.TopK(node, options.max_candidates);
+  if (ranked.size() > options.max_candidates) {
+    ranked = ranked.first(options.max_candidates);
+  }
 
   std::string query_key = QueryStemKey(label(node));
   std::unordered_set<std::string> seen_keys;
@@ -45,6 +46,30 @@ std::vector<AuditedCandidate> AuditRewrites(
     audited.push_back(std::move(entry));
   }
   return audited;
+}
+
+std::vector<AuditedCandidate> AuditRewrites(
+    const NodeLabelFn& label, const SimilarityMatrix& similarities,
+    uint32_t node, const BidDatabase* bids,
+    const RewritePipelineOptions& options) {
+  std::vector<ScoredNode> ranked =
+      similarities.TopK(node, options.max_candidates);
+  return AuditRewrites(label, std::span<const ScoredNode>(ranked), node,
+                       bids, options);
+}
+
+std::vector<RewriteCandidate> SelectRewrites(
+    const NodeLabelFn& label, std::span<const ScoredNode> ranked,
+    uint32_t node, const BidDatabase* bids,
+    const RewritePipelineOptions& options) {
+  std::vector<RewriteCandidate> out;
+  for (AuditedCandidate& entry :
+       AuditRewrites(label, ranked, node, bids, options)) {
+    if (entry.outcome == DropReason::kKept) {
+      out.push_back(std::move(entry.candidate));
+    }
+  }
+  return out;
 }
 
 std::vector<AuditedCandidate> AuditRewrites(

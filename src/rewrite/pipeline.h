@@ -6,6 +6,7 @@
 #define SIMRANKPP_REWRITE_PIPELINE_H_
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/similarity_matrix.h"
@@ -49,10 +50,29 @@ std::vector<RewriteCandidate> SelectRewrites(
     QueryId q, const BidDatabase* bids,
     const RewritePipelineOptions& options);
 
+/// \brief Runs the pipeline for node `node` over an externally ranked
+/// candidate row (descending score, ties by ascending id — the order
+/// SimilarityMatrix::TopK and OnDemandScorer::ScoredRow both produce).
+/// Only the first max_candidates entries are considered, mirroring the
+/// matrix overloads' recording depth. This is the seam the on-demand
+/// serving path uses: rows computed lazily at lookup time go through the
+/// exact same dedup / bid-filter / depth logic as precomputed scores.
+std::vector<RewriteCandidate> SelectRewrites(
+    const NodeLabelFn& label, std::span<const ScoredNode> ranked,
+    uint32_t node, const BidDatabase* bids,
+    const RewritePipelineOptions& options);
+
 /// \brief Same pipeline, but returns every considered candidate together
 /// with its outcome (kept / why dropped) for diagnostics.
 std::vector<AuditedCandidate> AuditRewrites(
     const NodeLabelFn& label, const SimilarityMatrix& similarities,
+    uint32_t node, const BidDatabase* bids,
+    const RewritePipelineOptions& options);
+
+/// \brief Audit over an externally ranked candidate row (see the
+/// ranked-row SelectRewrites overload for the expected order).
+std::vector<AuditedCandidate> AuditRewrites(
+    const NodeLabelFn& label, std::span<const ScoredNode> ranked,
     uint32_t node, const BidDatabase* bids,
     const RewritePipelineOptions& options);
 

@@ -21,11 +21,13 @@
 #include <string_view>
 #include <vector>
 
+#include "core/simrank_engine.h"
 #include "core/simrank_options.h"
 #include "core/snapshot.h"
 #include "graph/bipartite_graph.h"
 #include "rewrite/bid_database.h"
 #include "rewrite/rewriter.h"
+#include "rewrite/row_cache.h"
 #include "util/status.h"
 
 namespace simrankpp {
@@ -50,6 +52,17 @@ struct RewriteServiceStats {
   SimRankStats engine_stats;
   /// Queries answered so far via TopK/TopKBatch (monotonic).
   uint64_t queries_served = 0;
+  /// True when the service computes rows lazily for queries absent from
+  /// the precomputed matrix (WithOnDemandEngine).
+  bool on_demand = false;
+  /// Cold rows computed through the on-demand engine so far (monotonic;
+  /// each one is a full single-source power-series evaluation).
+  uint64_t rows_computed = 0;
+  /// Row-cache counters (on-demand mode only; all zero otherwise).
+  uint64_t row_cache_hits = 0;
+  uint64_t row_cache_misses = 0;
+  uint64_t row_cache_evictions = 0;
+  size_t row_cache_entries = 0;
 
   std::string ToString() const;
 };
@@ -98,6 +111,20 @@ class RewriteService {
   /// \brief Which node set this service rewrites over.
   SnapshotSide side() const { return rewriter_.side(); }
 
+  /// \brief True when this service computes rows lazily at lookup time.
+  bool on_demand() const { return scorer_ != nullptr; }
+
+  /// \brief True when answering for this node would compute a cold row
+  /// right now: on-demand mode, node in range, no precomputed partners,
+  /// and the row not resident in the cache. Admission control uses this
+  /// to bill cold queries as heavier work; it never touches the cache's
+  /// LRU order or hit/miss counters.
+  bool RowIsCold(QueryId query) const;
+
+  /// \brief RowIsCold for a text-addressed query; false when the text is
+  /// not in the graph (the lookup itself will fail cheaply).
+  bool RowIsCold(std::string_view query_text) const;
+
   /// \brief The inner rewriter (fixed pipeline depth, direct access to
   /// the similarity matrix).
   const QueryRewriter& rewriter() const { return rewriter_; }
@@ -110,9 +137,31 @@ class RewriteService {
   RewriteService(const BipartiteGraph* graph, QueryRewriter rewriter,
                  RewriteServiceStats base_stats);
 
+  /// \brief One TopK evaluation without the served counter (shared by
+  /// TopK and TopKBatch). Falls back to an on-demand row when the
+  /// precomputed matrix has no partners for the node.
+  std::vector<RewriteCandidate> TopKInner(QueryId query, size_t k) const;
+
+  /// \brief The ranked row for `node`, from the cache or computed fresh
+  /// through the scorer (and then cached). Cached rows are ranked to the
+  /// pipeline's max_candidates depth; a request deeper than that
+  /// computes an uncached row of the exact depth instead, so results
+  /// match what a precomputed matrix would have returned.
+  std::vector<ScoredNode> OnDemandRow(uint32_t node, size_t k) const;
+
   const BipartiteGraph* graph_;
   QueryRewriter rewriter_;
   RewriteServiceStats base_stats_;
+  /// On-demand mode only (all null/unset otherwise): the engine that
+  /// computes cold rows, the capability interface discovered on it, and
+  /// the bounded row cache. The scorer's ScoredRow is const and
+  /// thread-safe after Prepare, and RowCache locks internally, so the
+  /// lazy path preserves const-concurrent serving.
+  std::unique_ptr<SimRankEngine> engine_;
+  const OnDemandScorer* scorer_ = nullptr;
+  std::unique_ptr<RowCache> row_cache_;
+  double row_min_score_ = 0.0;
+  mutable std::atomic<uint64_t> rows_computed_{0};
   /// Pure statistics counter bumped from concurrent TopK calls; relaxed
   /// ordering is deliberate (no data is published through it, so there
   /// is nothing for acquire/release to order). Everything else in the
@@ -133,6 +182,13 @@ class RewriteService {
 ///    (e.g. the Pearson baseline).
 /// The graph must be set and must outlive the service, as must the bid
 /// database when one is provided.
+///
+/// WithOnDemandEngine is a serving *mode*, not a source: it may be
+/// combined with a snapshot or matrix source (hybrid — precomputed rows
+/// serve as before, missing rows are computed lazily) or stand alone
+/// (pure on-demand — every row is computed at lookup time; the zero-
+/// source rule is relaxed for this case). Combining it with WithEngine
+/// is an error, since the engine source already materializes every row.
 class RewriteServiceBuilder {
  public:
   RewriteServiceBuilder& WithGraph(const BipartiteGraph* graph);
@@ -151,9 +207,21 @@ class RewriteServiceBuilder {
   /// \param bids may be null (disables the bid filter).
   RewriteServiceBuilder& WithBidDatabase(const BidDatabase* bids);
   RewriteServiceBuilder& WithPipelineOptions(RewritePipelineOptions options);
-  /// \brief Engine scores below this are not materialized (engine source
-  /// only; default 1e-6).
+  /// \brief Engine scores below this are not materialized (engine and
+  /// on-demand paths; default 1e-6).
   RewriteServiceBuilder& WithMinScore(double min_score);
+
+  /// \brief Enables lazy scoring: TopK/TopKBatch fall back to rows
+  /// computed by this engine for queries absent from the precomputed
+  /// matrix. The engine must implement OnDemandScorer ("linearized"
+  /// today); its Prepare runs at Build() time. See the class comment for
+  /// how this composes with the score sources.
+  RewriteServiceBuilder& WithOnDemandEngine(std::string engine_name,
+                                            SimRankOptions options);
+
+  /// \brief Bounds the on-demand row cache (total rows across shards;
+  /// default 1024). No effect outside on-demand mode.
+  RewriteServiceBuilder& WithRowCacheCapacity(size_t capacity);
 
   /// \brief Validates the configuration, runs the engine or loads the
   /// snapshot as configured, and produces the immutable service.
@@ -172,6 +240,9 @@ class RewriteServiceBuilder {
   const BidDatabase* bids_ = nullptr;
   RewritePipelineOptions pipeline_;
   double min_score_ = 1e-6;
+  std::optional<std::string> on_demand_engine_;
+  SimRankOptions on_demand_options_;
+  size_t row_cache_capacity_ = 1024;
 };
 
 }  // namespace simrankpp

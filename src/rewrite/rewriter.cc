@@ -67,4 +67,15 @@ std::vector<RewriteCandidate> QueryRewriter::TopK(QueryId q, size_t k) const {
       similarities_, q, bids_, options);
 }
 
+std::vector<RewriteCandidate> QueryRewriter::TopKFromRow(
+    QueryId q, std::span<const ScoredNode> row, size_t k) const {
+  if (q >= num_nodes() || k == 0) return {};
+  RewritePipelineOptions options = options_;
+  options.max_rewrites = k;
+  options.max_candidates = std::max(options.max_candidates, k);
+  return SelectRewrites(
+      [this](uint32_t n) -> const std::string& { return Label(n); }, row, q,
+      bids_, options);
+}
+
 }  // namespace simrankpp

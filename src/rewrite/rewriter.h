@@ -7,6 +7,7 @@
 #define SIMRANKPP_REWRITE_REWRITER_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -53,6 +54,15 @@ class QueryRewriter {
   /// list for a node id outside the graph. Thread-safe: the pipeline
   /// reads only finalized, immutable state.
   std::vector<RewriteCandidate> TopK(QueryId q, size_t k) const;
+
+  /// \brief Like TopK, but selects from an externally ranked candidate
+  /// row (descending score, ties by ascending id) instead of this
+  /// rewriter's similarity matrix — the seam the on-demand serving path
+  /// uses for rows computed lazily at lookup time. The full pipeline
+  /// (dedup, bid filter, score floor) applies unchanged.
+  std::vector<RewriteCandidate> TopKFromRow(QueryId q,
+                                            std::span<const ScoredNode> row,
+                                            size_t k) const;
 
   const std::string& method_name() const { return method_name_; }
   const SimilarityMatrix& similarities() const { return similarities_; }

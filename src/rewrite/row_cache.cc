@@ -1,0 +1,65 @@
+#include "rewrite/row_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace simrankpp {
+
+RowCache::RowCache(size_t capacity, size_t num_shards)
+    : per_shard_capacity_(
+          std::max<size_t>(1, capacity / std::max<size_t>(1, num_shards))),
+      shards_(std::max<size_t>(1, num_shards)) {}
+
+bool RowCache::Lookup(uint32_t node, std::vector<ScoredNode>* row) {
+  Shard& shard = ShardFor(node);
+  MutexLock lock(&shard.mu);
+  auto it = shard.index.find(node);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *row = it->second->row;
+  return true;
+}
+
+void RowCache::Insert(uint32_t node, std::vector<ScoredNode> row) {
+  Shard& shard = ShardFor(node);
+  MutexLock lock(&shard.mu);
+  auto it = shard.index.find(node);
+  if (it != shard.index.end()) {
+    // Concurrent computations of the same cold row can race to insert;
+    // refresh in place so the loser does not double-count an entry.
+    it->second->row = std::move(row);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{node, std::move(row)});
+  shard.index.emplace(node, shard.lru.begin());
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().node);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+bool RowCache::Contains(uint32_t node) const {
+  const Shard& shard = ShardFor(node);
+  MutexLock lock(&shard.mu);
+  return shard.index.count(node) > 0;
+}
+
+RowCache::Stats RowCache::GetStats() const {
+  Stats stats;
+  for (const Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.index.size();
+  }
+  return stats;
+}
+
+}  // namespace simrankpp

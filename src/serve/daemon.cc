@@ -156,6 +156,9 @@ class ServeDaemon::Impl {
     std::string query;
     uint16_t k = 0;
     double enqueue_seconds = 0.0;
+    // Queue-cost units this request was billed at admission (1 for warm
+    // rows, options.cold_row_cost for cold on-demand rows).
+    size_t cost = 1;
   };
 
   // Per-tenant admission + batching + stats state. The bucket is event-
@@ -172,8 +175,12 @@ class ServeDaemon::Impl {
 
     Mutex mu;
     std::vector<PendingRequest> pending SRPP_GUARDED_BY(mu);
+    // Sum of pending[i].cost; the overload bound compares this, not the
+    // queue length, so cold on-demand work fills the queue faster.
+    size_t pending_cost SRPP_GUARDED_BY(mu) = 0;
     bool batch_in_flight SRPP_GUARDED_BY(mu) = false;
     uint64_t admitted SRPP_GUARDED_BY(mu) = 0;
+    uint64_t cold_admitted SRPP_GUARDED_BY(mu) = 0;
     uint64_t shed SRPP_GUARDED_BY(mu) = 0;
     uint64_t rate_limited SRPP_GUARDED_BY(mu) = 0;
     uint64_t served SRPP_GUARDED_BY(mu) = 0;
@@ -603,10 +610,22 @@ void ServeDaemon::Impl::AdmitTopK(Connection* conn, uint32_t request_id,
   }
   // Existence check against the registry's lock-free read path; the
   // batch worker re-pins its own generation when it runs.
-  if (registry_->Lookup(request.tenant) == nullptr) {
+  std::shared_ptr<const Tenant> tenant = registry_->Lookup(request.tenant);
+  if (tenant == nullptr) {
     SendError(conn, request_id, WireCode::kUnknownTenant,
               "unknown tenant \"" + request.tenant + "\"");
     return;
+  }
+  // Admission cost: a query whose on-demand row must be computed is much
+  // heavier than a precomputed/cached lookup, so it is billed more queue
+  // units. The peek is advisory — the cache can change before the batch
+  // runs — which only mis-prices a request, never mis-routes it.
+  size_t cost = 1;
+  bool cold = false;
+  if (tenant->service->on_demand() &&
+      tenant->service->RowIsCold(std::string_view(request.query))) {
+    cold = true;
+    cost = std::max<size_t>(1, options_.cold_row_cost);
   }
   TenantState* state = GetOrCreateState(request.tenant);
   if (!state->bucket.TryAcquire(NowSeconds())) {
@@ -622,7 +641,13 @@ void ServeDaemon::Impl::AdmitTopK(Connection* conn, uint32_t request_id,
   bool submit = false;
   {
     MutexLock lock(&state->mu);
-    if (state->pending.size() >= options_.max_queue_per_tenant) {
+    // Shed on either bound: queue length, or queue cost (cold on-demand
+    // rows are billed heavier). A nonempty-queue guard keeps a single
+    // expensive request admissible into an idle tenant even when its
+    // cost alone exceeds the bound.
+    if (state->pending.size() >= options_.max_queue_per_tenant ||
+        (!state->pending.empty() &&
+         state->pending_cost + cost > options_.max_queue_per_tenant)) {
       ++state->shed;
       requests_shed_.fetch_add(1);
       SendError(conn, request_id, WireCode::kOverloaded,
@@ -636,9 +661,12 @@ void ServeDaemon::Impl::AdmitTopK(Connection* conn, uint32_t request_id,
     pending.query = std::move(request.query);
     pending.k = request.k;
     pending.enqueue_seconds = NowSeconds();
+    pending.cost = cost;
     state->pending.push_back(std::move(pending));
+    state->pending_cost += cost;
     state->queue_depth.Add(static_cast<double>(state->pending.size()));
     ++state->admitted;
+    if (cold) ++state->cold_admitted;
     if (!state->batch_in_flight) {
       state->batch_in_flight = true;
       submit = true;
@@ -784,16 +812,28 @@ std::string ServeDaemon::Impl::StatsText() {
     text += tenant_stats.ToString();
     text += '\n';
     TenantState* state = GetOrCreateState(tenant_stats.tenant);
+    // The bucket is event-loop-private state; StatsText runs on the I/O
+    // thread (kStatsRequest is handled inline), so reading it here honors
+    // the single-owner contract.
+    double bucket_fill = state->bucket.unlimited()
+                             ? -1.0
+                             : state->bucket.AvailableAt(NowSeconds());
     MutexLock lock(&state->mu);
     text += StringPrintf(
-        "  admission: admitted=%llu shed=%llu rate_limited=%llu "
-        "served=%llu batches=%llu max_batch=%llu\n",
+        "  admission: admitted=%llu cold_admitted=%llu shed=%llu "
+        "rate_limited=%llu served=%llu batches=%llu max_batch=%llu\n",
         static_cast<unsigned long long>(state->admitted),
+        static_cast<unsigned long long>(state->cold_admitted),
         static_cast<unsigned long long>(state->shed),
         static_cast<unsigned long long>(state->rate_limited),
         static_cast<unsigned long long>(state->served),
         static_cast<unsigned long long>(state->batches),
         static_cast<unsigned long long>(state->max_batch));
+    // Instantaneous admission snapshot: current queue depth and billed
+    // cost, plus token-bucket fill (-1 = unlimited, no bucket in play).
+    text += StringPrintf("  queue: depth=%zu cost=%zu bucket_fill=%.2f\n",
+                         state->pending.size(), state->pending_cost,
+                         bucket_fill);
     const Histogram& lat = state->latency_log10_us;
     text += StringPrintf(
         "  latency_us: count=%llu mean=%.1f min=%.1f max=%.1f "
@@ -836,6 +876,7 @@ void ServeDaemon::Impl::RunBatch(std::string tenant_name,
   {
     MutexLock lock(&state->mu);
     batch.swap(state->pending);
+    state->pending_cost = 0;
     if (batch.empty()) {
       state->batch_in_flight = false;
     }

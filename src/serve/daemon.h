@@ -51,8 +51,16 @@ struct DaemonOptions {
   /// Connections beyond this are accepted and immediately closed.
   size_t max_connections = 256;
   /// Pending-queue bound per tenant; requests beyond it are shed with
-  /// kOverloaded.
+  /// kOverloaded. The bound applies to queue *cost*, not just length:
+  /// cold on-demand rows are billed at cold_row_cost units each, so a
+  /// burst of cold queries fills the queue cold_row_cost times faster
+  /// than warm traffic. (A single request is always admitted into an
+  /// empty queue, whatever its cost.)
   size_t max_queue_per_tenant = 512;
+  /// Queue-cost units billed for a query whose on-demand row must be
+  /// computed (no precomputed partners, not in the row cache). Warm
+  /// requests cost 1. Only meaningful for on-demand tenants.
+  size_t cold_row_cost = 8;
   /// Token-bucket refill per tenant in requests/second; 0 = unlimited.
   double tenant_qps = 0.0;
   /// Token-bucket capacity (burst size).

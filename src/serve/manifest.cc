@@ -100,10 +100,30 @@ Status FinishEntry(ManifestEntry* entry, bool bid_filter_set,
                                       "\" is missing the required "
                                       "\"graph\" key");
   }
-  if (entry->snapshot_path.empty()) {
-    return LineError(line_number, "tenant \"" + entry->tenant +
-                                      "\" is missing the required "
-                                      "\"snapshot\" key");
+  if (entry->snapshot_path.empty() && !entry->on_demand) {
+    return LineError(line_number,
+                     "tenant \"" + entry->tenant +
+                         "\" is missing the required \"snapshot\" key "
+                         "(only \"scoring on-demand\" tenants may omit it)");
+  }
+  if (!entry->on_demand && !entry->engine.empty()) {
+    return LineError(line_number,
+                     "tenant \"" + entry->tenant +
+                         "\" sets \"engine\" but scoring is precomputed; "
+                         "\"engine\" only applies with "
+                         "\"scoring on-demand\"");
+  }
+  if (entry->expected_checksum.has_value() &&
+      entry->snapshot_path.empty()) {
+    return LineError(line_number,
+                     "tenant \"" + entry->tenant +
+                         "\" pins a \"checksum\" but has no \"snapshot\" "
+                         "to check it against");
+  }
+  // The default on-demand engine is the one engine that answers
+  // single-source rows today.
+  if (entry->on_demand && entry->engine.empty()) {
+    entry->engine = "linearized";
   }
   // Unless the manifest says otherwise, the bid filter follows whether a
   // bid file was given — a filter with no bid list would drop everything.
@@ -204,6 +224,22 @@ Result<ServingManifest> ParseManifest(const std::string& content,
                                       "\"ad-ad\", got \"" +
                                           kv.value + "\"");
       }
+    } else if (kv.key == "scoring") {
+      if (kv.value == "precomputed") {
+        current->on_demand = false;
+      } else if (kv.value == "on-demand") {
+        current->on_demand = true;
+      } else {
+        return LineError(line_number,
+                         "\"scoring\" must be \"precomputed\" or "
+                         "\"on-demand\", got \"" +
+                             kv.value + "\"");
+      }
+    } else if (kv.key == "engine") {
+      if (kv.value.empty()) {
+        return LineError(line_number, "\"engine\" needs a registry name");
+      }
+      current->engine = kv.value;
     } else if (kv.key == "checksum") {
       uint64_t checksum = 0;
       if (!ParseHex64(kv.value, &checksum)) {
@@ -275,7 +311,17 @@ std::string ManifestToString(const ServingManifest& manifest) {
   for (const ManifestEntry& entry : manifest.entries) {
     out += "\ntenant " + entry.tenant + "\n";
     out += "  graph " + entry.graph_path + "\n";
-    out += "  snapshot " + entry.snapshot_path + "\n";
+    if (!entry.snapshot_path.empty()) {
+      out += "  snapshot " + entry.snapshot_path + "\n";
+    }
+    if (entry.on_demand) {
+      out += "  scoring on-demand\n";
+      // "linearized" is the parse-time default; only a deviation needs
+      // stating for the round trip.
+      if (entry.engine != "linearized") {
+        out += "  engine " + entry.engine + "\n";
+      }
+    }
     if (!entry.bid_path.empty()) out += "  bids " + entry.bid_path + "\n";
     if (entry.expected_side.has_value()) {
       out += StringPrintf("  side %s\n",

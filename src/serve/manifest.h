@@ -32,8 +32,16 @@ struct ManifestEntry {
   std::string tenant;
   /// Click-graph TSV the scores refer to (required).
   std::string graph_path;
-  /// Similarity snapshot file (required).
+  /// Similarity snapshot file. Required for precomputed scoring; for
+  /// on-demand scoring it is an optional warm start (precomputed rows
+  /// serve directly, missing rows are computed lazily).
   std::string snapshot_path;
+  /// "scoring on-demand": rows are computed at query time through an
+  /// OnDemandScorer engine instead of (only) a precomputed snapshot.
+  bool on_demand = false;
+  /// Registry name of the on-demand engine ("engine" key; defaults to
+  /// "linearized"). Empty — and meaningless — for precomputed scoring.
+  std::string engine;
   /// Bid-list file, one term per line; empty = no bid database.
   std::string bid_path;
   /// When set, the snapshot's side tag must match (a wrong-direction

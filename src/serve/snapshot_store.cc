@@ -77,9 +77,15 @@ Result<std::shared_ptr<const Tenant>> SnapshotStore::BuildTenant(
 
   RewriteServiceBuilder builder;
   builder.WithGraph(&assets->graph)
-      .WithSnapshot(entry.snapshot_path)
       .WithBidDatabase(assets->bids.has_value() ? &*assets->bids : nullptr)
       .WithPipelineOptions(entry.pipeline);
+  // On-demand tenants may omit the snapshot entirely (pure lazy scoring)
+  // or pair one with the engine (precomputed rows serve directly, missing
+  // rows are computed at query time).
+  if (!entry.snapshot_path.empty()) builder.WithSnapshot(entry.snapshot_path);
+  if (entry.on_demand) {
+    builder.WithOnDemandEngine(entry.engine, SimRankOptions{});
+  }
   if (entry.expected_side.has_value()) builder.WithSide(*entry.expected_side);
   SRPP_ASSIGN_OR_RETURN(std::unique_ptr<RewriteService> service,
                         builder.Build());

@@ -19,6 +19,16 @@ std::string TenantServeStats::ToString() const {
       similarity_pairs, static_cast<unsigned long long>(queries_served),
       static_cast<unsigned long long>(snapshot_checksum),
       last_reload_ok ? "ok" : "FAILED");
+  if (on_demand) {
+    out += StringPrintf(
+        " on_demand=1 rows_computed=%llu cache_hits=%llu cache_misses=%llu"
+        " cache_evictions=%llu cache_entries=%zu",
+        static_cast<unsigned long long>(rows_computed),
+        static_cast<unsigned long long>(row_cache_hits),
+        static_cast<unsigned long long>(row_cache_misses),
+        static_cast<unsigned long long>(row_cache_evictions),
+        row_cache_entries);
+  }
   if (!last_reload_ok) {
     out += " last_error=\"" + last_reload_message + "\"";
   }
@@ -76,6 +86,12 @@ std::vector<TenantServeStats> TenantRegistry::Stats() const {
       stats.queries_served =
           slot->retired_served.load(std::memory_order_relaxed) +
           service_stats.queries_served;
+      stats.on_demand = service_stats.on_demand;
+      stats.rows_computed = service_stats.rows_computed;
+      stats.row_cache_hits = service_stats.row_cache_hits;
+      stats.row_cache_misses = service_stats.row_cache_misses;
+      stats.row_cache_evictions = service_stats.row_cache_evictions;
+      stats.row_cache_entries = service_stats.row_cache_entries;
     }
     std::shared_ptr<const ReloadEvent> event =
         slot->last_reload.load(std::memory_order_acquire);

@@ -71,6 +71,17 @@ struct TenantServeStats {
   /// reader served mid-swap is ever lost (a generation still pinned by a
   /// long batch is counted when that batch's reference drops).
   uint64_t queries_served = 0;
+  /// On-demand scoring surface (see RewriteServiceStats): whether the
+  /// tenant computes rows lazily, how many cold rows it has computed,
+  /// and the row-cache counters. All zero for precomputed tenants.
+  /// Per-generation, not folded like queries_served — a reload resets
+  /// them along with the cache itself.
+  bool on_demand = false;
+  uint64_t rows_computed = 0;
+  uint64_t row_cache_hits = 0;
+  uint64_t row_cache_misses = 0;
+  uint64_t row_cache_evictions = 0;
+  size_t row_cache_entries = 0;
   bool last_reload_ok = true;
   /// Failure Status text of the last (re)load attempt; empty when ok.
   std::string last_reload_message;

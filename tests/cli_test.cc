@@ -212,6 +212,25 @@ TEST_F(CliServeMultiTest, ManifestInfoValidatesBothTenants) {
   EXPECT_EQ(RunCliWith({"manifest-info", manifest_}), 0);
 }
 
+TEST_F(CliServeMultiTest, OnDemandTenantValidatesAndServes) {
+  // A snapshotless "scoring on-demand" tenant has nothing on disk to
+  // validate — manifest-info must report it ok, and serve-multi must
+  // answer its queries through the lazy engine path.
+  std::ofstream(manifest_, std::ios::app)
+      << "tenant lazy\n  graph " << *graph_path_
+      << "\n  scoring on-demand\n";
+  EXPECT_EQ(RunCliWith({"manifest-info", manifest_}), 0);
+
+  Result<BipartiteGraph> graph = LoadGraph(*graph_path_);
+  ASSERT_TRUE(graph.ok());
+  std::ofstream(queries_, std::ios::trunc)
+      << "lazy\t" << graph->query_label(0) << "\n";
+  ASSERT_EQ(RunCliWith({"serve-multi", "--manifest", manifest_, "--queries",
+                        queries_, "--top", "3", "--out", out_}),
+            0);
+  EXPECT_NE(ReadOut().find("lazy\t"), std::string::npos);
+}
+
 TEST_F(CliServeMultiTest, ServesBatchAndHotSwapChangesOneTenantOnly) {
   ASSERT_EQ(RunCliWith({"serve-multi", "--manifest", manifest_, "--queries",
                         queries_, "--top", "3", "--out", out_}),

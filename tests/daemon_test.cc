@@ -289,6 +289,60 @@ TEST(ServeDaemonTest, PingAndStats) {
   EXPECT_NE(stats->text.find("beta"), std::string::npos);
   EXPECT_NE(stats->text.find("latency_us"), std::string::npos);
   EXPECT_NE(stats->text.find("queue_depth"), std::string::npos);
+  // Instantaneous queue state and cold-admission counters are always
+  // present, precomputed tenants included.
+  EXPECT_NE(stats->text.find("cold_admitted="), std::string::npos);
+  EXPECT_NE(stats->text.find("queue: depth="), std::string::npos);
+  EXPECT_NE(stats->text.find("bucket_fill="), std::string::npos);
+}
+
+TEST(ServeDaemonTest, OnDemandTenantAnswersColdQueriesOverTcp) {
+  // A tenant with no snapshot at all: every row is computed on first
+  // touch by the linearized engine behind the daemon.
+  std::string manifest = TempPath("daemon_on_demand_manifest.txt");
+  WriteAllBytes(manifest, "manifest-version 1\ntenant lazy\n  graph " +
+                              World().graph_a_path + "\n  scoring on-demand\n");
+  DaemonOptions options;
+  options.manifest_path = manifest;
+  options.enable_watcher = false;
+  auto daemon = StartDaemon(options);
+  Client client = ConnectTo(*daemon);
+  const std::string query = World().graph_a.query_label(3);
+
+  // Cold query: admitted at cold_row_cost, computed, answered.
+  Result<Reply> cold = client.TopK("lazy", query, 5, 21);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(cold->code, WireCode::kOk);
+  ASSERT_FALSE(cold->items.empty());
+
+  // The in-process service view (now a cache hit) is bit-identical to
+  // what went over the wire.
+  EXPECT_EQ(cold->items, ExpectedItems(*daemon, "lazy", query, 5));
+
+  // Repeat over TCP: served from the row cache, admitted warm.
+  Result<Reply> warm = client.TopK("lazy", query, 5, 22);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->items, cold->items);
+
+  ASSERT_TRUE(client.SendStats(23).ok());
+  Result<Reply> stats = client.ReadReply();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->text.find("on_demand=1"), std::string::npos)
+      << stats->text;
+  EXPECT_NE(stats->text.find("rows_computed=1"), std::string::npos)
+      << stats->text;
+  // Two cache hits: the ExpectedItems call and the warm wire request.
+  EXPECT_NE(stats->text.find("cache_hits=2"), std::string::npos)
+      << stats->text;
+  EXPECT_NE(stats->text.find("cache_misses=1"), std::string::npos)
+      << stats->text;
+  // Only the first wire request found the row absent at admission time.
+  EXPECT_NE(stats->text.find("cold_admitted=1"), std::string::npos)
+      << stats->text;
+  // Default options leave the token bucket unlimited.
+  EXPECT_NE(stats->text.find("bucket_fill=-1.00"), std::string::npos)
+      << stats->text;
+  std::remove(manifest.c_str());
 }
 
 // --------------------------------------------------- admission control

@@ -279,6 +279,106 @@ TEST(ManifestTest, CanonicalFormRoundTrips) {
   std::remove(path.c_str());
 }
 
+TEST(ManifestTest, OnDemandScoringKeysParse) {
+  const std::string text =
+      "manifest-version 1\n"
+      "tenant lazy\n"
+      "  graph g.tsv\n"
+      "  scoring on-demand\n"
+      "tenant lazy-warm\n"
+      "  graph g.tsv\n"
+      "  scoring on-demand\n"
+      "  engine dense\n"
+      "  snapshot warm.snap\n"
+      "tenant eager\n"
+      "  graph g.tsv\n"
+      "  snapshot s.snap\n"
+      "  scoring precomputed\n";
+  Result<ServingManifest> manifest = ParseManifest(text, "/base");
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  ASSERT_EQ(manifest->entries.size(), 3u);
+
+  // No snapshot needed: every row comes from the engine.
+  const ManifestEntry& lazy = manifest->entries[0];
+  EXPECT_TRUE(lazy.on_demand);
+  EXPECT_EQ(lazy.engine, "linearized");  // the default
+  EXPECT_TRUE(lazy.snapshot_path.empty());
+
+  // A snapshot may still warm-start an on-demand tenant, and the engine
+  // name is an open registry string at parse time.
+  const ManifestEntry& warm = manifest->entries[1];
+  EXPECT_TRUE(warm.on_demand);
+  EXPECT_EQ(warm.engine, "dense");
+  EXPECT_EQ(warm.snapshot_path, "/base/warm.snap");
+
+  const ManifestEntry& eager = manifest->entries[2];
+  EXPECT_FALSE(eager.on_demand);
+  EXPECT_TRUE(eager.engine.empty());
+}
+
+TEST(ManifestTest, OnDemandKeyErrorsAreRejected) {
+  const struct {
+    const char* name;
+    const char* text;
+    const char* message_fragment;
+  } kCases[] = {
+      {"engine with precomputed scoring",
+       "manifest-version 1\ntenant t\n graph g\n snapshot s\n "
+       "engine linearized\n",
+       "scoring is precomputed"},
+      {"checksum without snapshot",
+       "manifest-version 1\ntenant t\n graph g\n scoring on-demand\n "
+       "checksum 00ff\n",
+       "checksum"},
+      {"bad scoring value",
+       "manifest-version 1\ntenant t\n graph g\n snapshot s\n "
+       "scoring sometimes\n",
+       "scoring"},
+      {"missing snapshot names the escape hatch",
+       "manifest-version 1\ntenant t\n graph g\n",
+       "scoring on-demand"},
+  };
+  for (const auto& test_case : kCases) {
+    Result<ServingManifest> manifest = ParseManifest(test_case.text, "");
+    ASSERT_FALSE(manifest.ok()) << test_case.name;
+    EXPECT_EQ(manifest.status().code(), StatusCode::kInvalidArgument)
+        << test_case.name;
+    EXPECT_NE(manifest.status().message().find(test_case.message_fragment),
+              std::string::npos)
+        << test_case.name << ": " << manifest.status().message();
+  }
+}
+
+TEST(ManifestTest, OnDemandCanonicalFormRoundTrips) {
+  ServingManifest manifest;
+  ManifestEntry entry;
+  entry.tenant = "lazy";
+  entry.graph_path = "g.tsv";
+  entry.on_demand = true;
+  entry.engine = "linearized";
+  manifest.entries.push_back(entry);
+  ManifestEntry warm;
+  warm.tenant = "lazy-warm";
+  warm.graph_path = "g.tsv";
+  warm.snapshot_path = "warm.snap";
+  warm.on_demand = true;
+  warm.engine = "dense";
+  manifest.entries.push_back(warm);
+
+  std::string canonical = ManifestToString(manifest);
+  // The default engine is implied, never emitted; the snapshot line is
+  // omitted entirely when there is nothing to load.
+  EXPECT_EQ(canonical.find("engine linearized"), std::string::npos);
+  EXPECT_NE(canonical.find("scoring on-demand"), std::string::npos);
+  EXPECT_NE(canonical.find("engine dense"), std::string::npos);
+
+  Result<ServingManifest> reparsed = ParseManifest(canonical, "");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed->entries.size(), 2u);
+  EXPECT_EQ(reparsed->entries[0], entry);
+  EXPECT_EQ(reparsed->entries[1], warm);
+}
+
 TEST(ManifestTest, MissingFileIsIOError) {
   Result<ServingManifest> manifest =
       LoadManifest(TempPath("no_such_manifest.txt"));
@@ -467,6 +567,37 @@ TEST(SnapshotStoreTest, LoadAllServesQueryAndAdTenants) {
   // ad tenant's text lookup resolves ad labels, not query labels.
   auto by_text = ads->service->TopK(world.graph.ad_label(0), 5);
   EXPECT_TRUE(by_text.ok());
+}
+
+TEST(SnapshotStoreTest, OnDemandTenantServesWithoutASnapshot) {
+  ServingWorld world("store_on_demand");
+  world.WriteManifest("tenant lazy\n  graph " + world.graph_path +
+                      "\n  scoring on-demand\n");
+
+  TenantRegistry registry;
+  SnapshotStore store(world.manifest_path, &registry);
+  ASSERT_TRUE(store.LoadAll().ok());
+  std::shared_ptr<const Tenant> lazy = registry.Lookup("lazy");
+  ASSERT_NE(lazy, nullptr);
+  EXPECT_TRUE(lazy->service->on_demand());
+  EXPECT_EQ(lazy->service->Stats().source, "on-demand");
+  EXPECT_EQ(lazy->service->Stats().engine_name, "linearized");
+
+  // Every query row is cold; lookups still answer, by computing.
+  auto first = lazy->service->TopK(world.graph.query_label(0), 5);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto again = lazy->service->TopK(world.graph.query_label(0), 5);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*first, *again);
+
+  std::vector<TenantServeStats> stats = registry.Stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats[0].on_demand);
+  EXPECT_EQ(stats[0].rows_computed, 1u);
+  EXPECT_EQ(stats[0].row_cache_misses, 1u);
+  EXPECT_EQ(stats[0].row_cache_hits, 1u);
+  EXPECT_NE(stats[0].ToString().find("on_demand=1"), std::string::npos)
+      << stats[0].ToString();
 }
 
 TEST(SnapshotStoreTest, LoadAllReportsPerTenantFailuresAndServesTheRest) {

@@ -463,6 +463,215 @@ TEST(EngineRegistryIntegrationTest, StubEnginePlugsInWithoutCoreEdits) {
   EXPECT_EQ(rewrites->size(), 3u);
 }
 
+// ------------------------------------------------- on-demand serving
+
+SimRankOptions OnDemandEngineOptions() {
+  // The linearized engine serves plain/evidence variants only; keep the
+  // precomputed reference on the same engine + options so lazily
+  // computed rows must be bit-identical to materialized ones.
+  SimRankOptions options;
+  options.variant = SimRankVariant::kSimRank;
+  options.prune_threshold = 1e-6;
+  options.num_threads = 1;
+  return options;
+}
+
+// The precomputed engine stores the upper triangle only, so s(u, v) for
+// u > v is served from row v's accumulation order while the lazy path
+// recomputes it from row u's — identical mathematically, but the
+// floating-point sums can differ in the last bits. Candidate identity
+// and rank must agree exactly; scores only up to that rounding.
+void ExpectEquivalentRewrites(const std::vector<RewriteCandidate>& lazy,
+                              const std::vector<RewriteCandidate>& reference) {
+  ASSERT_EQ(lazy.size(), reference.size());
+  for (size_t i = 0; i < lazy.size(); ++i) {
+    EXPECT_EQ(lazy[i].query, reference[i].query) << "rank " << i;
+    EXPECT_EQ(lazy[i].text, reference[i].text) << "rank " << i;
+    EXPECT_NEAR(lazy[i].score, reference[i].score, 1e-12) << "rank " << i;
+  }
+}
+
+TEST(OnDemandServiceTest, PureOnDemandMatchesPrecomputedLinearizedService) {
+  BipartiteGraph graph = SeededGraph(120, 5);
+  auto precomputed = RewriteServiceBuilder()
+                         .WithGraph(&graph)
+                         .WithEngine("linearized", OnDemandEngineOptions())
+                         .WithPipelineOptions(NoBidPipeline())
+                         .Build();
+  ASSERT_TRUE(precomputed.ok()) << precomputed.status().ToString();
+
+  auto lazy = RewriteServiceBuilder()
+                  .WithGraph(&graph)
+                  .WithOnDemandEngine("linearized", OnDemandEngineOptions())
+                  .WithPipelineOptions(NoBidPipeline())
+                  .Build();
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+  EXPECT_TRUE((*lazy)->on_demand());
+  EXPECT_EQ((*lazy)->Stats().source, "on-demand");
+  EXPECT_EQ((*lazy)->Stats().engine_name, "linearized");
+  EXPECT_EQ((*lazy)->Stats().similarity_pairs, 0u);
+
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    SCOPED_TRACE(q);
+    ExpectEquivalentRewrites((*lazy)->TopK(q, 5), (*precomputed)->TopK(q, 5));
+  }
+  RewriteServiceStats stats = (*lazy)->Stats();
+  EXPECT_TRUE(stats.on_demand);
+  EXPECT_GT(stats.rows_computed, 0u);
+  EXPECT_EQ(stats.row_cache_misses, graph.num_queries());
+  EXPECT_EQ(stats.row_cache_hits, 0u);
+  EXPECT_NE(stats.ToString().find("on_demand=1"), std::string::npos);
+
+  // A repeated query is a cache hit, not a recomputation.
+  uint64_t computed_before = stats.rows_computed;
+  ExpectEquivalentRewrites((*lazy)->TopK(QueryId{0}, 5),
+                           (*precomputed)->TopK(QueryId{0}, 5));
+  stats = (*lazy)->Stats();
+  EXPECT_EQ(stats.rows_computed, computed_before);
+  EXPECT_GT(stats.row_cache_hits, 0u);
+}
+
+TEST(OnDemandServiceTest, HybridMatrixFallsBackOnlyForMissingRows) {
+  BipartiteGraph graph = SeededGraph(100, 13);
+  // A matrix that covers query 0 only; every other row is missing and
+  // must be computed lazily.
+  SimilarityMatrix partial(graph.num_queries());
+  partial.Set(0, 1, 0.5);
+  partial.Set(0, 2, 0.25);
+  auto service = RewriteServiceBuilder()
+                     .WithGraph(&graph)
+                     .WithSimilarities(std::move(partial), "partial")
+                     .WithOnDemandEngine("linearized", OnDemandEngineOptions())
+                     .WithPipelineOptions(NoBidPipeline())
+                     .Build();
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  EXPECT_EQ((*service)->Stats().source, "matrix");
+  EXPECT_TRUE((*service)->on_demand());
+
+  // Query 0 has precomputed partners: served from the matrix, no
+  // computation, and it is never "cold" for admission purposes.
+  EXPECT_FALSE((*service)->RowIsCold(QueryId{0}));
+  std::vector<RewriteCandidate> from_matrix = (*service)->TopK(QueryId{0}, 5);
+  ASSERT_EQ(from_matrix.size(), 2u);
+  EXPECT_EQ(from_matrix[0].score, 0.5);
+  EXPECT_EQ((*service)->Stats().rows_computed, 0u);
+
+  // Query 3 has no partners (the matrix is symmetric, so Set(0, 1)
+  // and Set(0, 2) warmed queries 1 and 2 as well): cold before the
+  // first lookup, warm after.
+  EXPECT_TRUE((*service)->RowIsCold(QueryId{3}));
+  EXPECT_TRUE((*service)->RowIsCold(graph.query_label(3)));
+  (void)(*service)->TopK(QueryId{3}, 5);
+  EXPECT_FALSE((*service)->RowIsCold(QueryId{3}));
+  RewriteServiceStats stats = (*service)->Stats();
+  EXPECT_EQ(stats.rows_computed, 1u);
+  EXPECT_EQ(stats.row_cache_misses, 1u);
+  // Unknown text is never cold (the lookup itself fails cheaply).
+  EXPECT_FALSE((*service)->RowIsCold("no such query text"));
+  // Out-of-range ids stay on the precomputed path's empty contract.
+  EXPECT_FALSE(
+      (*service)->RowIsCold(static_cast<QueryId>(graph.num_queries())));
+  EXPECT_TRUE(
+      (*service)->TopK(static_cast<QueryId>(graph.num_queries()), 5).empty());
+}
+
+TEST(OnDemandServiceTest, BatchMatchesSequentialUnderTheSharedCache) {
+  BipartiteGraph graph = SeededGraph(150, 29);
+  auto service = RewriteServiceBuilder()
+                     .WithGraph(&graph)
+                     .WithOnDemandEngine("linearized", OnDemandEngineOptions())
+                     .WithPipelineOptions(NoBidPipeline())
+                     .Build();
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  std::vector<QueryId> queries(graph.num_queries());
+  std::iota(queries.begin(), queries.end(), 0u);
+  std::vector<std::vector<RewriteCandidate>> batched =
+      (*service)->TopKBatch(queries, 4);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(batched[i], (*service)->TopK(queries[i], 4)) << "query " << i;
+  }
+}
+
+TEST(OnDemandServiceTest, SmallRowCacheEvictsUnderChurn) {
+  BipartiteGraph graph = SeededGraph(100, 31);
+  auto service = RewriteServiceBuilder()
+                     .WithGraph(&graph)
+                     .WithOnDemandEngine("linearized", OnDemandEngineOptions())
+                     .WithRowCacheCapacity(8)
+                     .WithPipelineOptions(NoBidPipeline())
+                     .Build();
+  ASSERT_TRUE(service.ok()) << service.status().ToString();
+  for (QueryId q = 0; q < graph.num_queries(); ++q) {
+    (void)(*service)->TopK(q, 3);
+  }
+  RewriteServiceStats stats = (*service)->Stats();
+  EXPECT_GT(stats.row_cache_evictions, 0u);
+  EXPECT_LE(stats.row_cache_entries, 8u);
+  EXPECT_EQ(stats.row_cache_misses, graph.num_queries());
+}
+
+TEST(OnDemandServiceTest, BuilderRejectsInvalidOnDemandConfigurations) {
+  BipartiteGraph graph = MakeFigure3Graph();
+  // WithEngine + WithOnDemandEngine: contradictory.
+  auto both = RewriteServiceBuilder()
+                  .WithGraph(&graph)
+                  .WithEngine("sparse", ServiceEngineOptions())
+                  .WithOnDemandEngine("linearized", OnDemandEngineOptions())
+                  .Build();
+  ASSERT_FALSE(both.ok());
+  EXPECT_EQ(both.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(both.status().message().find("mutually exclusive"),
+            std::string::npos);
+  // An engine without the OnDemandScorer capability is named in the error.
+  auto dense = RewriteServiceBuilder()
+                   .WithGraph(&graph)
+                   .WithOnDemandEngine("dense", OnDemandEngineOptions())
+                   .Build();
+  ASSERT_FALSE(dense.ok());
+  EXPECT_EQ(dense.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dense.status().message().find("does not support on-demand"),
+            std::string::npos);
+  // Engine construction/Prepare failures surface (weighted cannot
+  // linearize).
+  SimRankOptions weighted = OnDemandEngineOptions();
+  weighted.variant = SimRankVariant::kWeighted;
+  auto bad_variant = RewriteServiceBuilder()
+                         .WithGraph(&graph)
+                         .WithOnDemandEngine("linearized", weighted)
+                         .Build();
+  ASSERT_FALSE(bad_variant.ok());
+  EXPECT_EQ(bad_variant.status().code(), StatusCode::kNotImplemented);
+}
+
+// --------------------------------------------------------- row cache
+
+TEST(RowCacheTest, LruEvictionAndCountersAreExact) {
+  // One shard makes the LRU order fully deterministic.
+  RowCache cache(/*capacity=*/2, /*num_shards=*/1);
+  std::vector<ScoredNode> row;
+  EXPECT_FALSE(cache.Lookup(1, &row));
+  cache.Insert(1, {{2, 0.5}});
+  cache.Insert(2, {{3, 0.25}});
+  ASSERT_TRUE(cache.Lookup(1, &row));  // 1 becomes most recent
+  EXPECT_EQ(row, (std::vector<ScoredNode>{{2, 0.5}}));
+  cache.Insert(3, {{4, 0.125}});  // evicts 2, the least recent
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(3));
+  // Re-inserting a resident key refreshes in place (no double entry).
+  cache.Insert(1, {{5, 0.75}});
+  ASSERT_TRUE(cache.Lookup(1, &row));
+  EXPECT_EQ(row, (std::vector<ScoredNode>{{5, 0.75}}));
+
+  // Counted above: one miss (the initial Lookup), two hits (the two
+  // successful Lookups); Contains never touches the counters.
+  RowCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
 // ------------------------------------------------------- thread safety
 
 // Two concurrent engine Runs plus concurrent TopKBatch streams, all on

@@ -321,6 +321,15 @@ TEST(OptionsValidationTest, EveryInvalidRangeGetsADistinctActionableError) {
       {"negative prune threshold",
        [](SimRankOptions* o) { o->prune_threshold = -1.0; },
        "prune_threshold"},
+      {"zero series depth",
+       [](SimRankOptions* o) { o->linearized_series_depth = 0; },
+       "linearized_series_depth"},
+      {"zero diag tolerance",
+       [](SimRankOptions* o) { o->linearized_diag_tolerance = 0.0; },
+       "linearized_diag_tolerance"},
+      {"negative diag tolerance",
+       [](SimRankOptions* o) { o->linearized_diag_tolerance = -1e-6; },
+       "linearized_diag_tolerance"},
   };
   for (const Case& test_case : cases) {
     SimRankOptions options;
@@ -350,18 +359,21 @@ TEST(OptionsValidationTest, EveryInvalidRangeGetsADistinctActionableError) {
 TEST(EngineRegistryTest, BuiltinsAreRegistered) {
   EXPECT_TRUE(HasSimRankEngine("dense"));
   EXPECT_TRUE(HasSimRankEngine("sparse"));
+  EXPECT_TRUE(HasSimRankEngine("linearized"));
   std::vector<std::string> names = RegisteredSimRankEngines();
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
   EXPECT_NE(std::find(names.begin(), names.end(), "dense"), names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "sparse"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "linearized"), names.end());
 }
 
 TEST(EngineRegistryTest, UnknownNameListsRegisteredEngines) {
-  auto result = CreateSimRankEngine("linearized", SimRankOptions());
+  auto result = CreateSimRankEngine("quadratic", SimRankOptions());
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
-  EXPECT_NE(result.status().message().find("linearized"), std::string::npos);
+  EXPECT_NE(result.status().message().find("quadratic"), std::string::npos);
   EXPECT_NE(result.status().message().find("dense"), std::string::npos);
+  EXPECT_NE(result.status().message().find("linearized"), std::string::npos);
   EXPECT_NE(result.status().message().find("sparse"), std::string::npos);
 }
 

@@ -19,7 +19,16 @@ fail the gate: benches gain and lose cases across PRs, so a benchmark in
 the fresh report with no baseline yet is reported as "new" (and counted
 in the summary) rather than treated as an error, and a baseline case
 missing from the fresh run is reported as skipped.
+
+Cases that got at least 1.25x FASTER than the baseline are listed in the
+summary as improvements — a nudge that the committed baseline is stale
+and under-protects the win (refreshing it re-arms the gate at the new
+level). Improvements never affect the exit code.
 """
+
+# A current time at or below baseline / IMPROVEMENT_FACTOR counts as an
+# improvement worth surfacing.
+IMPROVEMENT_FACTOR = 1.25
 
 import argparse
 import json
@@ -55,6 +64,7 @@ def main():
             current[name] = case
 
     regressions = []
+    improvements = []
     for name, base in sorted(baseline.items()):
         cur = current.get(name)
         if cur is None:
@@ -68,6 +78,9 @@ def main():
               f"current {cur_ns / 1e6:.2f} ms ({ratio:.2f}x)")
         if ratio > args.factor:
             regressions.append(name)
+        elif cur_ns * IMPROVEMENT_FACTOR <= base_ns:
+            # Speedup as baseline/current, e.g. 2.00x faster.
+            improvements.append((name, base_ns / cur_ns))
     new_cases = sorted(set(current) - set(baseline))
     for name in new_cases:
         print(f"[new ] {name}: no baseline yet "
@@ -81,6 +94,12 @@ def main():
     if new_cases:
         summary += (f"; {len(new_cases)} new case(s) not gated yet — "
                     "refresh the committed baseline to start tracking them")
+    if improvements:
+        listed = ", ".join(f"{name} ({speedup:.2f}x faster)"
+                           for name, speedup in improvements)
+        summary += (f"; {len(improvements)} case(s) improved "
+                    f"{IMPROVEMENT_FACTOR}x or more — {listed} — refresh "
+                    "the committed baseline to lock in the win")
     print(f"\n{summary}")
     return 0
 

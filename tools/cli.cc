@@ -90,10 +90,12 @@ int Usage() {
       "            [--out F] [--reload TENANT] [--poll]\n"
       "  simrankpp serve-daemon --manifest M [--host H] [--port P]\n"
       "            [--port-file F] [--max-queue N] [--qps X] [--burst B]\n"
-      "            [--poll-interval S] [--no-inotify] [--no-watch]\n"
+      "            [--cold-row-cost C] [--poll-interval S] [--no-inotify]\n"
+      "            [--no-watch]\n"
       "  simrankpp extract <graph.tsv> [--subgraphs N] [--out-prefix P]\n"
       "methods: simrank | evidence | weighted (default) | pearson\n"
-      "engines: any registered name (dense | sparse (default) | ...)\n");
+      "engines: any registered name (dense | sparse (default) | linearized"
+      " | ...)\n");
   return 2;
 }
 
@@ -439,6 +441,17 @@ int CmdManifestInfo(const std::string& path) {
   table.SetHeader({"tenant", "side", "method", "nodes", "pairs", "status"});
   bool all_valid = true;
   for (const ManifestEntry& entry : manifest->entries) {
+    if (entry.on_demand && entry.snapshot_path.empty()) {
+      // Pure on-demand tenant: nothing on disk to validate — rows are
+      // computed at serve time by the named engine.
+      std::string side = entry.expected_side.has_value()
+                             ? SnapshotSideName(*entry.expected_side)
+                             : "query-query";
+      table.AddRow({entry.tenant, side,
+                    StringPrintf("on-demand (%s)", entry.engine.c_str()),
+                    "-", "-", "ok"});
+      continue;
+    }
     Result<SnapshotInfo> info = ReadSnapshotInfo(entry.snapshot_path);
     if (!info.ok()) {
       all_valid = false;
@@ -639,6 +652,8 @@ int CmdServeDaemon(int argc, char** argv) {
       std::strtod(FlagValue(argc, argv, "--qps", "0"), nullptr);
   options.tenant_burst =
       std::strtod(FlagValue(argc, argv, "--burst", "64"), nullptr);
+  options.cold_row_cost = std::strtoull(
+      FlagValue(argc, argv, "--cold-row-cost", "8"), nullptr, 10);
   options.watch_poll_seconds = std::strtod(
       FlagValue(argc, argv, "--poll-interval", "0.5"), nullptr);
   options.use_inotify = !HasFlag(argc, argv, "--no-inotify");

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_bench_regression.py (run from ctest).
+
+Covers the gate verdicts (ok / regression / new / skip), the merged
+multi-report input, and the improvement listing: a case at least
+IMPROVEMENT_FACTOR faster than its baseline is named in the summary
+(with the baseline-refresh nudge) without affecting the exit code.
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench_regression as gate  # noqa: E402
+
+
+def report(path, cases):
+    """Writes a JsonReport-shaped file: cases is {name: best_ns}."""
+    with open(path, "w") as f:
+        json.dump({"benchmarks": [
+            {"name": name, "reps": 3, "median_ns": ns, "best_ns": ns,
+             "note": ""}
+            for name, ns in cases.items()
+        ]}, f)
+
+
+def run_gate(*argv):
+    """Runs main() with argv; returns (exit_code, stdout)."""
+    out = io.StringIO()
+    old_argv = sys.argv
+    sys.argv = ["check_bench_regression.py", *argv]
+    try:
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(io.StringIO()):
+            code = gate.main()
+    finally:
+        sys.argv = old_argv
+    return code, out.getvalue()
+
+
+class GateTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def path(self, name):
+        return os.path.join(self._dir.name, name)
+
+    def test_within_factor_passes(self):
+        report(self.path("base.json"), {"a": 1_000_000})
+        report(self.path("cur.json"), {"a": 1_500_000})
+        code, out = run_gate(self.path("base.json"), self.path("cur.json"))
+        self.assertEqual(code, 0)
+        self.assertIn("[ ok ]", out)
+        self.assertIn("no regressions", out)
+
+    def test_regression_beyond_factor_fails(self):
+        report(self.path("base.json"), {"a": 1_000_000})
+        report(self.path("cur.json"), {"a": 2_500_000})
+        code, out = run_gate(self.path("base.json"), self.path("cur.json"))
+        self.assertEqual(code, 1)
+        self.assertIn("[FAIL]", out)
+        self.assertIn("regressed more than", out)
+
+    def test_improvement_is_listed_in_summary(self):
+        report(self.path("base.json"), {"fast": 2_000_000,
+                                        "same": 1_000_000})
+        report(self.path("cur.json"), {"fast": 1_000_000,
+                                       "same": 1_000_000})
+        code, out = run_gate(self.path("base.json"), self.path("cur.json"))
+        self.assertEqual(code, 0)
+        self.assertIn("1 case(s) improved", out)
+        self.assertIn("fast (2.00x faster)", out)
+        self.assertIn("refresh", out)
+        self.assertNotIn("same (", out)
+
+    def test_improvement_threshold_is_inclusive(self):
+        # Exactly IMPROVEMENT_FACTOR faster counts; just short does not.
+        report(self.path("base.json"), {"edge": 1_250_000,
+                                        "short": 1_240_000})
+        report(self.path("cur.json"), {"edge": 1_000_000,
+                                       "short": 1_000_000})
+        code, out = run_gate(self.path("base.json"), self.path("cur.json"))
+        self.assertEqual(code, 0)
+        self.assertIn("edge (1.25x faster)", out)
+        self.assertNotIn("short (", out)
+
+    def test_improvements_do_not_mask_regressions(self):
+        report(self.path("base.json"), {"fast": 2_000_000,
+                                        "slow": 1_000_000})
+        report(self.path("cur.json"), {"fast": 1_000_000,
+                                       "slow": 9_000_000})
+        code, out = run_gate(self.path("base.json"), self.path("cur.json"))
+        self.assertEqual(code, 1)
+        self.assertIn("slow", out)
+
+    def test_new_and_skipped_cases_never_fail(self):
+        report(self.path("base.json"), {"gone": 1_000_000})
+        report(self.path("cur.json"), {"fresh": 1_000_000})
+        code, out = run_gate(self.path("base.json"), self.path("cur.json"))
+        self.assertEqual(code, 0)
+        self.assertIn("[skip] gone", out)
+        self.assertIn("[new ] fresh", out)
+        self.assertIn("1 new case(s)", out)
+
+    def test_multiple_current_reports_merge(self):
+        report(self.path("base.json"), {"a": 1_000_000, "b": 1_000_000})
+        report(self.path("cur1.json"), {"a": 1_000_000})
+        report(self.path("cur2.json"), {"b": 1_000_000})
+        code, _ = run_gate(self.path("base.json"), self.path("cur1.json"),
+                           self.path("cur2.json"))
+        self.assertEqual(code, 0)
+
+    def test_duplicate_case_across_reports_is_an_error(self):
+        report(self.path("base.json"), {"a": 1_000_000})
+        report(self.path("cur1.json"), {"a": 1_000_000})
+        report(self.path("cur2.json"), {"a": 1_000_000})
+        code, _ = run_gate(self.path("base.json"), self.path("cur1.json"),
+                           self.path("cur2.json"))
+        self.assertEqual(code, 2)
+
+    def test_custom_factor_is_respected(self):
+        report(self.path("base.json"), {"a": 1_000_000})
+        report(self.path("cur.json"), {"a": 1_500_000})
+        code, _ = run_gate(self.path("base.json"), self.path("cur.json"),
+                           "--factor", "1.2")
+        self.assertEqual(code, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
