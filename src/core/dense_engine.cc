@@ -6,6 +6,7 @@
 
 #include "core/evidence.h"
 #include "core/weighted_transitions.h"
+#include "util/simd/simd.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -46,6 +47,7 @@ Status DenseSimRankEngine::Run(const BipartiteGraph& graph) {
   for (size_t a = 0; a < na; ++a) ad_scores_[a * na + a] = 1.0;
 
   stats_ = SimRankStats();
+  stats_.simd_level = simd::ActiveKernels(options_.fast_math).name;
   size_t threads = ResolveThreadCount(options_.num_threads);
   // Borrow the process-wide pool for the whole run, capped at `threads`
   // participants: spawning threads per Run would cost more than the row
@@ -69,6 +71,22 @@ Status DenseSimRankEngine::Run(const BipartiteGraph& graph) {
     for (EdgeId e = 0; e < graph.num_edges(); ++e) {
       w_query_to_ad_[e] = model.QueryToAdFactor(e);
       w_ad_to_query_[e] = model.AdToQueryFactor(e);
+    }
+    // Flatten the factors into graph-CSR order (parallel to the flat
+    // neighbor arrays) once per Run for the vectorized row passes.
+    flat_w_query_to_ad_.clear();
+    flat_w_query_to_ad_.reserve(graph.num_edges());
+    for (QueryId q = 0; q < nq; ++q) {
+      for (EdgeId e : graph.QueryEdges(q)) {
+        flat_w_query_to_ad_.push_back(w_query_to_ad_[e]);
+      }
+    }
+    flat_w_ad_to_query_.clear();
+    flat_w_ad_to_query_.reserve(graph.num_edges());
+    for (AdId a = 0; a < na; ++a) {
+      for (EdgeId e : graph.AdEdges(a)) {
+        flat_w_ad_to_query_.push_back(w_ad_to_query_[e]);
+      }
     }
   }
 
@@ -165,6 +183,15 @@ double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph,
                                        std::vector<size_t>* row_pairs_q,
                                        std::vector<size_t>* row_pairs_a) {
   const bool weighted = options_.variant == SimRankVariant::kWeighted;
+  // One table lookup per iteration; the table is an immutable static, so
+  // sharing the reference across the pool's workers is safe.
+  const simd::KernelTable& kern = simd::ActiveKernels(options_.fast_math);
+  // Base of the flat neighbor arrays, for translating a node's neighbor
+  // span into an offset within the parallel flat weight arrays.
+  const AdId* q_neigh_base =
+      nq_ > 0 ? graph.QueryNeighborAds(0).data() : nullptr;
+  const QueryId* a_neigh_base =
+      na_ > 0 ? graph.AdNeighborQueries(0).data() : nullptr;
 
   // T[q][b] = sum over ads a in E(q) of (factor) * S_a[a][b].
   std::vector<double> t(nq_ * na_, 0.0);
@@ -178,7 +205,7 @@ double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph,
         AdId a = graph.edge_ad(e);
         double factor = weighted ? w_query_to_ad_[e] : 1.0;
         const double* srow = &ad_scores_[static_cast<size_t>(a) * na_];
-        for (size_t b = 0; b < na_; ++b) trow[b] += factor * srow[b];
+        kern.axpy(factor, srow, trow, na_);
       }
     }
   };
@@ -189,7 +216,7 @@ double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph,
         QueryId q = graph.edge_query(e);
         double factor = weighted ? w_ad_to_query_[e] : 1.0;
         const double* srow = &query_scores_[static_cast<size_t>(q) * nq_];
-        for (size_t p = 0; p < nq_; ++p) urow[p] += factor * srow[p];
+        kern.axpy(factor, srow, urow, nq_);
       }
     }
   };
@@ -214,12 +241,17 @@ double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph,
         if (p == q) {
           value = 1.0;
         } else {
-          double sum = 0.0;
-          for (EdgeId e : graph.QueryEdges(static_cast<QueryId>(p))) {
-            AdId b = graph.edge_ad(e);
-            double factor = weighted ? w_query_to_ad_[e] : 1.0;
-            sum += factor * trow[b];
-          }
+          // Gather T[q][.] at p's neighbor ads through the SIMD kernel
+          // (8-lane deterministic order; flat weights are laid out
+          // parallel to the neighbor array).
+          auto nb = graph.QueryNeighborAds(static_cast<QueryId>(p));
+          double sum =
+              weighted
+                  ? kern.gather_sum_weighted(
+                        trow, nb.data(),
+                        flat_w_query_to_ad_.data() + (nb.data() - q_neigh_base),
+                        1.0, nb.size())
+                  : kern.gather_sum(trow, nb.data(), nb.size());
           if (weighted) {
             value = query_evidence_[q * nq_ + p] * options_.c1 * sum;
           } else {
@@ -255,12 +287,14 @@ double DenseSimRankEngine::IterateOnce(const BipartiteGraph& graph,
         if (b == a) {
           value = 1.0;
         } else {
-          double sum = 0.0;
-          for (EdgeId e : graph.AdEdges(static_cast<AdId>(b))) {
-            QueryId p = graph.edge_query(e);
-            double factor = weighted ? w_ad_to_query_[e] : 1.0;
-            sum += factor * urow[p];
-          }
+          auto nb = graph.AdNeighborQueries(static_cast<AdId>(b));
+          double sum =
+              weighted
+                  ? kern.gather_sum_weighted(
+                        urow, nb.data(),
+                        flat_w_ad_to_query_.data() + (nb.data() - a_neigh_base),
+                        1.0, nb.size())
+                  : kern.gather_sum(urow, nb.data(), nb.size());
           if (weighted) {
             value = ad_evidence_[a * na_ + b] * options_.c2 * sum;
           } else {

@@ -64,6 +64,11 @@ class DenseSimRankEngine : public SimRankEngine {
   // W(q,i) / W(alpha,i) factors per edge for kWeighted.
   std::vector<double> w_query_to_ad_;
   std::vector<double> w_ad_to_query_;
+  // The same factors laid out parallel to the graph's flat neighbor
+  // arrays (QueryNeighborAds / AdNeighborQueries order), so the row
+  // passes can feed contiguous weight slices to the SIMD gather kernel.
+  std::vector<double> flat_w_query_to_ad_;
+  std::vector<double> flat_w_ad_to_query_;
 };
 
 }  // namespace simrankpp

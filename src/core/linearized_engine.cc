@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/evidence.h"
+#include "util/simd/simd.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -93,6 +94,12 @@ void LinearizedSimRankEngine::WalkStep(const SideAdjacency& own_adj,
                                        const SideAdjacency& opp_adj,
                                        const SparseRow& from,
                                        WorkVec* opp_out, WorkVec* own_out) {
+  // The walk propagation (here and in RawRow's backward pass) is a
+  // SCATTER — each source spreads mass to its neighbors' slots — which
+  // the gather-oriented SIMD kernels cannot express without conflict
+  // detection; it stays scalar by design. The vectorized piece of this
+  // engine is the diagonal estimation's dot products (EstimateDiagonals).
+  //
   // t = A^T w with A the own side's row-normalized adjacency: mass leaves
   // each source node split evenly over its edges.
   opp_out->Clear();
@@ -153,8 +160,8 @@ LinearizedSimRankEngine::DiagForm LinearizedSimRankEngine::BuildDiagForm(
   DiagForm form;
   // k = 0 contributes w_0[node]^2 = 1, so alpha >= 1 always.
   form.alpha = own_coeff.value[node];
-  own_coeff.CompactInto(&form.own);
-  cross_coeff.CompactInto(&form.cross);
+  own_coeff.CompactInto(&form.own_nodes, &form.own_coeffs);
+  cross_coeff.CompactInto(&form.cross_nodes, &form.cross_coeffs);
   return form;
 }
 
@@ -171,23 +178,26 @@ double LinearizedSimRankEngine::EstimateDiagonals(
   // One Jacobi half-sweep: evaluate every node's condition against the
   // CURRENT diagonals and stage the update into per-node slots, so the
   // sweep parallelizes without ordering effects and the result is
-  // bit-identical for any thread count.
+  // bit-identical for any thread count. Each condition is two sparse dot
+  // products over the SoA forms, run through the SIMD dense-gather kernel
+  // (8-lane deterministic order; the table is an immutable static, safe
+  // to share across the pool's workers).
+  const simd::KernelTable& kern = simd::ActiveKernels(options_.fast_math);
   auto sweep_side = [&](const std::vector<DiagForm>& forms,
                         const std::vector<double>& d_own,
                         const std::vector<double>& d_opp,
                         std::vector<double>* next,
                         std::vector<double>* residual) {
-    auto fn = [&forms, &d_own, &d_opp, next, residual](size_t, size_t begin,
-                                                       size_t end) {
+    auto fn = [&forms, &d_own, &d_opp, &kern, next, residual](
+                  size_t, size_t begin, size_t end) {
       for (size_t u = begin; u < end; ++u) {
         const DiagForm& form = forms[u];
-        double f = 0.0;
-        for (const ScoredNode& entry : form.own) {
-          f += entry.score * d_own[entry.node];
-        }
-        for (const ScoredNode& entry : form.cross) {
-          f += entry.score * d_opp[entry.node];
-        }
+        double f = kern.gather_sum_weighted(
+                       d_own.data(), form.own_nodes.data(),
+                       form.own_coeffs.data(), 1.0, form.own_nodes.size()) +
+                   kern.gather_sum_weighted(
+                       d_opp.data(), form.cross_nodes.data(),
+                       form.cross_coeffs.data(), 1.0, form.cross_nodes.size());
         double violation = 1.0 - f;
         (*residual)[u] = std::fabs(violation);
         // A diagonal correction outside [0, 1] is non-physical (scores
@@ -237,6 +247,7 @@ Status LinearizedSimRankEngine::Prepare(const BipartiteGraph& graph) {
   SRPP_RETURN_NOT_OK(BindGraph(graph));
 
   stats_ = SimRankStats();
+  stats_.simd_level = simd::ActiveKernels(options_.fast_math).name;
   size_t threads = ResolveThreadCount(options_.num_threads);
   // Same pool discipline as the other engines: borrow the process-wide
   // pool capped at `threads` participants, released before returning.

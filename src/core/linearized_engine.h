@@ -126,6 +126,19 @@ class LinearizedSimRankEngine : public SimRankEngine, public OnDemandScorer {
         if (value[i] != 0.0) out->push_back({i, value[i]});
       }
     }
+
+    /// Structure-of-arrays twin of CompactInto: parallel node / value
+    /// vectors, the layout the SIMD gather kernels consume directly.
+    void CompactInto(std::vector<uint32_t>* nodes,
+                     std::vector<double>* values) {
+      SortTouched();
+      for (uint32_t i : touched) {
+        if (value[i] != 0.0) {
+          nodes->push_back(i);
+          values->push_back(value[i]);
+        }
+      }
+    }
   };
 
   /// Per-thread scratch for walk propagation. Both-side sized: a query
@@ -152,9 +165,14 @@ class LinearizedSimRankEngine : public SimRankEngine, public OnDemandScorer {
   /// and the Jacobi sweeps reduce to sparse dot products. alpha (the
   /// self-coefficient own[u]) is >= 1 from the k = 0 term, which keeps
   /// the per-node update d[u] += (1 - F_u) / alpha_u well defined.
+  /// Stored structure-of-arrays (parallel node / coefficient vectors,
+  /// ascending by node) so each Jacobi sweep's dot products run through
+  /// the SIMD dense-gather kernel.
   struct DiagForm {
-    SparseRow own;    // coefficients on this side's diagonal
-    SparseRow cross;  // coefficients on the opposite side's diagonal
+    std::vector<uint32_t> own_nodes;   // this side's diagonal indices
+    std::vector<double> own_coeffs;    // parallel coefficients
+    std::vector<uint32_t> cross_nodes;  // opposite side's diagonal indices
+    std::vector<double> cross_coeffs;   // parallel coefficients
     double alpha = 1.0;
   };
 

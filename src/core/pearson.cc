@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <unordered_set>
+#include <vector>
+
+#include "util/simd/simd.h"
 
 namespace simrankpp {
 
@@ -26,22 +29,24 @@ double PearsonSimilarity(const BipartiteGraph& graph, QueryId q1,
 
   // One sorted-adjacency merge yields each common ad's two edges
   // directly — no common-ad list materialization, no per-ad FindEdge
-  // binary searches (this was the Pearson hot spot).
-  size_t common = 0;
+  // binary searches. The merge only gathers the paired weights into two
+  // contiguous scratch arrays; the dot/norm passes then run through the
+  // vectorized Pearson kernel (8-lane deterministic order).
+  thread_local std::vector<double> weights1;
+  thread_local std::vector<double> weights2;
+  weights1.clear();
+  weights2.clear();
+  graph.ForEachCommonAdEdge(q1, q2, [&](EdgeId e1, EdgeId e2) {
+    weights1.push_back(graph.edge_weights(e1).expected_click_rate);
+    weights2.push_back(graph.edge_weights(e2).expected_click_rate);
+  });
+  if (weights1.empty()) return 0.0;
   double numerator = 0.0;
   double denom1 = 0.0;
   double denom2 = 0.0;
-  graph.ForEachCommonAdEdge(q1, q2, [&](EdgeId e1, EdgeId e2) {
-    double w1 = graph.edge_weights(e1).expected_click_rate;
-    double w2 = graph.edge_weights(e2).expected_click_rate;
-    double d1 = w1 - mean1;
-    double d2 = w2 - mean2;
-    numerator += d1 * d2;
-    denom1 += d1 * d1;
-    denom2 += d2 * d2;
-    ++common;
-  });
-  if (common == 0) return 0.0;
+  simd::ActiveKernels().pearson_accumulate(weights1.data(), weights2.data(),
+                                           weights1.size(), mean1, mean2,
+                                           &numerator, &denom1, &denom2);
   double denom = std::sqrt(denom1 * denom2);
   if (denom == 0.0) return 0.0;
   return numerator / denom;

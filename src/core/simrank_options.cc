@@ -54,11 +54,15 @@ Status SimRankOptions::Validate() const {
 }
 
 std::string SimRankStats::ToString() const {
-  return StringPrintf(
+  std::string text = StringPrintf(
       "iterations=%zu last_delta=%.3e query_pairs=%zu ad_pairs=%zu "
       "threads=%zu rescored=%zu reused=%zu elapsed=%.3fs",
       iterations_run, last_delta, query_pairs, ad_pairs, threads_used,
       rescored_pairs, reused_pairs, elapsed_seconds);
+  if (!simd_level.empty()) {
+    text += StringPrintf(" simd=%s", simd_level.c_str());
+  }
+  return text;
 }
 
 }  // namespace simrankpp

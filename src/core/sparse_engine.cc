@@ -8,6 +8,7 @@
 #include "core/evidence.h"
 #include "core/weighted_transitions.h"
 #include "util/logging.h"
+#include "util/simd/simd.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -49,25 +50,6 @@ void MergeSortedInto(std::vector<uint64_t>&& fresh,
   into->erase(std::unique(into->begin(), into->end()), into->end());
 }
 
-// |N(u) ∩ N(v)| over two ascending neighbor lists.
-size_t CountCommonSorted(std::span<const uint32_t> n1,
-                         std::span<const uint32_t> n2) {
-  size_t count = 0;
-  size_t i = 0, j = 0;
-  while (i < n1.size() && j < n2.size()) {
-    if (n1[i] == n2[j]) {
-      ++count;
-      ++i;
-      ++j;
-    } else if (n1[i] < n2[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return count;
-}
-
 }  // namespace
 
 SparseSimRankEngine::SparseSimRankEngine(SimRankOptions options)
@@ -91,6 +73,7 @@ Status SparseSimRankEngine::Run(const BipartiteGraph& graph) {
   }
 
   stats_ = SimRankStats();
+  stats_.simd_level = simd::ActiveKernels(options_.fast_math).name;
   size_t threads = ResolveThreadCount(options_.num_threads);
   // Borrow the process-wide pool (capped at `threads` participants) for
   // the whole run; UpdateSide shards across it. Concurrent Runs share the
@@ -326,13 +309,22 @@ PairStore SparseSimRankEngine::UpdateSide(bool query_side,
   const PairStore& prev = query_side ? prev_precap_query_ : prev_precap_ad_;
   const std::vector<uint8_t>& dirty = query_side ? dirty_query_ : dirty_ad_;
 
+  // Kernels for the hot accumulations (one table per Run; immutable, so
+  // sharing the reference across worker threads is free).
+  const simd::KernelTable& kern = simd::ActiveKernels(options_.fast_math);
+
   // sum over (a, b) in E(u) x E(v) of wu * wv * s(a, b), computed for
   // each edge u->a as an intersection of a's score row with v's neighbor
   // list — by binary search when a pair stands alone, or through a dense
   // scratch expansion of the row when one expansion serves many pairs of
-  // u. Every path visits the nonzero terms a-major then b-ascending, so
-  // the floating-point accumulation — and with it the result — matches
-  // the classic lookup-per-term loop bit for bit.
+  // u. Every path accumulates each a-segment in the documented 8-lane
+  // SIMD order: the term for v-list position p lands in lane p % 8 (in
+  // ascending p), the lanes reduce through the fixed simd::ReduceLanes
+  // tree, and segments add up in ascending a order. Positions without a
+  // score contribute +0.0, which is bit-neutral on these nonnegative
+  // partials — so this hit-only path and the visit-every-position
+  // dense-gather kernel below produce identical bits, at every dispatch
+  // level (docs/SIMD_KERNELS.md; pinned by sparse_equivalence_test).
   auto binary_pair_sum = [&](uint32_t u, uint32_t v) {
     double sum = 0.0;
     size_t v_begin = adj.offsets[v];
@@ -342,6 +334,7 @@ PairStore SparseSimRankEngine::UpdateSide(bool query_side,
       double wu = weighted ? adj.weights[up] : 1.0;
       size_t row_begin = source_csr.offsets[a];
       size_t row_end = source_csr.offsets[a + 1];
+      double lanes[simd::kLanes] = {0.0};
       if (row_end - row_begin >= v_end - v_begin) {
         // Probe the (longer) score row for each of v's neighbors.
         const uint32_t* lo = source_csr.nodes.data() + row_begin;
@@ -351,32 +344,37 @@ PairStore SparseSimRankEngine::UpdateSide(bool query_side,
           if (hit != hi && *hit == adj.neighbors[vp]) {
             double s = source_csr.scores[hit - source_csr.nodes.data()];
             double wv = weighted ? adj.weights[vp] : 1.0;
-            sum += wu * wv * s;
+            lanes[(vp - v_begin) % simd::kLanes] += (wu * wv) * s;
           }
           lo = hit;  // neighbors ascend, so the next probe starts here
         }
       } else {
-        // Probe v's (longer) neighbor list for each row entry.
+        // Probe v's (longer) neighbor list for each row entry. Hits
+        // arrive in ascending v-list position, so per-lane accumulation
+        // order matches the branch above.
         const uint32_t* lo = adj.neighbors.data() + v_begin;
         const uint32_t* hi = adj.neighbors.data() + v_end;
         for (size_t i = row_begin; i < row_end; ++i) {
           const uint32_t* hit = std::lower_bound(lo, hi, source_csr.nodes[i]);
           if (hit != hi && *hit == source_csr.nodes[i]) {
             double s = source_csr.scores[i];
-            double wv =
-                weighted ? adj.weights[hit - adj.neighbors.data()] : 1.0;
-            sum += wu * wv * s;
+            size_t vp = static_cast<size_t>(hit - adj.neighbors.data());
+            double wv = weighted ? adj.weights[vp] : 1.0;
+            lanes[(vp - v_begin) % simd::kLanes] += (wu * wv) * s;
           }
           lo = hit;
         }
       }
+      sum += simd::ReduceLanes(lanes);
     }
     return sum;
   };
 
   auto pair_value = [&](uint32_t u, uint32_t v, double sum) {
     if (weighted) {
-      size_t common = CountCommonSorted(adj.Neighbors(u), adj.Neighbors(v));
+      size_t common = kern.count_common_sorted(
+          adj.neighbors.data() + adj.offsets[u], adj.degree(u),
+          adj.neighbors.data() + adj.offsets[v], adj.degree(v));
       double evidence = EvidenceWithFloor(common, options_.evidence_formula,
                                           options_.zero_evidence_floor);
       return evidence * decay * sum;
@@ -469,11 +467,14 @@ PairStore SparseSimRankEngine::UpdateSide(bool query_side,
         }
         if (dense_allowed && probes >= rows_total) {
           if (dense.size() < n_opposite) dense.assign(n_opposite, 0.0);
-          // Expand each score row once and probe it O(1) per term, for
-          // all of u's pairs at a stroke (a-major accumulation order,
-          // identical to the per-pair loops; for the unweighted variants
-          // wu == wv == 1.0, so `sum += s` is the same bit pattern as
-          // `sum += wu * wv * s` and the weight loads vanish).
+          // Expand each score row once, then sweep every pair of u with
+          // the vectorized gather kernel: one dense[] gather per v-list
+          // position, whole 8-lane blocks in SIMD, positions without a
+          // score contributing a bit-neutral +0.0. Per pair this yields
+          // exactly binary_pair_sum's 8-lane a-segment sums (for the
+          // unweighted variants wu == wv == 1.0, so the unweighted
+          // gather_sum produces the same bit pattern as the weighted
+          // kernel would, with the weight loads gone).
           for (size_t up = adj.offsets[u]; up < adj.offsets[u + 1]; ++up) {
             uint32_t a = adj.neighbors[up];
             size_t row_begin = source_csr.offsets[a];
@@ -485,24 +486,19 @@ PairStore SparseSimRankEngine::UpdateSide(bool query_side,
               double wu = adj.weights[up];
               for (size_t k = 0; k < compute.size(); ++k) {
                 uint32_t v = compute[k];
-                double sum = sums[k];
-                for (size_t vp = adj.offsets[v]; vp < adj.offsets[v + 1];
-                     ++vp) {
-                  double s = dense[adj.neighbors[vp]];
-                  if (s != 0.0) sum += wu * adj.weights[vp] * s;
-                }
-                sums[k] = sum;
+                size_t v_begin = adj.offsets[v];
+                sums[k] += kern.gather_sum_weighted(
+                    dense.data(), adj.neighbors.data() + v_begin,
+                    adj.weights.data() + v_begin, wu,
+                    adj.offsets[v + 1] - v_begin);
               }
             } else {
               for (size_t k = 0; k < compute.size(); ++k) {
                 uint32_t v = compute[k];
-                double sum = sums[k];
-                for (size_t vp = adj.offsets[v]; vp < adj.offsets[v + 1];
-                     ++vp) {
-                  double s = dense[adj.neighbors[vp]];
-                  if (s != 0.0) sum += s;
-                }
-                sums[k] = sum;
+                size_t v_begin = adj.offsets[v];
+                sums[k] += kern.gather_sum(dense.data(),
+                                           adj.neighbors.data() + v_begin,
+                                           adj.offsets[v + 1] - v_begin);
               }
             }
             for (size_t i = row_begin; i < row_end; ++i) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/simd/simd.h"
+
 namespace simrankpp {
 
 std::optional<QueryId> BipartiteGraph::FindQuery(
@@ -57,15 +59,20 @@ std::vector<QueryId> BipartiteGraph::CommonQueries(AdId a1, AdId a2) const {
 }
 
 size_t BipartiteGraph::CountCommonAds(QueryId q1, QueryId q2) const {
-  size_t count = 0;
-  ForEachCommonAdEdge(q1, q2, [&](EdgeId, EdgeId) { ++count; });
-  return count;
+  // Counting needs no edge ids, so it runs on the flat neighbor arrays
+  // through the vectorized intersection kernel instead of the
+  // MergeIntersect zipper.
+  std::span<const AdId> n1 = QueryNeighborAds(q1);
+  std::span<const AdId> n2 = QueryNeighborAds(q2);
+  return simd::ActiveKernels().count_common_sorted(n1.data(), n1.size(),
+                                                   n2.data(), n2.size());
 }
 
 size_t BipartiteGraph::CountCommonQueries(AdId a1, AdId a2) const {
-  size_t count = 0;
-  ForEachCommonQueryEdge(a1, a2, [&](EdgeId, EdgeId) { ++count; });
-  return count;
+  std::span<const QueryId> n1 = AdNeighborQueries(a1);
+  std::span<const QueryId> n2 = AdNeighborQueries(a2);
+  return simd::ActiveKernels().count_common_sorted(n1.data(), n1.size(),
+                                                   n2.data(), n2.size());
 }
 
 }  // namespace simrankpp

@@ -69,6 +69,19 @@ class BipartiteGraph {
             ad_offsets_[a + 1] - ad_offsets_[a]};
   }
 
+  /// \brief Ad ids adjacent to query q, ascending. The flat neighbor-id
+  /// twin of QueryEdges() — contiguous u32 node ids, the layout the
+  /// SIMD intersection kernel consumes (and one indirection cheaper
+  /// than mapping edge ids through edge_ad()).
+  std::span<const AdId> QueryNeighborAds(QueryId q) const {
+    return {query_neighbor_ads_.data() + query_offsets_[q], QueryDegree(q)};
+  }
+
+  /// \brief Query ids adjacent to ad a, ascending.
+  std::span<const QueryId> AdNeighborQueries(AdId a) const {
+    return {ad_neighbor_queries_.data() + ad_offsets_[a], AdDegree(a)};
+  }
+
   /// \brief N(q): number of ads adjacent to query q.
   size_t QueryDegree(QueryId q) const {
     return query_offsets_[q + 1] - query_offsets_[q];
@@ -168,6 +181,12 @@ class BipartiteGraph {
   std::vector<EdgeId> query_adj_;
   std::vector<uint32_t> ad_offsets_;  // size num_ads()+1
   std::vector<EdgeId> ad_adj_;
+  // Flat neighbor-id twins of the adjacency (node ids instead of edge
+  // ids, same offsets). Strictly ascending per node — GraphBuilder
+  // merges duplicate (query, ad) observations into one edge — which is
+  // the precondition of the SIMD intersection kernel.
+  std::vector<AdId> query_neighbor_ads_;      // parallel to query_adj_
+  std::vector<QueryId> ad_neighbor_queries_;  // parallel to ad_adj_
 };
 
 }  // namespace simrankpp

@@ -145,6 +145,19 @@ Result<BipartiteGraph> GraphBuilder::Build() const {
     }
   }
 
+  // Flat neighbor-id twins of the adjacency for the SIMD intersection
+  // kernel. AddObservation merged duplicate (query, ad) pairs into one
+  // edge, so each per-node slice is strictly ascending — the kernel's
+  // precondition.
+  g.query_neighbor_ads_.resize(ne);
+  for (size_t i = 0; i < ne; ++i) {
+    g.query_neighbor_ads_[i] = g.edge_ads_[g.query_adj_[i]];
+  }
+  g.ad_neighbor_queries_.resize(ne);
+  for (size_t i = 0; i < ne; ++i) {
+    g.ad_neighbor_queries_[i] = g.edge_queries_[g.ad_adj_[i]];
+  }
+
   return g;
 }
 

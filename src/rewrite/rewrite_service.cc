@@ -5,6 +5,7 @@
 #include "core/engine_registry.h"
 #include "core/snapshot.h"
 #include "util/logging.h"
+#include "util/simd/simd.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -26,6 +27,9 @@ std::string RewriteServiceStats::ToString() const {
         static_cast<unsigned long long>(row_cache_misses),
         static_cast<unsigned long long>(row_cache_evictions),
         row_cache_entries);
+  }
+  if (!simd_level.empty()) {
+    out += StringPrintf(" simd=%s", simd_level.c_str());
   }
   return out;
 }
@@ -117,6 +121,7 @@ std::vector<std::vector<RewriteCandidate>> RewriteService::TopKBatch(
 
 RewriteServiceStats RewriteService::Stats() const {
   RewriteServiceStats stats = base_stats_;
+  stats.simd_level = simd::SimdLevelName(simd::ActiveSimdLevel());
   stats.queries_served = queries_served_.load(std::memory_order_relaxed);
   if (scorer_ != nullptr) {
     stats.rows_computed = rows_computed_.load(std::memory_order_relaxed);

@@ -63,6 +63,9 @@ struct RewriteServiceStats {
   uint64_t row_cache_misses = 0;
   uint64_t row_cache_evictions = 0;
   size_t row_cache_entries = 0;
+  /// Active SIMD dispatch level for this process ("scalar", "avx2",
+  /// "avx512") — the kernels any on-demand row computation runs on.
+  std::string simd_level;
 
   std::string ToString() const;
 };

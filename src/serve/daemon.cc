@@ -24,6 +24,7 @@
 #include "rewrite/rewrite_service.h"
 #include "serve/manifest.h"
 #include "util/logging.h"
+#include "util/simd/simd.h"
 #include "util/string_util.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -790,10 +791,11 @@ void ServeDaemon::Impl::DrainOutbox() {
 std::string ServeDaemon::Impl::StatsText() {
   DaemonMetrics m = Metrics();
   std::string text = StringPrintf(
-      "serve-daemon draining=%d connections=%zu accepted=%llu refused=%llu "
+      "serve-daemon simd=%s draining=%d connections=%zu accepted=%llu refused=%llu "
       "frames=%llu admitted=%llu shed=%llu rate_limited=%llu draining_refused=%llu "
       "bad_frames=%llu bad_requests=%llu responses=%llu batches=%llu "
       "max_batch=%llu reloads=%llu\n",
+      simd::SimdLevelName(simd::ActiveSimdLevel()),
       draining_.load() ? 1 : 0, connections_.size(),
       static_cast<unsigned long long>(m.connections_accepted),
       static_cast<unsigned long long>(m.connections_refused),

@@ -1,0 +1,35 @@
+// AVX-512 kernel level. Compiled with -mavx512f -ffp-contract=off when
+// the compiler supports it; otherwise the getters return nullptr and
+// dispatch clamps to AVX2 or scalar. -ffp-contract=off is load-bearing
+// here: -mavx512f implies FMA availability, and without it the
+// compiler would contract the default-mode mul+add pairs.
+#include "util/simd/simd.h"
+
+#if defined(__AVX512F__)
+#include "util/simd/kernels_impl.h"
+#endif
+
+namespace simrankpp {
+namespace simd {
+namespace internal {
+
+#if defined(__AVX512F__)
+namespace {
+
+const KernelTable kAvx512Table =
+    MakeKernelTable<Avx512Traits, /*kFast=*/false>("avx512");
+const KernelTable kAvx512FastTable =
+    MakeKernelTable<Avx512Traits, /*kFast=*/true>("avx512-fast");
+
+}  // namespace
+
+const KernelTable* Avx512Kernels() { return &kAvx512Table; }
+const KernelTable* Avx512FastKernels() { return &kAvx512FastTable; }
+#else
+const KernelTable* Avx512Kernels() { return nullptr; }
+const KernelTable* Avx512FastKernels() { return nullptr; }
+#endif
+
+}  // namespace internal
+}  // namespace simd
+}  // namespace simrankpp

@@ -19,6 +19,7 @@
 #include "core/weighted_transitions.h"
 #include "synth/click_graph_generator.h"
 #include "util/logging.h"
+#include "util/simd/simd.h"
 
 namespace simrankpp {
 namespace {
@@ -138,17 +139,27 @@ class ReferenceSparseSimRank {
                        candidates.end());
 
       for (uint32_t v : candidates) {
+        // The engine accumulates every eu-segment in the documented
+        // 8-lane SIMD order (docs/SIMD_KERNELS.md): the term for
+        // position p of v's edge list lands in lane p % 8 (ascending
+        // p), lanes reduce through the fixed simd::ReduceLanes tree,
+        // and segments add in ascending eu order. The oracle mirrors
+        // that order exactly; skipping s == 0 terms is bit-neutral
+        // (+0.0 onto nonnegative partials).
         double sum = 0.0;
+        auto v_edges = edges_of(v);
         for (EdgeId eu : edges_of(u)) {
           uint32_t a = other_end(eu);
           double wu = weighted ? weight_of(eu) : 1.0;
-          for (EdgeId ev : edges_of(v)) {
-            uint32_t b = other_end(ev);
+          double lanes[simd::kLanes] = {0.0};
+          for (size_t p = 0; p < v_edges.size(); ++p) {
+            uint32_t b = other_end(v_edges[p]);
             double s = Lookup(source_scores, a, b);
             if (s == 0.0) continue;
-            double wv = weighted ? weight_of(ev) : 1.0;
-            sum += wu * wv * s;
+            double wv = weighted ? weight_of(v_edges[p]) : 1.0;
+            lanes[p % simd::kLanes] += (wu * wv) * s;
           }
+          sum += simd::ReduceLanes(lanes);
         }
         double value;
         if (weighted) {
@@ -366,6 +377,71 @@ TEST(SparseEquivalenceCapTest, TightPartnerCapStaysBitIdentical) {
                       reference.ExportQueryScores());
       ExpectIdentical(engine.ExportAdScores(0.0), reference.ExportAdScores());
     }
+  }
+}
+
+// The determinism contract's headline guarantee: the same run exports
+// the same bytes at every SIMD dispatch level (default, non-fast mode).
+// Each supported level is forced programmatically and compared against
+// the scalar run; the unsupported ones are skipped (the CI
+// simd-scalar-fallback leg plus vector-capable runners cover all).
+TEST(SimdDispatchEquivalenceTest, ByteIdenticalAcrossDispatchLevels) {
+  BipartiteGraph graph = SeededGraph();
+  const simd::SimdLevel before = simd::ActiveSimdLevel();
+  for (SimRankVariant variant :
+       {SimRankVariant::kSimRank, SimRankVariant::kWeighted}) {
+    SimRankOptions options = BaseOptions(variant);
+    ASSERT_TRUE(simd::SetSimdLevel(simd::SimdLevel::kScalar));
+    SparseSimRankEngine scalar_engine(options);
+    ASSERT_TRUE(scalar_engine.Run(graph).ok());
+    EXPECT_EQ(scalar_engine.stats().simd_level, "scalar");
+    SimilarityMatrix want_queries = scalar_engine.ExportQueryScores(0.0);
+    SimilarityMatrix want_ads = scalar_engine.ExportAdScores(0.0);
+    ASSERT_GT(want_queries.num_pairs(), 0u);
+
+    for (simd::SimdLevel level :
+         {simd::SimdLevel::kAvx2, simd::SimdLevel::kAvx512}) {
+      if (!simd::SimdLevelSupported(level)) continue;
+      ASSERT_TRUE(simd::SetSimdLevel(level));
+      SparseSimRankEngine engine(options);
+      ASSERT_TRUE(engine.Run(graph).ok());
+      EXPECT_EQ(engine.stats().simd_level, simd::SimdLevelName(level));
+      ExpectIdentical(engine.ExportQueryScores(0.0), want_queries);
+      ExpectIdentical(engine.ExportAdScores(0.0), want_ads);
+    }
+  }
+  ASSERT_TRUE(simd::SetSimdLevel(before));
+}
+
+// fast_math opts out of bit-identity (FMA permitted) but must stay
+// within the tolerance documented in docs/SIMD_KERNELS.md. Pruning and
+// the partner cap are disabled so the kept pair set cannot flip on a
+// last-ULP threshold comparison.
+TEST(SimdFastMathTest, WithinDocumentedTolerance) {
+  BipartiteGraph graph = SeededGraph();
+  constexpr double kTolerance = 1e-9;
+  for (SimRankVariant variant :
+       {SimRankVariant::kSimRank, SimRankVariant::kWeighted}) {
+    SimRankOptions options = BaseOptions(variant);
+    options.prune_threshold = 0.0;
+    options.max_partners_per_node = 0;
+    options.iterations = 5;
+    SparseSimRankEngine exact_engine(options);
+    ASSERT_TRUE(exact_engine.Run(graph).ok());
+
+    SimRankOptions fast_options = options;
+    fast_options.fast_math = true;
+    SparseSimRankEngine fast_engine(fast_options);
+    ASSERT_TRUE(fast_engine.Run(graph).ok());
+
+    SimilarityMatrix exact_queries = exact_engine.ExportQueryScores(0.0);
+    ASSERT_GT(exact_queries.num_pairs(), 0u);
+    EXPECT_LE(fast_engine.ExportQueryScores(0.0).MaxAbsDifference(
+                  exact_queries),
+              kTolerance);
+    EXPECT_LE(fast_engine.ExportAdScores(0.0).MaxAbsDifference(
+                  exact_engine.ExportAdScores(0.0)),
+              kTolerance);
   }
 }
 

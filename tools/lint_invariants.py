@@ -21,6 +21,13 @@ tooling cannot know about this codebase:
                        under NDEBUG, so release builds would skip the
                        invariant; SRPP_CHECK (util/logging.h) is
                        always-on.
+  raw-intrinsics       x86 intrinsics (_mm*/__m128/__m256/__m512) or an
+                       <immintrin.h>-family include outside
+                       src/util/simd/. Vector code must live behind the
+                       kernel-table interface (docs/SIMD_KERNELS.md) so
+                       the scalar fallback, runtime dispatch, and the
+                       cross-level determinism contract stay in one
+                       place.
 
 Waivers: a finding is suppressed by a comment on the same line or the
 line directly above it::
@@ -44,6 +51,7 @@ RULES = (
     "relaxed-publish",
     "naked-new",
     "raw-assert",
+    "raw-intrinsics",
 )
 
 # Files on the export / scoring / serialization path, where iteration
@@ -64,6 +72,10 @@ DETERMINISM_CRITICAL = (
 
 # Where the RCU-publish rule applies.
 SERVE_PREFIX = "src/serve/"
+
+# The only tree allowed to touch raw x86 intrinsics; everything else
+# goes through the dispatched kernel tables (util/simd/simd.h).
+SIMD_PREFIX = "src/util/simd/"
 
 # Trees the tree-walk mode scans. Tests are out of scope: gtest's own
 # idioms (and deliberate death-test UB probes) would drown the signal.
@@ -290,6 +302,26 @@ def _raw_assert_findings(path, stripped):
     return findings
 
 
+_INTRINSIC_IDENT_RE = re.compile(r"\b(?:_mm\w*|__m(?:64|128|256|512)\w*)\b")
+_INTRINSIC_INCLUDE_RE = re.compile(
+    r'#\s*include\s*[<"]\w*(?:immintrin|x86intrin|intrin)\.h[>"]')
+
+
+def _raw_intrinsics_findings(path, stripped):
+    findings = []
+    for m in _INTRINSIC_INCLUDE_RE.finditer(stripped):
+        findings.append(Finding(
+            path, _line_of(stripped, m.start()), "raw-intrinsics",
+            "intrinsics header included outside src/util/simd/; use the "
+            "kernel tables in util/simd/simd.h"))
+    for m in _INTRINSIC_IDENT_RE.finditer(stripped):
+        findings.append(Finding(
+            path, _line_of(stripped, m.start()), "raw-intrinsics",
+            f"raw x86 intrinsic '{m.group(0)}' outside src/util/simd/; "
+            "vector code belongs behind the kernel-table interface"))
+    return findings
+
+
 def lint_file(rel_path, text, unordered_names, atomic_sp_names):
     """All findings for one file, before waivers. `rel_path` uses '/'."""
     stripped = strip_comments_and_strings(text)
@@ -300,6 +332,8 @@ def lint_file(rel_path, text, unordered_names, atomic_sp_names):
     if rel_path.startswith(SERVE_PREFIX):
         findings.extend(_relaxed_findings(
             rel_path, stripped, atomic_sp_names))
+    if not rel_path.startswith(SIMD_PREFIX):
+        findings.extend(_raw_intrinsics_findings(rel_path, stripped))
     findings.extend(_naked_new_findings(rel_path, stripped))
     findings.extend(_raw_assert_findings(rel_path, stripped))
     return findings

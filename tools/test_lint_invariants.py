@@ -145,6 +145,51 @@ class RawAssertTest(unittest.TestCase):
         self.assertEqual(run(OTHER, text), [])
 
 
+class RawIntrinsicsTest(unittest.TestCase):
+    SIMD = "src/util/simd/kernels_avx2.cc"
+
+    def test_flags_intrinsic_call_outside_simd_tree(self):
+        text = ("void f(double* y, const double* x) {\n"
+                "  _mm256_storeu_pd(y, _mm256_loadu_pd(x));\n"
+                "}\n")
+        self.assertEqual(rules_of(run(OTHER, text)),
+                         ["raw-intrinsics", "raw-intrinsics"])
+
+    def test_flags_vector_type_outside_simd_tree(self):
+        text = "__m512d acc;\n"
+        self.assertEqual(rules_of(run(OTHER, text)), ["raw-intrinsics"])
+
+    def test_flags_immintrin_include_outside_simd_tree(self):
+        text = "#include <immintrin.h>\n"
+        self.assertEqual(rules_of(run(OTHER, text)), ["raw-intrinsics"])
+
+    def test_simd_tree_is_exempt(self):
+        text = ("#include <immintrin.h>\n"
+                "void f(double* y, const double* x) {\n"
+                "  __m256d v = _mm256_loadu_pd(x);\n"
+                "  _mm256_storeu_pd(y, v);\n"
+                "}\n")
+        self.assertEqual(run(self.SIMD, text), [])
+
+    def test_intrinsic_in_comment_or_string_not_flagged(self):
+        text = ('// call _mm256_loadu_pd via the kernel table\n'
+                'const char* s = "#include <immintrin.h>";\n')
+        self.assertEqual(run(OTHER, text), [])
+
+    def test_kernel_table_call_not_flagged(self):
+        text = ("double f(const double* d, const uint32_t* idx, size_t n)"
+                " {\n"
+                "  return simd::ActiveKernels().gather_sum(d, idx, n);\n"
+                "}\n")
+        self.assertEqual(run(OTHER, text), [])
+
+    def test_waiver_suppresses(self):
+        text = ("// srpp:allow(raw-intrinsics): prefetch hint only, no\n"
+                "// arithmetic — dispatch indirection would defeat it.\n"
+                "_mm_prefetch(p, _MM_HINT_T0);\n")
+        self.assertEqual(run(OTHER, text), [])
+
+
 class WaiverTest(unittest.TestCase):
     def test_same_line_waiver_suppresses(self):
         text = ("auto* p = new Foo();  "
