@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrankpp_loadgen.dir/loadgen.cc.o"
+  "CMakeFiles/simrankpp_loadgen.dir/loadgen.cc.o.d"
+  "libsimrankpp_loadgen.a"
+  "libsimrankpp_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrankpp_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/closed_form.cc" "src/CMakeFiles/simrankpp_core.dir/core/closed_form.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/closed_form.cc.o.d"
+  "/root/repo/src/core/dense_engine.cc" "src/CMakeFiles/simrankpp_core.dir/core/dense_engine.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/dense_engine.cc.o.d"
+  "/root/repo/src/core/desirability.cc" "src/CMakeFiles/simrankpp_core.dir/core/desirability.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/desirability.cc.o.d"
+  "/root/repo/src/core/engine_registry.cc" "src/CMakeFiles/simrankpp_core.dir/core/engine_registry.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/engine_registry.cc.o.d"
+  "/root/repo/src/core/evidence.cc" "src/CMakeFiles/simrankpp_core.dir/core/evidence.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/evidence.cc.o.d"
+  "/root/repo/src/core/linearized_engine.cc" "src/CMakeFiles/simrankpp_core.dir/core/linearized_engine.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/linearized_engine.cc.o.d"
+  "/root/repo/src/core/naive_similarity.cc" "src/CMakeFiles/simrankpp_core.dir/core/naive_similarity.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/naive_similarity.cc.o.d"
+  "/root/repo/src/core/pair_store.cc" "src/CMakeFiles/simrankpp_core.dir/core/pair_store.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/pair_store.cc.o.d"
+  "/root/repo/src/core/pearson.cc" "src/CMakeFiles/simrankpp_core.dir/core/pearson.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/pearson.cc.o.d"
+  "/root/repo/src/core/random_walk.cc" "src/CMakeFiles/simrankpp_core.dir/core/random_walk.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/random_walk.cc.o.d"
+  "/root/repo/src/core/sample_graphs.cc" "src/CMakeFiles/simrankpp_core.dir/core/sample_graphs.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/sample_graphs.cc.o.d"
+  "/root/repo/src/core/similarity_matrix.cc" "src/CMakeFiles/simrankpp_core.dir/core/similarity_matrix.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/similarity_matrix.cc.o.d"
+  "/root/repo/src/core/simrank_options.cc" "src/CMakeFiles/simrankpp_core.dir/core/simrank_options.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/simrank_options.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/CMakeFiles/simrankpp_core.dir/core/snapshot.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/snapshot.cc.o.d"
+  "/root/repo/src/core/sparse_engine.cc" "src/CMakeFiles/simrankpp_core.dir/core/sparse_engine.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/sparse_engine.cc.o.d"
+  "/root/repo/src/core/weighted_transitions.cc" "src/CMakeFiles/simrankpp_core.dir/core/weighted_transitions.cc.o" "gcc" "src/CMakeFiles/simrankpp_core.dir/core/weighted_transitions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

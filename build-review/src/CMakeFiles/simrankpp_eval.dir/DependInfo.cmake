@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/desirability_experiment.cc" "src/CMakeFiles/simrankpp_eval.dir/eval/desirability_experiment.cc.o" "gcc" "src/CMakeFiles/simrankpp_eval.dir/eval/desirability_experiment.cc.o.d"
+  "/root/repo/src/eval/editorial_oracle.cc" "src/CMakeFiles/simrankpp_eval.dir/eval/editorial_oracle.cc.o" "gcc" "src/CMakeFiles/simrankpp_eval.dir/eval/editorial_oracle.cc.o.d"
+  "/root/repo/src/eval/experiment_runner.cc" "src/CMakeFiles/simrankpp_eval.dir/eval/experiment_runner.cc.o" "gcc" "src/CMakeFiles/simrankpp_eval.dir/eval/experiment_runner.cc.o.d"
+  "/root/repo/src/eval/judgment.cc" "src/CMakeFiles/simrankpp_eval.dir/eval/judgment.cc.o" "gcc" "src/CMakeFiles/simrankpp_eval.dir/eval/judgment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/simrankpp_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/simrankpp_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/pr_curve.cc" "src/CMakeFiles/simrankpp_eval.dir/eval/pr_curve.cc.o" "gcc" "src/CMakeFiles/simrankpp_eval.dir/eval/pr_curve.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_partition.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_synth.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_text.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

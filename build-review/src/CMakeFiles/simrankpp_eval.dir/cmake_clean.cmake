@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrankpp_eval.dir/eval/desirability_experiment.cc.o"
+  "CMakeFiles/simrankpp_eval.dir/eval/desirability_experiment.cc.o.d"
+  "CMakeFiles/simrankpp_eval.dir/eval/editorial_oracle.cc.o"
+  "CMakeFiles/simrankpp_eval.dir/eval/editorial_oracle.cc.o.d"
+  "CMakeFiles/simrankpp_eval.dir/eval/experiment_runner.cc.o"
+  "CMakeFiles/simrankpp_eval.dir/eval/experiment_runner.cc.o.d"
+  "CMakeFiles/simrankpp_eval.dir/eval/judgment.cc.o"
+  "CMakeFiles/simrankpp_eval.dir/eval/judgment.cc.o.d"
+  "CMakeFiles/simrankpp_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/simrankpp_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/simrankpp_eval.dir/eval/pr_curve.cc.o"
+  "CMakeFiles/simrankpp_eval.dir/eval/pr_curve.cc.o.d"
+  "libsimrankpp_eval.a"
+  "libsimrankpp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrankpp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bipartite_graph.cc" "src/CMakeFiles/simrankpp_graph.dir/graph/bipartite_graph.cc.o" "gcc" "src/CMakeFiles/simrankpp_graph.dir/graph/bipartite_graph.cc.o.d"
+  "/root/repo/src/graph/components.cc" "src/CMakeFiles/simrankpp_graph.dir/graph/components.cc.o" "gcc" "src/CMakeFiles/simrankpp_graph.dir/graph/components.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/simrankpp_graph.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/simrankpp_graph.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/simrankpp_graph.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/simrankpp_graph.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/CMakeFiles/simrankpp_graph.dir/graph/graph_stats.cc.o" "gcc" "src/CMakeFiles/simrankpp_graph.dir/graph/graph_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

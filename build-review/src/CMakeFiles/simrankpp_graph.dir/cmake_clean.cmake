@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrankpp_graph.dir/graph/bipartite_graph.cc.o"
+  "CMakeFiles/simrankpp_graph.dir/graph/bipartite_graph.cc.o.d"
+  "CMakeFiles/simrankpp_graph.dir/graph/components.cc.o"
+  "CMakeFiles/simrankpp_graph.dir/graph/components.cc.o.d"
+  "CMakeFiles/simrankpp_graph.dir/graph/graph_builder.cc.o"
+  "CMakeFiles/simrankpp_graph.dir/graph/graph_builder.cc.o.d"
+  "CMakeFiles/simrankpp_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/simrankpp_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/simrankpp_graph.dir/graph/graph_stats.cc.o"
+  "CMakeFiles/simrankpp_graph.dir/graph/graph_stats.cc.o.d"
+  "libsimrankpp_graph.a"
+  "libsimrankpp_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrankpp_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/conductance.cc" "src/CMakeFiles/simrankpp_partition.dir/partition/conductance.cc.o" "gcc" "src/CMakeFiles/simrankpp_partition.dir/partition/conductance.cc.o.d"
+  "/root/repo/src/partition/ppr.cc" "src/CMakeFiles/simrankpp_partition.dir/partition/ppr.cc.o" "gcc" "src/CMakeFiles/simrankpp_partition.dir/partition/ppr.cc.o.d"
+  "/root/repo/src/partition/subgraph_extractor.cc" "src/CMakeFiles/simrankpp_partition.dir/partition/subgraph_extractor.cc.o" "gcc" "src/CMakeFiles/simrankpp_partition.dir/partition/subgraph_extractor.cc.o.d"
+  "/root/repo/src/partition/sweep_cut.cc" "src/CMakeFiles/simrankpp_partition.dir/partition/sweep_cut.cc.o" "gcc" "src/CMakeFiles/simrankpp_partition.dir/partition/sweep_cut.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrankpp_partition.dir/partition/conductance.cc.o"
+  "CMakeFiles/simrankpp_partition.dir/partition/conductance.cc.o.d"
+  "CMakeFiles/simrankpp_partition.dir/partition/ppr.cc.o"
+  "CMakeFiles/simrankpp_partition.dir/partition/ppr.cc.o.d"
+  "CMakeFiles/simrankpp_partition.dir/partition/subgraph_extractor.cc.o"
+  "CMakeFiles/simrankpp_partition.dir/partition/subgraph_extractor.cc.o.d"
+  "CMakeFiles/simrankpp_partition.dir/partition/sweep_cut.cc.o"
+  "CMakeFiles/simrankpp_partition.dir/partition/sweep_cut.cc.o.d"
+  "libsimrankpp_partition.a"
+  "libsimrankpp_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrankpp_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

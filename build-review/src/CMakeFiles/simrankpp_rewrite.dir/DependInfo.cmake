@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/bid_database.cc" "src/CMakeFiles/simrankpp_rewrite.dir/rewrite/bid_database.cc.o" "gcc" "src/CMakeFiles/simrankpp_rewrite.dir/rewrite/bid_database.cc.o.d"
+  "/root/repo/src/rewrite/candidate.cc" "src/CMakeFiles/simrankpp_rewrite.dir/rewrite/candidate.cc.o" "gcc" "src/CMakeFiles/simrankpp_rewrite.dir/rewrite/candidate.cc.o.d"
+  "/root/repo/src/rewrite/pipeline.cc" "src/CMakeFiles/simrankpp_rewrite.dir/rewrite/pipeline.cc.o" "gcc" "src/CMakeFiles/simrankpp_rewrite.dir/rewrite/pipeline.cc.o.d"
+  "/root/repo/src/rewrite/rewrite_service.cc" "src/CMakeFiles/simrankpp_rewrite.dir/rewrite/rewrite_service.cc.o" "gcc" "src/CMakeFiles/simrankpp_rewrite.dir/rewrite/rewrite_service.cc.o.d"
+  "/root/repo/src/rewrite/rewriter.cc" "src/CMakeFiles/simrankpp_rewrite.dir/rewrite/rewriter.cc.o" "gcc" "src/CMakeFiles/simrankpp_rewrite.dir/rewrite/rewriter.cc.o.d"
+  "/root/repo/src/rewrite/row_cache.cc" "src/CMakeFiles/simrankpp_rewrite.dir/rewrite/row_cache.cc.o" "gcc" "src/CMakeFiles/simrankpp_rewrite.dir/rewrite/row_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_text.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrankpp_rewrite.dir/rewrite/bid_database.cc.o"
+  "CMakeFiles/simrankpp_rewrite.dir/rewrite/bid_database.cc.o.d"
+  "CMakeFiles/simrankpp_rewrite.dir/rewrite/candidate.cc.o"
+  "CMakeFiles/simrankpp_rewrite.dir/rewrite/candidate.cc.o.d"
+  "CMakeFiles/simrankpp_rewrite.dir/rewrite/pipeline.cc.o"
+  "CMakeFiles/simrankpp_rewrite.dir/rewrite/pipeline.cc.o.d"
+  "CMakeFiles/simrankpp_rewrite.dir/rewrite/rewrite_service.cc.o"
+  "CMakeFiles/simrankpp_rewrite.dir/rewrite/rewrite_service.cc.o.d"
+  "CMakeFiles/simrankpp_rewrite.dir/rewrite/rewriter.cc.o"
+  "CMakeFiles/simrankpp_rewrite.dir/rewrite/rewriter.cc.o.d"
+  "CMakeFiles/simrankpp_rewrite.dir/rewrite/row_cache.cc.o"
+  "CMakeFiles/simrankpp_rewrite.dir/rewrite/row_cache.cc.o.d"
+  "libsimrankpp_rewrite.a"
+  "libsimrankpp_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrankpp_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

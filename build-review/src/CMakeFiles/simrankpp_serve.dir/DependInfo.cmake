@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serve/daemon.cc" "src/CMakeFiles/simrankpp_serve.dir/serve/daemon.cc.o" "gcc" "src/CMakeFiles/simrankpp_serve.dir/serve/daemon.cc.o.d"
+  "/root/repo/src/serve/manifest.cc" "src/CMakeFiles/simrankpp_serve.dir/serve/manifest.cc.o" "gcc" "src/CMakeFiles/simrankpp_serve.dir/serve/manifest.cc.o.d"
+  "/root/repo/src/serve/protocol.cc" "src/CMakeFiles/simrankpp_serve.dir/serve/protocol.cc.o" "gcc" "src/CMakeFiles/simrankpp_serve.dir/serve/protocol.cc.o.d"
+  "/root/repo/src/serve/snapshot_store.cc" "src/CMakeFiles/simrankpp_serve.dir/serve/snapshot_store.cc.o" "gcc" "src/CMakeFiles/simrankpp_serve.dir/serve/snapshot_store.cc.o.d"
+  "/root/repo/src/serve/tenant_registry.cc" "src/CMakeFiles/simrankpp_serve.dir/serve/tenant_registry.cc.o" "gcc" "src/CMakeFiles/simrankpp_serve.dir/serve/tenant_registry.cc.o.d"
+  "/root/repo/src/serve/token_bucket.cc" "src/CMakeFiles/simrankpp_serve.dir/serve/token_bucket.cc.o" "gcc" "src/CMakeFiles/simrankpp_serve.dir/serve/token_bucket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_text.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrankpp_serve.dir/serve/daemon.cc.o"
+  "CMakeFiles/simrankpp_serve.dir/serve/daemon.cc.o.d"
+  "CMakeFiles/simrankpp_serve.dir/serve/manifest.cc.o"
+  "CMakeFiles/simrankpp_serve.dir/serve/manifest.cc.o.d"
+  "CMakeFiles/simrankpp_serve.dir/serve/protocol.cc.o"
+  "CMakeFiles/simrankpp_serve.dir/serve/protocol.cc.o.d"
+  "CMakeFiles/simrankpp_serve.dir/serve/snapshot_store.cc.o"
+  "CMakeFiles/simrankpp_serve.dir/serve/snapshot_store.cc.o.d"
+  "CMakeFiles/simrankpp_serve.dir/serve/tenant_registry.cc.o"
+  "CMakeFiles/simrankpp_serve.dir/serve/tenant_registry.cc.o.d"
+  "CMakeFiles/simrankpp_serve.dir/serve/token_bucket.cc.o"
+  "CMakeFiles/simrankpp_serve.dir/serve/token_bucket.cc.o.d"
+  "libsimrankpp_serve.a"
+  "libsimrankpp_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrankpp_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/bid_generator.cc" "src/CMakeFiles/simrankpp_synth.dir/synth/bid_generator.cc.o" "gcc" "src/CMakeFiles/simrankpp_synth.dir/synth/bid_generator.cc.o.d"
+  "/root/repo/src/synth/click_graph_generator.cc" "src/CMakeFiles/simrankpp_synth.dir/synth/click_graph_generator.cc.o" "gcc" "src/CMakeFiles/simrankpp_synth.dir/synth/click_graph_generator.cc.o.d"
+  "/root/repo/src/synth/click_model.cc" "src/CMakeFiles/simrankpp_synth.dir/synth/click_model.cc.o" "gcc" "src/CMakeFiles/simrankpp_synth.dir/synth/click_model.cc.o.d"
+  "/root/repo/src/synth/topic_model.cc" "src/CMakeFiles/simrankpp_synth.dir/synth/topic_model.cc.o" "gcc" "src/CMakeFiles/simrankpp_synth.dir/synth/topic_model.cc.o.d"
+  "/root/repo/src/synth/workload.cc" "src/CMakeFiles/simrankpp_synth.dir/synth/workload.cc.o" "gcc" "src/CMakeFiles/simrankpp_synth.dir/synth/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_text.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrankpp_synth.dir/synth/bid_generator.cc.o"
+  "CMakeFiles/simrankpp_synth.dir/synth/bid_generator.cc.o.d"
+  "CMakeFiles/simrankpp_synth.dir/synth/click_graph_generator.cc.o"
+  "CMakeFiles/simrankpp_synth.dir/synth/click_graph_generator.cc.o.d"
+  "CMakeFiles/simrankpp_synth.dir/synth/click_model.cc.o"
+  "CMakeFiles/simrankpp_synth.dir/synth/click_model.cc.o.d"
+  "CMakeFiles/simrankpp_synth.dir/synth/topic_model.cc.o"
+  "CMakeFiles/simrankpp_synth.dir/synth/topic_model.cc.o.d"
+  "CMakeFiles/simrankpp_synth.dir/synth/workload.cc.o"
+  "CMakeFiles/simrankpp_synth.dir/synth/workload.cc.o.d"
+  "libsimrankpp_synth.a"
+  "libsimrankpp_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrankpp_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/normalize.cc" "src/CMakeFiles/simrankpp_text.dir/text/normalize.cc.o" "gcc" "src/CMakeFiles/simrankpp_text.dir/text/normalize.cc.o.d"
+  "/root/repo/src/text/porter_stemmer.cc" "src/CMakeFiles/simrankpp_text.dir/text/porter_stemmer.cc.o" "gcc" "src/CMakeFiles/simrankpp_text.dir/text/porter_stemmer.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/simrankpp_text.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/simrankpp_text.dir/text/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

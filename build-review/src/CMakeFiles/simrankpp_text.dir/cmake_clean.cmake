@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrankpp_text.dir/text/normalize.cc.o"
+  "CMakeFiles/simrankpp_text.dir/text/normalize.cc.o.d"
+  "CMakeFiles/simrankpp_text.dir/text/porter_stemmer.cc.o"
+  "CMakeFiles/simrankpp_text.dir/text/porter_stemmer.cc.o.d"
+  "CMakeFiles/simrankpp_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/simrankpp_text.dir/text/tokenizer.cc.o.d"
+  "libsimrankpp_text.a"
+  "libsimrankpp_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrankpp_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

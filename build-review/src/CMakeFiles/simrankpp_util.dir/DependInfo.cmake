@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/csv_writer.cc" "src/CMakeFiles/simrankpp_util.dir/util/csv_writer.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/csv_writer.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/simrankpp_util.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/simrankpp_util.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/simrankpp_util.dir/util/random.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/random.cc.o.d"
+  "/root/repo/src/util/simd/kernels_avx2.cc" "src/CMakeFiles/simrankpp_util.dir/util/simd/kernels_avx2.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/simd/kernels_avx2.cc.o.d"
+  "/root/repo/src/util/simd/kernels_avx512.cc" "src/CMakeFiles/simrankpp_util.dir/util/simd/kernels_avx512.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/simd/kernels_avx512.cc.o.d"
+  "/root/repo/src/util/simd/kernels_scalar.cc" "src/CMakeFiles/simrankpp_util.dir/util/simd/kernels_scalar.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/simd/kernels_scalar.cc.o.d"
+  "/root/repo/src/util/simd/simd_dispatch.cc" "src/CMakeFiles/simrankpp_util.dir/util/simd/simd_dispatch.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/simd/simd_dispatch.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/simrankpp_util.dir/util/status.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/status.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/simrankpp_util.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/simrankpp_util.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/simrankpp_util.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/simrankpp_util.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/thread_pool.cc.o.d"
+  "/root/repo/src/util/zipf.cc" "src/CMakeFiles/simrankpp_util.dir/util/zipf.cc.o" "gcc" "src/CMakeFiles/simrankpp_util.dir/util/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

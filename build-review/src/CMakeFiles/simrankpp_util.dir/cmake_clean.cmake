@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrankpp_util.dir/util/csv_writer.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/csv_writer.cc.o.d"
+  "CMakeFiles/simrankpp_util.dir/util/histogram.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/simrankpp_util.dir/util/logging.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/simrankpp_util.dir/util/random.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/random.cc.o.d"
+  "CMakeFiles/simrankpp_util.dir/util/simd/kernels_avx2.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/simd/kernels_avx2.cc.o.d"
+  "CMakeFiles/simrankpp_util.dir/util/simd/kernels_avx512.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/simd/kernels_avx512.cc.o.d"
+  "CMakeFiles/simrankpp_util.dir/util/simd/kernels_scalar.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/simd/kernels_scalar.cc.o.d"
+  "CMakeFiles/simrankpp_util.dir/util/simd/simd_dispatch.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/simd/simd_dispatch.cc.o.d"
+  "CMakeFiles/simrankpp_util.dir/util/status.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/status.cc.o.d"
+  "CMakeFiles/simrankpp_util.dir/util/stopwatch.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/stopwatch.cc.o.d"
+  "CMakeFiles/simrankpp_util.dir/util/string_util.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/simrankpp_util.dir/util/table_printer.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/table_printer.cc.o.d"
+  "CMakeFiles/simrankpp_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/thread_pool.cc.o.d"
+  "CMakeFiles/simrankpp_util.dir/util/zipf.cc.o"
+  "CMakeFiles/simrankpp_util.dir/util/zipf.cc.o.d"
+  "libsimrankpp_util.a"
+  "libsimrankpp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrankpp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daemon_hammer_test.dir/daemon_hammer_test.cc.o"
+  "CMakeFiles/daemon_hammer_test.dir/daemon_hammer_test.cc.o.d"
+  "daemon_hammer_test"
+  "daemon_hammer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daemon_hammer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daemon_test.dir/daemon_test.cc.o"
+  "CMakeFiles/daemon_test.dir/daemon_test.cc.o.d"
+  "daemon_test"
+  "daemon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daemon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desirability_test.dir/desirability_test.cc.o"
+  "CMakeFiles/desirability_test.dir/desirability_test.cc.o.d"
+  "desirability_test"
+  "desirability_test.pdb"
+  "desirability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desirability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

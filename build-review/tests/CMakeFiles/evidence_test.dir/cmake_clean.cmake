@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evidence_test.dir/evidence_test.cc.o"
+  "CMakeFiles/evidence_test.dir/evidence_test.cc.o.d"
+  "evidence_test"
+  "evidence_test.pdb"
+  "evidence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

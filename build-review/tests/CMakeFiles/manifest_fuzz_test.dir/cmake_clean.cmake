@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manifest_fuzz_test.dir/manifest_fuzz_test.cc.o"
+  "CMakeFiles/manifest_fuzz_test.dir/manifest_fuzz_test.cc.o.d"
+  "manifest_fuzz_test"
+  "manifest_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manifest_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_store_test.dir/pair_store_test.cc.o"
+  "CMakeFiles/pair_store_test.dir/pair_store_test.cc.o.d"
+  "pair_store_test"
+  "pair_store_test.pdb"
+  "pair_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/random_walk_test.cc" "tests/CMakeFiles/random_walk_test.dir/random_walk_test.cc.o" "gcc" "tests/CMakeFiles/random_walk_test.dir/random_walk_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/simrankpp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

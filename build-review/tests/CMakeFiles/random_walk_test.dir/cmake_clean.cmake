@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_walk_test.dir/random_walk_test.cc.o"
+  "CMakeFiles/random_walk_test.dir/random_walk_test.cc.o.d"
+  "random_walk_test"
+  "random_walk_test.pdb"
+  "random_walk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_walk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simd_kernel_test.dir/simd_kernel_test.cc.o"
+  "CMakeFiles/simd_kernel_test.dir/simd_kernel_test.cc.o.d"
+  "simd_kernel_test"
+  "simd_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simd_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

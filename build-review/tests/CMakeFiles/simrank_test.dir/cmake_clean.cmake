@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrank_test.dir/simrank_test.cc.o"
+  "CMakeFiles/simrank_test.dir/simrank_test.cc.o.d"
+  "simrank_test"
+  "simrank_test.pdb"
+  "simrank_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrank_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

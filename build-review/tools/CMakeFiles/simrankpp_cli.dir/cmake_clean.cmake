@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrankpp_cli.dir/simrankpp_cli.cc.o"
+  "CMakeFiles/simrankpp_cli.dir/simrankpp_cli.cc.o.d"
+  "simrankpp"
+  "simrankpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrankpp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrankpp_cli_lib.dir/cli.cc.o"
+  "CMakeFiles/simrankpp_cli_lib.dir/cli.cc.o.d"
+  "libsimrankpp_cli_lib.a"
+  "libsimrankpp_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrankpp_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsimrankpp_cli_lib.a"
+)
