@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -169,6 +170,20 @@ int VerifyOnDemand(const std::string& host, uint16_t port,
   return 0;
 }
 
+// Scrapes srpp_stage_duration_seconds over the binary protocol
+// (kMetricsRequest) and returns the per-stage samples. Exits on
+// transport failure: every daemon this bench drives serves the frame.
+std::map<std::string, loadgen::StageSample> ScrapeStageSamples(
+    const std::string& host, uint16_t port) {
+  Result<std::string> text = loadgen::FetchMetricsText(host, port);
+  if (!text.ok()) {
+    std::fprintf(stderr, "metrics scrape failed: %s\n",
+                 text.status().ToString().c_str());
+    std::exit(1);
+  }
+  return loadgen::ParseStageSamples(*text);
+}
+
 int ConnectMode(const std::string& endpoint, bool smoke) {
   size_t colon = endpoint.rfind(':');
   if (colon == std::string::npos) {
@@ -191,6 +206,8 @@ int ConnectMode(const std::string& endpoint, bool smoke) {
       loadgen::LoadTarget{"alpha", SampleQueries(graph_a, 32)},
       loadgen::LoadTarget{"beta", SampleQueries(graph_b, 32)},
   };
+  std::map<std::string, loadgen::StageSample> before =
+      ScrapeStageSamples(options.host, options.port);
   Result<loadgen::LoadReport> report = loadgen::RunLoad(options);
   if (!report.ok()) {
     std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
@@ -199,6 +216,15 @@ int ConnectMode(const std::string& endpoint, bool smoke) {
   std::printf("%s\n", report->ToString().c_str());
   if (report->ok != report->sent) {
     std::fprintf(stderr, "expected every request to succeed\n");
+    return 1;
+  }
+  // Server-side attribution for the burst we just sent: where did the
+  // round-trip time go once the daemon had the request?
+  loadgen::StageBreakdown stages = loadgen::DiffStageSamples(
+      before, ScrapeStageSamples(options.host, options.port));
+  std::printf("%s", stages.ToString().c_str());
+  if (stages.stages.empty()) {
+    std::fprintf(stderr, "daemon exposed no stage histograms\n");
     return 1;
   }
   // The load phase stayed on the precomputed tenants; now drive the
@@ -265,6 +291,8 @@ int Main(int argc, char** argv) {
   bench::PerfTable table(
       StringPrintf("serve-daemon loadgen (%s)", smoke ? "smoke" : "full"),
       repeats);
+  std::map<std::string, loadgen::StageSample> stages_before =
+      ScrapeStageSamples(base.host, base.port);
   for (const Shape& shape : shapes) {
     loadgen::LoadOptions options = base;
     options.connections = shape.connections;
@@ -286,6 +314,12 @@ int Main(int argc, char** argv) {
   }
   table.Print();
 
+  // Server-side counterpart of the client percentiles above: per-stage
+  // means over everything the shapes sent, scraped via kMetricsRequest.
+  loadgen::StageBreakdown stages = loadgen::DiffStageSamples(
+      stages_before, ScrapeStageSamples(base.host, base.port));
+  std::printf("%s", stages.ToString().c_str());
+
   DaemonMetrics metrics = (*daemon)->Metrics();
   std::printf("daemon: admitted=%llu batches=%llu max_batch=%llu\n",
               static_cast<unsigned long long>(metrics.requests_admitted),
@@ -301,6 +335,25 @@ int Main(int argc, char** argv) {
   if (json_path[0] != '\0') {
     bench::JsonReport report;
     report.Add(table);
+    // Stage means ride along as extra cases ("stage/score", ...). The
+    // regression gate reports unknown names as [new] without failing,
+    // so they are informational until the baseline is refreshed.
+    double total = stages.total_seconds();
+    for (const auto& [stage, sample] : stages.stages) {
+      bench::PerfCase c;
+      c.name = "stage/" + stage;
+      c.reps = static_cast<size_t>(sample.count);
+      uint64_t mean_ns =
+          sample.count > 0
+              ? static_cast<uint64_t>(sample.sum_seconds / sample.count * 1e9)
+              : 0;
+      c.median_ns = mean_ns;
+      c.best_ns = mean_ns;
+      c.note = StringPrintf(
+          "share %.1f%% of server time",
+          total > 0.0 ? sample.sum_seconds / total * 100.0 : 0.0);
+      report.AddCase(std::move(c));
+    }
     if (!report.WriteFile(json_path)) {
       std::fprintf(stderr, "cannot write %s\n", json_path);
       return 1;

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <unordered_map>
@@ -123,6 +124,13 @@ Status Client::SendReload(uint32_t request_id) {
   return SendBytes(frame);
 }
 
+Status Client::SendMetrics(uint32_t request_id) {
+  std::string frame;
+  AppendEmptyFrame(FrameType::kMetricsRequest, WireCode::kOk, request_id,
+                   &frame);
+  return SendBytes(frame);
+}
+
 Result<Reply> Client::ReadReply() {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   for (;;) {
@@ -147,6 +155,7 @@ Result<Reply> Client::ReadReply() {
           break;
         case FrameType::kStatsResponse:
         case FrameType::kReloadResponse:
+        case FrameType::kMetricsResponse:
         case FrameType::kError:
           parsed = ParseTextPayload(payload, &reply.text);
           break;
@@ -305,6 +314,118 @@ Result<LoadReport> RunLoad(const LoadOptions& options) {
   report.p90_us = latencies.Quantile(0.9);
   report.p99_us = latencies.Quantile(0.99);
   return report;
+}
+
+namespace {
+
+// Value of `label` inside a {k="v",...} label block, or empty when the
+// sample does not carry it. The daemon never emits escaped quotes in
+// stage labels, so a plain quote scan is enough here.
+std::string_view LabelValueIn(std::string_view labels, std::string_view label) {
+  std::string needle = std::string(label) + "=\"";
+  size_t at = labels.find(needle);
+  if (at == std::string_view::npos) return {};
+  size_t begin = at + needle.size();
+  size_t end = labels.find('"', begin);
+  if (end == std::string_view::npos) return {};
+  return labels.substr(begin, end - begin);
+}
+
+}  // namespace
+
+double StageBreakdown::total_seconds() const {
+  double total = 0.0;
+  for (const auto& [stage, sample] : stages) total += sample.sum_seconds;
+  return total;
+}
+
+std::string StageBreakdown::ToString() const {
+  // Fixed serving order, not map order: readers expect the pipeline.
+  static constexpr const char* kOrder[] = {"admission", "queue", "batch",
+                                           "score", "flush"};
+  double total = total_seconds();
+  std::string text;
+  for (const char* stage : kOrder) {
+    auto it = stages.find(stage);
+    if (it == stages.end()) continue;
+    const StageSample& sample = it->second;
+    double mean_us =
+        sample.count > 0 ? sample.sum_seconds / sample.count * 1e6 : 0.0;
+    double share = total > 0.0 ? sample.sum_seconds / total * 100.0 : 0.0;
+    text += StringPrintf("stage %-9s count=%llu mean=%.1fus share=%.1f%%\n",
+                         stage, static_cast<unsigned long long>(sample.count),
+                         mean_us, share);
+  }
+  // Stages beyond the known pipeline (future additions) still show up.
+  for (const auto& [stage, sample] : stages) {
+    bool known = false;
+    for (const char* name : kOrder) known = known || stage == name;
+    if (known) continue;
+    text += StringPrintf("stage %-9s count=%llu sum=%.3fs\n", stage.c_str(),
+                         static_cast<unsigned long long>(sample.count),
+                         sample.sum_seconds);
+  }
+  return text;
+}
+
+std::map<std::string, StageSample> ParseStageSamples(
+    std::string_view metrics_text) {
+  constexpr std::string_view kSumPrefix = "srpp_stage_duration_seconds_sum{";
+  constexpr std::string_view kCountPrefix =
+      "srpp_stage_duration_seconds_count{";
+  std::map<std::string, StageSample> stages;
+  while (!metrics_text.empty()) {
+    size_t eol = metrics_text.find('\n');
+    std::string_view line = metrics_text.substr(0, eol);
+    metrics_text.remove_prefix(eol == std::string_view::npos
+                                   ? metrics_text.size()
+                                   : eol + 1);
+    bool is_sum = line.substr(0, kSumPrefix.size()) == kSumPrefix;
+    bool is_count = line.substr(0, kCountPrefix.size()) == kCountPrefix;
+    if (!is_sum && !is_count) continue;
+    size_t open = line.find('{');
+    size_t close = line.find('}', open);
+    if (close == std::string_view::npos) continue;
+    std::string_view stage =
+        LabelValueIn(line.substr(open, close - open), "stage");
+    if (stage.empty()) continue;
+    std::string value_text(line.substr(close + 1));
+    StageSample& sample = stages[std::string(stage)];
+    if (is_sum) {
+      sample.sum_seconds = std::strtod(value_text.c_str(), nullptr);
+    } else {
+      sample.count = std::strtoull(value_text.c_str(), nullptr, 10);
+    }
+  }
+  return stages;
+}
+
+StageBreakdown DiffStageSamples(
+    const std::map<std::string, StageSample>& before,
+    const std::map<std::string, StageSample>& after) {
+  StageBreakdown delta;
+  for (const auto& [stage, sample] : after) {
+    StageSample base;
+    auto it = before.find(stage);
+    if (it != before.end()) base = it->second;
+    StageSample diff;
+    diff.sum_seconds = std::max(0.0, sample.sum_seconds - base.sum_seconds);
+    diff.count = sample.count >= base.count ? sample.count - base.count : 0;
+    delta.stages.emplace(stage, diff);
+  }
+  return delta;
+}
+
+Result<std::string> FetchMetricsText(const std::string& host, uint16_t port) {
+  Client client;
+  SRPP_RETURN_NOT_OK(client.Connect(host, port));
+  SRPP_RETURN_NOT_OK(client.SendMetrics(/*request_id=*/1));
+  Result<Reply> reply = client.ReadReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->type != FrameType::kMetricsResponse || !reply->ok()) {
+    return Status::IOError("metrics request rejected by daemon");
+  }
+  return std::move(reply->text);
 }
 
 }  // namespace simrankpp::loadgen

@@ -59,6 +59,8 @@ class Client {
   Status SendPing(uint32_t request_id);
   Status SendStats(uint32_t request_id);
   Status SendReload(uint32_t request_id);
+  /// \brief Requests the Prometheus text exposition (kMetricsRequest).
+  Status SendMetrics(uint32_t request_id);
   /// \brief Writes raw bytes (malformed-frame tests).
   Status SendBytes(std::string_view bytes);
 
@@ -117,6 +119,39 @@ struct LoadReport {
 /// errors; protocol-level rejections (rate limit, shed, ...) are counted
 /// in by_code.
 Result<LoadReport> RunLoad(const LoadOptions& options);
+
+/// \brief One serving stage's cumulative server-side cost, parsed from
+/// the daemon's srpp_stage_duration_seconds histogram samples.
+struct StageSample {
+  double sum_seconds = 0.0;
+  uint64_t count = 0;
+};
+
+/// \brief Server-side per-stage latency attribution over a measurement
+/// window (the after-minus-before delta of two metric scrapes).
+struct StageBreakdown {
+  /// Keyed by stage label: admission, queue, batch, score, flush.
+  std::map<std::string, StageSample> stages;
+
+  double total_seconds() const;
+
+  /// \brief "stage admission: count=... mean_us=... share=..%" lines.
+  std::string ToString() const;
+};
+
+/// \brief Extracts srpp_stage_duration_seconds{stage=...} _sum/_count
+/// samples from Prometheus exposition text (the shape the daemon
+/// writes; not a general exposition parser).
+std::map<std::string, StageSample> ParseStageSamples(
+    std::string_view metrics_text);
+
+/// \brief after - before per stage, clamped at zero.
+StageBreakdown DiffStageSamples(
+    const std::map<std::string, StageSample>& before,
+    const std::map<std::string, StageSample>& after);
+
+/// \brief One-shot scrape over the binary protocol (kMetricsRequest).
+Result<std::string> FetchMetricsText(const std::string& host, uint16_t port);
 
 }  // namespace simrankpp::loadgen
 

@@ -137,6 +137,10 @@ class JsonReport {
     for (const PerfCase& c : table.cases()) cases_.push_back(c);
   }
 
+  // Standalone row for values measured outside a PerfTable timing loop
+  // (e.g. server-side stage means scraped from /metrics).
+  void AddCase(PerfCase c) { cases_.push_back(std::move(c)); }
+
   bool WriteFile(const std::string& path) const {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return false;

@@ -24,10 +24,12 @@
 #include "rewrite/rewrite_service.h"
 #include "serve/manifest.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/simd/simd.h"
 #include "util/string_util.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace simrankpp {
 
@@ -53,11 +55,15 @@ void CloseIfOpen(int* fd) {
   }
 }
 
-// log10 of a latency in microseconds, the shape the latency histogram
-// buckets over (70 buckets across 7 decades: 1us .. 10s).
-double LatencyLog(double latency_us) {
-  return std::log10(std::max(latency_us, 1.0));
+// Latency histogram buckets shared by the per-tenant latency family and
+// the trace recorder's stage spans: 1us .. ~4.2s in 12 exponential
+// steps, spanning cache hits through cold linearized rows.
+std::vector<double> LatencySecondsBuckets() {
+  return ExponentialBuckets(1e-6, 4.0, 12);
 }
+
+constexpr const char* kRequestsHelp =
+    "Requests by tenant and admission outcome code.";
 
 }  // namespace
 
@@ -70,6 +76,8 @@ class ServeDaemon::Impl {
   explicit Impl(DaemonOptions options) : options_(std::move(options)) {}
 
   ~Impl() {
+    // Stop serving scrapes before anything they read can go away.
+    metrics_http_.reset();
     RequestShutdown();
     Wait();
     // Wait() leaves no thread and no pool task alive, so the fds can go.
@@ -112,27 +120,44 @@ class ServeDaemon::Impl {
   Result<std::vector<std::string>> PollNow() {
     Result<std::vector<std::string>> reloaded = store_->PollForChanges();
     if (reloaded.ok()) {
-      reloads_applied_.fetch_add(reloaded->size());
+      reloads_applied_->Increment(reloaded->size());
+    } else {
+      reloads_failed_->Increment();
     }
     return reloaded;
   }
 
   DaemonMetrics Metrics() const {
+    // A view over the registry: process-level families read directly,
+    // per-tenant families summed across tenants.
     DaemonMetrics m;
-    m.connections_accepted = connections_accepted_.load();
-    m.connections_refused = connections_refused_.load();
-    m.frames_received = frames_received_.load();
-    m.requests_admitted = requests_admitted_.load();
-    m.requests_shed = requests_shed_.load();
-    m.requests_rate_limited = requests_rate_limited_.load();
-    m.requests_draining = requests_draining_.load();
-    m.bad_frames = bad_frames_.load();
-    m.bad_requests = bad_requests_.load();
-    m.responses_sent = responses_sent_.load();
-    m.batches_executed = batches_executed_.load();
+    m.connections_accepted = connections_accepted_->Value();
+    m.connections_refused = connections_refused_->Value();
+    m.frames_received = frames_received_->Value();
+    m.requests_draining = draining_daemon_->Value();
+    m.bad_frames = bad_frames_->Value();
+    m.bad_requests = bad_requests_->Value();
+    m.responses_sent = responses_sent_->Value();
     m.max_batch_size = max_batch_size_.load();
-    m.reloads_applied = reloads_applied_.load();
+    m.reloads_applied = reloads_applied_->Value();
+    MutexLock lock(&states_mu_);
+    for (const auto& [name, state] : states_) {
+      m.requests_admitted += state->admitted->Value();
+      m.requests_shed += state->shed->Value();
+      m.requests_rate_limited += state->rate_limited->Value();
+      m.requests_draining += state->draining->Value();
+      m.batches_executed += state->batches->Value();
+    }
     return m;
+  }
+
+  const MetricsRegistry& metrics_registry() const { return metrics_; }
+  std::string MetricsText() const { return metrics_.PrometheusText(); }
+  uint16_t metrics_port() const {
+    return metrics_http_ == nullptr ? 0 : metrics_http_->port();
+  }
+  std::vector<RequestTrace> RecentTraces() const {
+    return tracer_->RecentTraces();
   }
 
  private:
@@ -156,23 +181,71 @@ class ServeDaemon::Impl {
     uint32_t request_id = 0;
     std::string query;
     uint16_t k = 0;
+    // Trace timestamps, all on the steady clock: recv_seconds is when
+    // frame handling began (admission-stage start), enqueue_seconds when
+    // the request entered the pending queue.
+    double recv_seconds = 0.0;
     double enqueue_seconds = 0.0;
     // Queue-cost units this request was billed at admission (1 for warm
     // rows, options.cold_row_cost for cold on-demand rows).
     size_t cost = 1;
+    // Whether admission billed this query as a cold on-demand row.
+    bool cold = false;
   };
 
-  // Per-tenant admission + batching + stats state. The bucket is event-
-  // loop-private; everything else is shared with batch workers under mu.
+  // Per-tenant admission + batching state. The bucket is event-loop-
+  // private; the pending queue is shared with batch workers under mu;
+  // the stats handles are registry children (lock-free increments) —
+  // the registry is the one source of truth, STATS renders from it.
   struct TenantState {
-    explicit TenantState(const DaemonOptions& options)
-        : bucket(options.tenant_qps, options.tenant_burst),
-          queue_depth(0.0,
-                      static_cast<double>(options.max_queue_per_tenant) + 1.0,
-                      std::min<size_t>(options.max_queue_per_tenant + 1, 64)),
-          latency_log10_us(0.0, 7.0, 70) {}
+    TenantState(const DaemonOptions& options, const std::string& tenant,
+                MetricsRegistry* metrics)
+        : bucket(options.tenant_qps, options.tenant_burst) {
+      auto code = [&tenant](const char* value) {
+        return MetricLabels{{"tenant", tenant}, {"code", value}};
+      };
+      MetricLabels only_tenant{{"tenant", tenant}};
+      admitted = metrics->GetCounter("srpp_requests_total", kRequestsHelp,
+                                     code("ok"));
+      shed = metrics->GetCounter("srpp_requests_total", kRequestsHelp,
+                                 code("shed"));
+      rate_limited = metrics->GetCounter("srpp_requests_total",
+                                         kRequestsHelp, code("rate_limited"));
+      draining = metrics->GetCounter("srpp_requests_total", kRequestsHelp,
+                                     code("draining"));
+      cold_admitted = metrics->GetCounter(
+          "srpp_cold_requests_total",
+          "Admitted requests billed at the cold on-demand row cost.",
+          only_tenant);
+      served = metrics->GetCounter("srpp_served_requests_total",
+                                   "Requests answered by batch execution.",
+                                   only_tenant);
+      batches = metrics->GetCounter("srpp_batches_total",
+                                    "Micro-batches executed.", only_tenant);
+      queue_fill = metrics->GetHistogram(
+          "srpp_queue_fill_ratio",
+          "Pending-queue depth at admission over max_queue_per_tenant.",
+          LinearBuckets(0.0, 0.05, 20), only_tenant);
+      latency_seconds = metrics->GetHistogram(
+          "srpp_tenant_latency_seconds",
+          "Per-request latency from enqueue to batch completion.",
+          LatencySecondsBuckets(), only_tenant);
+    }
 
     TokenBucket bucket;  // I/O thread only (see TokenBucket's contract)
+
+    // Registry children (stable pointers, relaxed-atomic increments).
+    Counter* admitted = nullptr;
+    Counter* cold_admitted = nullptr;
+    Counter* shed = nullptr;
+    Counter* rate_limited = nullptr;
+    Counter* draining = nullptr;
+    Counter* served = nullptr;
+    Counter* batches = nullptr;
+    HistogramMetric* queue_fill = nullptr;
+    HistogramMetric* latency_seconds = nullptr;
+    // High-water mark, not a registry family (no unit; STATS-only).
+    std::atomic<uint64_t> max_batch{0};
 
     Mutex mu;
     std::vector<PendingRequest> pending SRPP_GUARDED_BY(mu);
@@ -180,24 +253,16 @@ class ServeDaemon::Impl {
     // queue length, so cold on-demand work fills the queue faster.
     size_t pending_cost SRPP_GUARDED_BY(mu) = 0;
     bool batch_in_flight SRPP_GUARDED_BY(mu) = false;
-    uint64_t admitted SRPP_GUARDED_BY(mu) = 0;
-    uint64_t cold_admitted SRPP_GUARDED_BY(mu) = 0;
-    uint64_t shed SRPP_GUARDED_BY(mu) = 0;
-    uint64_t rate_limited SRPP_GUARDED_BY(mu) = 0;
-    uint64_t served SRPP_GUARDED_BY(mu) = 0;
-    uint64_t batches SRPP_GUARDED_BY(mu) = 0;
-    uint64_t max_batch SRPP_GUARDED_BY(mu) = 0;
-    Histogram queue_depth SRPP_GUARDED_BY(mu);
-    // Streaming moments (O(1) memory) and quantiles over log10(us).
-    SummaryStats latency_us SRPP_GUARDED_BY(mu);
-    Histogram latency_log10_us SRPP_GUARDED_BY(mu);
   };
 
-  // A finished response frame headed back to (fd, serial).
+  // A finished response frame headed back to (fd, serial). TopK
+  // completions carry their trace; the flush span is closed and the
+  // trace recorded on the I/O thread once the bytes head out.
   struct Completion {
     int fd = -1;
     uint64_t serial = 0;
     std::string bytes;
+    std::optional<RequestTrace> trace;
   };
 
   // ----- event loop ----------------------------------------------------
@@ -208,7 +273,8 @@ class ServeDaemon::Impl {
   void ParseFrames(Connection* conn);
   void HandleFrame(Connection* conn, const FrameHeader& header,
                    std::string_view payload);
-  void AdmitTopK(Connection* conn, uint32_t request_id, TopKRequest request);
+  void AdmitTopK(Connection* conn, uint32_t request_id, TopKRequest request,
+                 double recv_seconds);
   void AppendOutput(Connection* conn, std::string bytes);
   void TryFlush(Connection* conn);
   void SendError(Connection* conn, uint32_t request_id, WireCode code,
@@ -242,20 +308,36 @@ class ServeDaemon::Impl {
   void WatchLoop();
   std::set<std::string> WatchDirectories() const;
 
+  // Lookup without creating: callers that must not mint registry
+  // children for unvalidated tenant names.
+  TenantState* FindState(const std::string& tenant) {
+    MutexLock lock(&states_mu_);
+    auto it = states_.find(tenant);
+    return it == states_.end() ? nullptr : it->second.get();
+  }
+
   TenantState* GetOrCreateState(const std::string& tenant) {
     MutexLock lock(&states_mu_);
     auto it = states_.find(tenant);
     if (it == states_.end()) {
       it = states_
-               .emplace(tenant, std::make_unique<TenantState>(options_))
+               .emplace(tenant, std::make_unique<TenantState>(
+                                    options_, tenant, &metrics_))
                .first;
     }
     return it->second.get();
   }
 
+  void RegisterTenantCollector();
+
   DaemonOptions options_;
+  // Declared before everything that registers into it: the registry
+  // must outlive every cached Counter*/HistogramMetric* handle.
+  MetricsRegistry metrics_;
+  std::unique_ptr<TraceRecorder> tracer_;
   std::unique_ptr<TenantRegistry> registry_;
   std::unique_ptr<SnapshotStore> store_;
+  std::unique_ptr<MetricsHttpServer> metrics_http_;
   uint16_t port_ = 0;
 
   int listen_fd_ = -1;
@@ -277,7 +359,7 @@ class ServeDaemon::Impl {
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;
   uint64_t next_serial_ = 1;
 
-  Mutex states_mu_;
+  mutable Mutex states_mu_;
   // Values are stable pointers: a TenantState is never destroyed while
   // the daemon runs, so holding states_mu_ is only required for the map
   // itself, not for using a looked-up TenantState (which has its own mu).
@@ -292,19 +374,22 @@ class ServeDaemon::Impl {
   CondVar work_cv_;
   size_t work_count_ SRPP_GUARDED_BY(work_mu_) = 0;
 
-  std::atomic<uint64_t> connections_accepted_{0};
-  std::atomic<uint64_t> connections_refused_{0};
-  std::atomic<uint64_t> frames_received_{0};
-  std::atomic<uint64_t> requests_admitted_{0};
-  std::atomic<uint64_t> requests_shed_{0};
-  std::atomic<uint64_t> requests_rate_limited_{0};
-  std::atomic<uint64_t> requests_draining_{0};
-  std::atomic<uint64_t> bad_frames_{0};
-  std::atomic<uint64_t> bad_requests_{0};
-  std::atomic<uint64_t> responses_sent_{0};
-  std::atomic<uint64_t> batches_executed_{0};
+  // Process-level registry handles (registered in Boot, before any
+  // thread starts; incrementing is one relaxed atomic add).
+  Counter* connections_accepted_ = nullptr;
+  Counter* connections_refused_ = nullptr;
+  Counter* frames_received_ = nullptr;
+  Counter* bad_frames_ = nullptr;
+  Counter* bad_requests_ = nullptr;
+  Counter* responses_sent_ = nullptr;
+  Counter* reloads_applied_ = nullptr;
+  Counter* reloads_failed_ = nullptr;
+  // Drain refusals with no tenant attached (RELOAD during drain).
+  Counter* draining_daemon_ = nullptr;
+  // Unknown-tenant refusals, collapsed to one child so hostile tenant
+  // names cannot grow label cardinality.
+  Counter* unknown_tenant_ = nullptr;
   std::atomic<uint64_t> max_batch_size_{0};
-  std::atomic<uint64_t> reloads_applied_{0};
 
   friend class ServeDaemon;
 };
@@ -317,6 +402,44 @@ Status ServeDaemon::Impl::Boot() {
   if (options_.manifest_path.empty()) {
     return Status::InvalidArgument("serve daemon needs a manifest path");
   }
+  // Registry handles first — every counter below must exist before any
+  // thread (I/O, watcher, pool worker, scraper) can run.
+  connections_accepted_ = metrics_.GetCounter(
+      "srpp_connections_total", "Connections by accept outcome.",
+      {{"result", "accepted"}});
+  connections_refused_ = metrics_.GetCounter(
+      "srpp_connections_total", "Connections by accept outcome.",
+      {{"result", "refused"}});
+  frames_received_ = metrics_.GetCounter("srpp_frames_total",
+                                         "Complete frames parsed.");
+  bad_frames_ = metrics_.GetCounter(
+      "srpp_bad_frames_total",
+      "Unrecoverable frame headers (connection dropped).");
+  bad_requests_ = metrics_.GetCounter(
+      "srpp_bad_requests_total",
+      "Well-framed but malformed or unknown requests.");
+  responses_sent_ = metrics_.GetCounter("srpp_responses_total",
+                                        "Response frames sent.");
+  reloads_applied_ = metrics_.GetCounter(
+      "srpp_reloads_total", "Tenant reloads by outcome.",
+      {{"outcome", "applied"}});
+  reloads_failed_ = metrics_.GetCounter(
+      "srpp_reloads_total", "Tenant reloads by outcome.",
+      {{"outcome", "failed"}});
+  draining_daemon_ = metrics_.GetCounter(
+      "srpp_requests_total", kRequestsHelp,
+      {{"tenant", "_daemon"}, {"code", "draining"}});
+  unknown_tenant_ = metrics_.GetCounter(
+      "srpp_requests_total", kRequestsHelp,
+      {{"tenant", "_other"}, {"code", "unknown_tenant"}});
+  metrics_.SetInfo(
+      "srpp_simd_info", "Active SIMD dispatch level for this process.",
+      {{"level", simd::SimdLevelName(simd::ActiveSimdLevel())}});
+  TraceRecorderOptions trace_options;
+  trace_options.ring_capacity = options_.trace_ring_capacity;
+  trace_options.slow_request_seconds = options_.slow_request_seconds;
+  tracer_ = std::make_unique<TraceRecorder>(&metrics_, trace_options);
+
   registry_ = std::make_unique<TenantRegistry>();
   store_ = std::make_unique<SnapshotStore>(options_.manifest_path,
                                            registry_.get());
@@ -334,6 +457,7 @@ Status ServeDaemon::Impl::Boot() {
   for (const std::string& name : registry_->TenantNames()) {
     GetOrCreateState(name);
   }
+  RegisterTenantCollector();
 
   listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
@@ -383,11 +507,112 @@ Status ServeDaemon::Impl::Boot() {
     }
   }
 
+  if (options_.metrics_port >= 0) {
+    MetricsHttpOptions http_options;
+    http_options.host = options_.host;
+    http_options.port = static_cast<uint16_t>(options_.metrics_port);
+    Result<std::unique_ptr<MetricsHttpServer>> http =
+        MetricsHttpServer::Start(std::move(http_options), &metrics_);
+    if (!http.ok()) return http.status();
+    metrics_http_ = std::move(http).value();
+  }
+
   io_thread_ = std::thread([this] { IoLoop(); });
   if (options_.enable_watcher) {
     watcher_thread_ = std::thread([this] { WatchLoop(); });
   }
   return Status::OK();
+}
+
+// Bridges counters owned by the serving layer itself — per-tenant
+// queries served, on-demand row-cache state, engine diagnostics — into
+// the scrape at snapshot time. The registry's RCU Stats() walk is the
+// reader, so nothing is double-counted and a generation swap cannot
+// lose or repeat samples.
+void ServeDaemon::Impl::RegisterTenantCollector() {
+  TenantRegistry* registry = registry_.get();
+  metrics_.AddCollector([registry](
+                            std::vector<MetricFamilySnapshot>* families) {
+    auto counter_family = [&](std::string name, std::string help) {
+      MetricFamilySnapshot family;
+      family.name = std::move(name);
+      family.help = std::move(help);
+      family.kind = MetricKind::kCounter;
+      return family;
+    };
+    MetricFamilySnapshot info;
+    info.name = "srpp_tenant_info";
+    info.help =
+        "Per-tenant identity: method, scoring mode, generation, and "
+        "last-reload outcome.";
+    info.kind = MetricKind::kGauge;
+    MetricFamilySnapshot queries = counter_family(
+        "srpp_tenant_queries_total",
+        "Queries answered via TopK/TopKBatch, cumulative across "
+        "generations.");
+    MetricFamilySnapshot rows = counter_family(
+        "srpp_rows_computed_total",
+        "Cold on-demand rows computed (current generation).");
+    MetricFamilySnapshot hits = counter_family(
+        "srpp_row_cache_hits_total", "Row-cache hits (current generation).");
+    MetricFamilySnapshot misses = counter_family(
+        "srpp_row_cache_misses_total",
+        "Row-cache misses (current generation).");
+    MetricFamilySnapshot evictions = counter_family(
+        "srpp_row_cache_evictions_total",
+        "Row-cache evictions (current generation).");
+    MetricFamilySnapshot iterations = counter_family(
+        "srpp_engine_iterations_total",
+        "Engine iterations behind the serving scores.");
+    MetricFamilySnapshot rescored = counter_family(
+        "srpp_engine_rescored_pairs_total",
+        "Pairs rescored by the incremental engine path.");
+    MetricFamilySnapshot reused = counter_family(
+        "srpp_engine_reused_pairs_total",
+        "Pairs carried over unchanged by the incremental engine path.");
+    for (const TenantServeStats& stats : registry->Stats()) {
+      MetricLabels tenant{{"tenant", stats.tenant}};
+      auto add = [&tenant](MetricFamilySnapshot* family, double value) {
+        MetricPoint point;
+        point.labels = tenant;
+        point.value = value;
+        family->points.push_back(std::move(point));
+      };
+      MetricPoint identity;
+      identity.labels = {
+          {"tenant", stats.tenant},
+          {"method", stats.method_name},
+          {"scoring", !stats.serving ? "none"
+                      : stats.on_demand ? "on-demand"
+                                        : "precomputed"},
+          {"generation", StringPrintf("%llu", static_cast<unsigned long long>(
+                                                  stats.generation))},
+          {"reload", stats.last_reload_ok ? "ok" : "failed"},
+      };
+      identity.value = 1.0;
+      info.points.push_back(std::move(identity));
+      if (!stats.serving) continue;
+      add(&queries, static_cast<double>(stats.queries_served));
+      if (stats.on_demand) {
+        add(&rows, static_cast<double>(stats.rows_computed));
+        add(&hits, static_cast<double>(stats.row_cache_hits));
+        add(&misses, static_cast<double>(stats.row_cache_misses));
+        add(&evictions, static_cast<double>(stats.row_cache_evictions));
+      }
+      if (stats.engine_stats.iterations_run > 0) {
+        add(&iterations,
+            static_cast<double>(stats.engine_stats.iterations_run));
+        add(&rescored,
+            static_cast<double>(stats.engine_stats.rescored_pairs));
+        add(&reused, static_cast<double>(stats.engine_stats.reused_pairs));
+      }
+    }
+    for (MetricFamilySnapshot* family :
+         {&info, &queries, &rows, &hits, &misses, &evictions, &iterations,
+          &rescored, &reused}) {
+      if (!family->points.empty()) families->push_back(std::move(*family));
+    }
+  });
 }
 
 // ---------------------------------------------------------------------------
@@ -456,7 +681,7 @@ void ServeDaemon::Impl::AcceptAll() {
     }
     if (draining_.load() || connections_.size() >= options_.max_connections) {
       close(fd);
-      connections_refused_.fetch_add(1);
+      connections_refused_->Increment();
       continue;
     }
     int enable = 1;
@@ -469,11 +694,11 @@ void ServeDaemon::Impl::AcceptAll() {
     event.data.fd = fd;
     if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event) != 0) {
       close(fd);
-      connections_refused_.fetch_add(1);
+      connections_refused_->Increment();
       continue;
     }
     connections_.emplace(fd, std::move(conn));
-    connections_accepted_.fetch_add(1);
+    connections_accepted_->Increment();
   }
 }
 
@@ -516,7 +741,7 @@ void ServeDaemon::Impl::ParseFrames(Connection* conn) {
       // unaffected — each socket parses independently). Mark the close
       // before sending so the flush path hangs up once the error frame
       // is on the wire.
-      bad_frames_.fetch_add(1);
+      bad_frames_->Increment();
       const char* reason = decode == FrameDecode::kBadMagic ? "bad magic"
                            : decode == FrameDecode::kBadFlags
                                ? "nonzero flags"
@@ -530,7 +755,7 @@ void ServeDaemon::Impl::ParseFrames(Connection* conn) {
     }
     size_t frame_bytes = kFrameHeaderBytes + header.payload_bytes;
     if (rest.size() < frame_bytes) break;
-    frames_received_.fetch_add(1);
+    frames_received_->Increment();
     HandleFrame(conn, header,
                 rest.substr(kFrameHeaderBytes, header.payload_bytes));
     consumed += frame_bytes;
@@ -543,21 +768,24 @@ void ServeDaemon::Impl::HandleFrame(Connection* conn,
                                     std::string_view payload) {
   switch (static_cast<FrameType>(header.type)) {
     case FrameType::kTopKRequest: {
+      // Admission-stage start: everything from here to enqueue (parse,
+      // existence check, billing, bucket) is the "admission" span.
+      double recv_seconds = NowSeconds();
       TopKRequest request;
       if (!ParseTopKRequestPayload(payload, &request)) {
-        bad_requests_.fetch_add(1);
+        bad_requests_->Increment();
         SendError(conn, header.request_id, WireCode::kBadRequest,
                   "malformed TopK request payload");
         return;
       }
-      AdmitTopK(conn, header.request_id, std::move(request));
+      AdmitTopK(conn, header.request_id, std::move(request), recv_seconds);
       return;
     }
     case FrameType::kPingRequest: {
       std::string out;
       AppendEmptyFrame(FrameType::kPingResponse, WireCode::kOk,
                        header.request_id, &out);
-      responses_sent_.fetch_add(1);
+      responses_sent_->Increment();
       AppendOutput(conn, std::move(out));
       return;
     }
@@ -565,13 +793,27 @@ void ServeDaemon::Impl::HandleFrame(Connection* conn,
       std::string out;
       AppendTextFrame(FrameType::kStatsResponse, WireCode::kOk,
                       header.request_id, StatsText(), &out);
-      responses_sent_.fetch_add(1);
+      responses_sent_->Increment();
+      AppendOutput(conn, std::move(out));
+      return;
+    }
+    case FrameType::kMetricsRequest: {
+      std::string text = metrics_.PrometheusText();
+      // A frame cannot announce more than the payload ceiling; a
+      // pathological tenant count truncates rather than breaking framing
+      // (the HTTP endpoint has no such limit).
+      size_t limit = options_.max_frame_payload - sizeof(uint32_t);
+      if (text.size() > limit) text.resize(limit);
+      std::string out;
+      AppendTextFrame(FrameType::kMetricsResponse, WireCode::kOk,
+                      header.request_id, text, &out);
+      responses_sent_->Increment();
       AppendOutput(conn, std::move(out));
       return;
     }
     case FrameType::kReloadRequest: {
       if (draining_.load()) {
-        requests_draining_.fetch_add(1);
+        draining_daemon_->Increment();
         SendError(conn, header.request_id, WireCode::kDraining,
                   "daemon is draining");
         return;
@@ -588,7 +830,7 @@ void ServeDaemon::Impl::HandleFrame(Connection* conn,
       return;
     }
     default:
-      bad_requests_.fetch_add(1);
+      bad_requests_->Increment();
       SendError(conn, header.request_id, WireCode::kBadRequest,
                 StringPrintf("unknown frame type 0x%02x", header.type));
       return;
@@ -596,14 +838,19 @@ void ServeDaemon::Impl::HandleFrame(Connection* conn,
 }
 
 void ServeDaemon::Impl::AdmitTopK(Connection* conn, uint32_t request_id,
-                                  TopKRequest request) {
+                                  TopKRequest request,
+                                  double recv_seconds) {
   if (draining_.load()) {
-    requests_draining_.fetch_add(1);
+    // Bill the refusal to the tenant when its state already exists;
+    // unvalidated names go to the _daemon child so hostile traffic
+    // during drain cannot grow label cardinality.
+    TenantState* state = FindState(request.tenant);
+    (state != nullptr ? state->draining : draining_daemon_)->Increment();
     SendError(conn, request_id, WireCode::kDraining, "daemon is draining");
     return;
   }
   if (request.k == 0 || request.k > kMaxTopKPerRequest) {
-    bad_requests_.fetch_add(1);
+    bad_requests_->Increment();
     SendError(conn, request_id, WireCode::kBadRequest,
               StringPrintf("k must be in [1, %u], got %u",
                            kMaxTopKPerRequest, request.k));
@@ -613,6 +860,7 @@ void ServeDaemon::Impl::AdmitTopK(Connection* conn, uint32_t request_id,
   // batch worker re-pins its own generation when it runs.
   std::shared_ptr<const Tenant> tenant = registry_->Lookup(request.tenant);
   if (tenant == nullptr) {
+    unknown_tenant_->Increment();
     SendError(conn, request_id, WireCode::kUnknownTenant,
               "unknown tenant \"" + request.tenant + "\"");
     return;
@@ -630,11 +878,7 @@ void ServeDaemon::Impl::AdmitTopK(Connection* conn, uint32_t request_id,
   }
   TenantState* state = GetOrCreateState(request.tenant);
   if (!state->bucket.TryAcquire(NowSeconds())) {
-    requests_rate_limited_.fetch_add(1);
-    {
-      MutexLock lock(&state->mu);
-      ++state->rate_limited;
-    }
+    state->rate_limited->Increment();
     SendError(conn, request_id, WireCode::kRateLimited,
               "tenant rate limit exceeded");
     return;
@@ -649,8 +893,7 @@ void ServeDaemon::Impl::AdmitTopK(Connection* conn, uint32_t request_id,
     if (state->pending.size() >= options_.max_queue_per_tenant ||
         (!state->pending.empty() &&
          state->pending_cost + cost > options_.max_queue_per_tenant)) {
-      ++state->shed;
-      requests_shed_.fetch_add(1);
+      state->shed->Increment();
       SendError(conn, request_id, WireCode::kOverloaded,
                 "tenant queue is full; request shed");
       return;
@@ -661,19 +904,22 @@ void ServeDaemon::Impl::AdmitTopK(Connection* conn, uint32_t request_id,
     pending.request_id = request_id;
     pending.query = std::move(request.query);
     pending.k = request.k;
+    pending.recv_seconds = recv_seconds;
     pending.enqueue_seconds = NowSeconds();
     pending.cost = cost;
+    pending.cold = cold;
     state->pending.push_back(std::move(pending));
     state->pending_cost += cost;
-    state->queue_depth.Add(static_cast<double>(state->pending.size()));
-    ++state->admitted;
-    if (cold) ++state->cold_admitted;
+    state->queue_fill->Observe(
+        static_cast<double>(state->pending.size()) /
+        static_cast<double>(std::max<size_t>(1, options_.max_queue_per_tenant)));
     if (!state->batch_in_flight) {
       state->batch_in_flight = true;
       submit = true;
     }
   }
-  requests_admitted_.fetch_add(1);
+  state->admitted->Increment();
+  if (cold) state->cold_admitted->Increment();
   if (submit) {
     {
       MutexLock lock(&work_mu_);
@@ -690,7 +936,7 @@ void ServeDaemon::Impl::SendError(Connection* conn, uint32_t request_id,
                                   WireCode code, const std::string& message) {
   std::string out;
   AppendTextFrame(FrameType::kError, code, request_id, message, &out);
-  responses_sent_.fetch_add(1);
+  responses_sent_->Increment();
   AppendOutput(conn, std::move(out));
 }
 
@@ -781,10 +1027,20 @@ void ServeDaemon::Impl::DrainOutbox() {
   }
   for (Completion& item : items) {
     auto it = connections_.find(item.fd);
-    if (it == connections_.end() || it->second->serial != item.serial) {
-      continue;  // the requester disconnected; drop the reply
+    bool live =
+        it != connections_.end() && it->second->serial == item.serial;
+    if (live) {
+      AppendOutput(it->second.get(), std::move(item.bytes));
     }
-    AppendOutput(it->second.get(), std::move(item.bytes));
+    // Close the flush span and record, delivered or not — the request
+    // was scored either way. AppendOutput may have destroyed the
+    // connection on a hard socket error; the trace is ours regardless.
+    if (item.trace.has_value()) {
+      RequestTrace& trace = *item.trace;
+      double scored_end = trace.start_seconds + trace.total_seconds();
+      trace.SetStage(TraceStage::kFlush, NowSeconds() - scored_end);
+      tracer_->Record(trace);
+    }
   }
 }
 
@@ -820,39 +1076,43 @@ std::string ServeDaemon::Impl::StatsText() {
     double bucket_fill = state->bucket.unlimited()
                              ? -1.0
                              : state->bucket.AvailableAt(NowSeconds());
-    MutexLock lock(&state->mu);
+    // Counter/histogram lines render from the registry children — STATS
+    // is a view over the same cells /metrics scrapes, not a second set
+    // of books.
     text += StringPrintf(
         "  admission: admitted=%llu cold_admitted=%llu shed=%llu "
         "rate_limited=%llu served=%llu batches=%llu max_batch=%llu\n",
-        static_cast<unsigned long long>(state->admitted),
-        static_cast<unsigned long long>(state->cold_admitted),
-        static_cast<unsigned long long>(state->shed),
-        static_cast<unsigned long long>(state->rate_limited),
-        static_cast<unsigned long long>(state->served),
-        static_cast<unsigned long long>(state->batches),
-        static_cast<unsigned long long>(state->max_batch));
-    // Instantaneous admission snapshot: current queue depth and billed
-    // cost, plus token-bucket fill (-1 = unlimited, no bucket in play).
-    text += StringPrintf("  queue: depth=%zu cost=%zu bucket_fill=%.2f\n",
-                         state->pending.size(), state->pending_cost,
-                         bucket_fill);
-    const Histogram& lat = state->latency_log10_us;
+        static_cast<unsigned long long>(state->admitted->Value()),
+        static_cast<unsigned long long>(state->cold_admitted->Value()),
+        static_cast<unsigned long long>(state->shed->Value()),
+        static_cast<unsigned long long>(state->rate_limited->Value()),
+        static_cast<unsigned long long>(state->served->Value()),
+        static_cast<unsigned long long>(state->batches->Value()),
+        static_cast<unsigned long long>(state->max_batch.load()));
+    {
+      MutexLock lock(&state->mu);
+      // Instantaneous admission snapshot: current queue depth and billed
+      // cost, plus token-bucket fill (-1 = unlimited, no bucket in play).
+      text += StringPrintf("  queue: depth=%zu cost=%zu bucket_fill=%.2f\n",
+                           state->pending.size(), state->pending_cost,
+                           bucket_fill);
+    }
+    HistogramSnapshot lat = state->latency_seconds->Snapshot();
     text += StringPrintf(
         "  latency_us: count=%llu mean=%.1f min=%.1f max=%.1f "
         "p50=%.1f p90=%.1f p99=%.1f\n",
-        static_cast<unsigned long long>(state->latency_us.count()),
-        state->latency_us.mean(), state->latency_us.min(),
-        state->latency_us.max(), std::pow(10.0, lat.ApproxQuantile(0.5)),
-        std::pow(10.0, lat.ApproxQuantile(0.9)),
-        std::pow(10.0, lat.ApproxQuantile(0.99)));
+        static_cast<unsigned long long>(lat.count), lat.mean() * 1e6,
+        lat.ApproxQuantile(0.0) * 1e6, lat.ApproxQuantile(1.0) * 1e6,
+        lat.ApproxQuantile(0.5) * 1e6, lat.ApproxQuantile(0.9) * 1e6,
+        lat.ApproxQuantile(0.99) * 1e6);
+    HistogramSnapshot fill = state->queue_fill->Snapshot();
+    const double capacity =
+        static_cast<double>(std::max<size_t>(1, options_.max_queue_per_tenant));
     text += StringPrintf(
         "  queue_depth: count=%llu mean=%.2f max=%.0f p99=%.1f\n",
-        static_cast<unsigned long long>(state->queue_depth.total()),
-        state->queue_depth.mean(),
-        state->queue_depth.total() == 0
-            ? 0.0
-            : state->queue_depth.ApproxQuantile(1.0),
-        state->queue_depth.ApproxQuantile(0.99));
+        static_cast<unsigned long long>(fill.count), fill.mean() * capacity,
+        fill.ApproxQuantile(1.0) * capacity,
+        fill.ApproxQuantile(0.99) * capacity);
   }
   return text;
 }
@@ -887,6 +1147,9 @@ void ServeDaemon::Impl::RunBatch(std::string tenant_name,
     FinishWork();
     return;
   }
+  // Queue-stage end / batch-stage start. The debug delay lands in the
+  // batch span (it models batch-formation time).
+  const double swap_seconds = NowSeconds();
   if (options_.debug_batch_delay_ms > 0) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(options_.debug_batch_delay_ms));
@@ -922,6 +1185,10 @@ void ServeDaemon::Impl::RunBatch(std::string tenant_name,
       size_t end = start;
       uint16_t k = batch[order[start]].k;
       while (end < order.size() && batch[order[end]].k == k) ++end;
+      // Score-stage start for this k-group. Later groups' wait behind
+      // earlier groups is batch-formation time, so their batch span
+      // stretches until their own group begins.
+      const double group_start = NowSeconds();
       std::vector<QueryId> ids;
       std::vector<size_t> slots;
       ids.reserve(end - start);
@@ -949,6 +1216,25 @@ void ServeDaemon::Impl::RunBatch(std::string tenant_name,
         AppendTopKResponseFrame(batch[slots[i]].request_id, items,
                                 &completions[slots[i]].bytes);
       }
+      const double group_end = NowSeconds();
+      for (size_t i = start; i < end; ++i) {
+        const PendingRequest& request = batch[order[i]];
+        RequestTrace trace;
+        trace.tenant = tenant_name;
+        trace.query = request.query;
+        trace.request_id = request.request_id;
+        trace.k = request.k;
+        trace.cold = request.cold;
+        trace.start_seconds = request.recv_seconds;
+        trace.SetStage(TraceStage::kAdmission,
+                       request.enqueue_seconds - request.recv_seconds);
+        trace.SetStage(TraceStage::kQueue,
+                       swap_seconds - request.enqueue_seconds);
+        trace.SetStage(TraceStage::kBatch, group_start - swap_seconds);
+        trace.SetStage(TraceStage::kScore, group_end - group_start);
+        // kFlush is closed on the I/O thread when the bytes head out.
+        completions[order[i]].trace = std::move(trace);
+      }
       start = end;
     }
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -958,23 +1244,21 @@ void ServeDaemon::Impl::RunBatch(std::string tenant_name,
   }
 
   double now = NowSeconds();
-  {
-    MutexLock lock(&state->mu);
-    state->served += batch.size();
-    ++state->batches;
-    state->max_batch = std::max(state->max_batch, batch.size());
-    for (const PendingRequest& request : batch) {
-      double latency_us = (now - request.enqueue_seconds) * 1e6;
-      state->latency_us.Add(latency_us);
-      state->latency_log10_us.Add(LatencyLog(latency_us));
-    }
+  for (const PendingRequest& request : batch) {
+    state->latency_seconds->Observe(now - request.enqueue_seconds);
   }
-  batches_executed_.fetch_add(1);
+  state->served->Increment(batch.size());
+  state->batches->Increment();
+  uint64_t tenant_observed = state->max_batch.load();
+  while (tenant_observed < batch.size() &&
+         !state->max_batch.compare_exchange_weak(tenant_observed,
+                                                 batch.size())) {
+  }
   uint64_t observed = max_batch_size_.load();
   while (observed < batch.size() &&
          !max_batch_size_.compare_exchange_weak(observed, batch.size())) {
   }
-  responses_sent_.fetch_add(batch.size());
+  responses_sent_->Increment(batch.size());
   PushCompletions(std::move(completions));
 
   // Yield between micro-batches instead of looping: requests that piled
@@ -1002,7 +1286,7 @@ void ServeDaemon::Impl::RunReload(int fd, uint64_t serial,
   completion.fd = fd;
   completion.serial = serial;
   if (reloaded.ok()) {
-    reloads_applied_.fetch_add(reloaded->size());
+    reloads_applied_->Increment(reloaded->size());
     std::string text;
     for (const std::string& name : *reloaded) {
       if (!text.empty()) text += '\n';
@@ -1011,10 +1295,11 @@ void ServeDaemon::Impl::RunReload(int fd, uint64_t serial,
     AppendTextFrame(FrameType::kReloadResponse, WireCode::kOk, request_id,
                     text, &completion.bytes);
   } else {
+    reloads_failed_->Increment();
     AppendTextFrame(FrameType::kError, WireCode::kInternal, request_id,
                     reloaded.status().ToString(), &completion.bytes);
   }
-  responses_sent_.fetch_add(1);
+  responses_sent_->Increment();
   std::vector<Completion> completions;
   completions.push_back(std::move(completion));
   PushCompletions(std::move(completions));
@@ -1097,8 +1382,10 @@ void ServeDaemon::Impl::WatchLoop() {
     }
     Result<std::vector<std::string>> reloaded = store_->PollForChanges();
     if (reloaded.ok()) {
-      reloads_applied_.fetch_add(reloaded->size());
+      reloads_applied_->Increment(reloaded->size());
       if (!reloaded->empty()) refresh_watches();
+    } else {
+      reloads_failed_->Increment();
     }
   }
   if (inotify_fd >= 0) close(inotify_fd);
@@ -1133,6 +1420,18 @@ Result<std::vector<std::string>> ServeDaemon::PollNow() {
 }
 
 DaemonMetrics ServeDaemon::Metrics() const { return impl_->Metrics(); }
+
+const MetricsRegistry& ServeDaemon::metrics_registry() const {
+  return impl_->metrics_registry();
+}
+
+std::string ServeDaemon::MetricsText() const { return impl_->MetricsText(); }
+
+uint16_t ServeDaemon::metrics_port() const { return impl_->metrics_port(); }
+
+std::vector<RequestTrace> ServeDaemon::RecentTraces() const {
+  return impl_->RecentTraces();
+}
 
 const TenantRegistry& ServeDaemon::registry() const {
   return impl_->registry();

@@ -32,12 +32,15 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/metrics_http.h"
 #include "serve/protocol.h"
 #include "serve/snapshot_store.h"
 #include "serve/tenant_registry.h"
 #include "serve/token_bucket.h"
 #include "util/histogram.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace simrankpp {
 
@@ -81,6 +84,16 @@ struct DaemonOptions {
   /// Test hook: sleep this long inside each micro-batch execution, so
   /// coalescing/shedding/drain windows are deterministic in tests.
   int debug_batch_delay_ms = 0;
+  /// Metrics exposition HTTP listener (GET /metrics + /healthz on
+  /// options.host): -1 disables it, 0 binds an ephemeral port (read it
+  /// back via metrics_port()), anything else binds that port.
+  int metrics_port = -1;
+  /// Requests slower than this end-to-end log a WARN with the full
+  /// stage breakdown and count into srpp_slow_requests_total; <= 0
+  /// disables the slow-request log.
+  double slow_request_seconds = 0.0;
+  /// Capacity of the recent-trace ring served by RecentTraces().
+  size_t trace_ring_capacity = 64;
 };
 
 /// \brief Point-in-time daemon counters (process-wide; per-tenant detail
@@ -134,6 +147,22 @@ class ServeDaemon {
   Result<std::vector<std::string>> PollNow();
 
   DaemonMetrics Metrics() const;
+
+  /// \brief This daemon's metric families (one registry per daemon so
+  /// tests running several daemons in one process see isolated counts).
+  /// Snapshot()/PrometheusText() are safe from any thread.
+  const MetricsRegistry& metrics_registry() const;
+
+  /// \brief Prometheus text exposition — the same bytes GET /metrics
+  /// and the kMetricsRequest frame serve.
+  std::string MetricsText() const;
+
+  /// \brief Bound port of the metrics HTTP listener, 0 when disabled.
+  uint16_t metrics_port() const;
+
+  /// \brief Recent completed-request traces, oldest first (bounded by
+  /// options.trace_ring_capacity).
+  std::vector<RequestTrace> RecentTraces() const;
 
   /// \brief The registry backing this daemon (read-only lookups are safe
   /// from any thread).

@@ -1,0 +1,74 @@
+/// @file metrics_http.h
+/// @brief Minimal embedded HTTP/1.1 listener for metrics exposition:
+/// GET /metrics (Prometheus text format 0.0.4) and GET /healthz, nothing
+/// else. One dedicated thread, blocking sockets, zero dependencies —
+/// deliberately not a general HTTP server (docs/OBSERVABILITY.md).
+///
+/// Scrapers are the only clients, so the server handles one connection
+/// at a time, closes after every response, and caps request headers at a
+/// few KiB. The serving hot path is untouched: a scrape costs one
+/// registry Snapshot() on this thread.
+#ifndef SIMRANKPP_SERVE_METRICS_HTTP_H_
+#define SIMRANKPP_SERVE_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace simrankpp {
+
+class MetricsRegistry;
+
+struct MetricsHttpOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the bound one back via port().
+  uint16_t port = 0;
+};
+
+/// \brief A running exposition listener. Start() binds and spawns the
+/// serving thread; destruction (or Stop()) closes the socket and joins.
+class MetricsHttpServer {
+ public:
+  /// \brief `registry` must outlive the server.
+  static Result<std::unique_ptr<MetricsHttpServer>> Start(
+      MetricsHttpOptions options, const MetricsRegistry* registry);
+
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// \brief The bound TCP port (useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  /// \brief Stops accepting and joins the thread. Idempotent.
+  void Stop();
+
+  /// \brief Requests served so far (tests; includes 404s).
+  uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MetricsHttpServer(MetricsHttpOptions options,
+                    const MetricsRegistry* registry);
+
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  const MetricsHttpOptions options_;
+  const MetricsRegistry* const registry_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_served_{0};
+  std::thread thread_;
+};
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_SERVE_METRICS_HTTP_H_

@@ -41,11 +41,14 @@ enum class FrameType : uint8_t {
   kStatsRequest = 0x02,
   kPingRequest = 0x03,
   kReloadRequest = 0x04,
+  /// Pulls the same Prometheus text exposition as GET /metrics.
+  kMetricsRequest = 0x05,
   kError = 0x7f,
   kTopKResponse = 0x81,
   kStatsResponse = 0x82,
   kPingResponse = 0x83,
   kReloadResponse = 0x84,
+  kMetricsResponse = 0x85,
 };
 
 /// \brief Response status codes carried in the header's `code` field

@@ -92,6 +92,7 @@ std::vector<TenantServeStats> TenantRegistry::Stats() const {
       stats.row_cache_misses = service_stats.row_cache_misses;
       stats.row_cache_evictions = service_stats.row_cache_evictions;
       stats.row_cache_entries = service_stats.row_cache_entries;
+      stats.engine_stats = service_stats.engine_stats;
     }
     std::shared_ptr<const ReloadEvent> event =
         slot->last_reload.load(std::memory_order_acquire);

@@ -82,6 +82,10 @@ struct TenantServeStats {
   uint64_t row_cache_misses = 0;
   uint64_t row_cache_evictions = 0;
   size_t row_cache_entries = 0;
+  /// Engine diagnostics for the serving generation (iterations run,
+  /// rescored/reused pairs); default-initialized when the scores came
+  /// from a snapshot. Surfaced per tenant by the metrics collector.
+  SimRankStats engine_stats;
   bool last_reload_ok = true;
   /// Failure Status text of the last (re)load attempt; empty when ok.
   std::string last_reload_message;

@@ -1,0 +1,122 @@
+#include "util/trace.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+
+namespace simrankpp {
+
+const char* TraceStageName(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kAdmission:
+      return "admission";
+    case TraceStage::kQueue:
+      return "queue";
+    case TraceStage::kBatch:
+      return "batch";
+    case TraceStage::kScore:
+      return "score";
+    case TraceStage::kFlush:
+      return "flush";
+  }
+  return "unknown";
+}
+
+double TraceNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string RequestTrace::Summary() const {
+  std::string out = StringPrintf(
+      "tenant=%s query=%s id=%llu k=%u cold=%d total=%.3fms", tenant.c_str(),
+      query.c_str(), static_cast<unsigned long long>(request_id), k,
+      cold ? 1 : 0, total_seconds() * 1e3);
+  for (int i = 0; i < kNumTraceStages; ++i) {
+    out += StringPrintf(" %s=%.3fms",
+                        TraceStageName(static_cast<TraceStage>(i)),
+                        stage_seconds[i] * 1e3);
+  }
+  return out;
+}
+
+namespace {
+// 1us .. ~4.2s in 12 exponential steps: spans from sub-batch-tick cache
+// hits up to multi-second cold linearized rows.
+std::vector<double> StageBuckets() { return ExponentialBuckets(1e-6, 4.0, 12); }
+}  // namespace
+
+TraceRecorder::TraceRecorder(MetricsRegistry* registry,
+                             TraceRecorderOptions options)
+    : options_(options) {
+  SRPP_CHECK(registry != nullptr);
+  for (int i = 0; i < kNumTraceStages; ++i) {
+    stage_histograms_[i] = registry->GetHistogram(
+        "srpp_stage_duration_seconds",
+        "Per-request time spent in each serving stage.", StageBuckets(),
+        {{"stage", TraceStageName(static_cast<TraceStage>(i))}});
+  }
+  total_histogram_ = registry->GetHistogram(
+      "srpp_request_duration_seconds",
+      "End-to-end request latency (sum of the five stage spans).",
+      StageBuckets());
+  traces_total_ =
+      registry->GetCounter("srpp_traces_total", "Request traces recorded.");
+  slow_total_ = registry->GetCounter(
+      "srpp_slow_requests_total",
+      "Requests whose total latency exceeded the slow-request threshold.");
+  if (options_.ring_capacity > 0) {
+    MutexLock lock(&mu_);
+    ring_.reserve(options_.ring_capacity);
+  }
+}
+
+void TraceRecorder::Record(const RequestTrace& trace) {
+  for (int i = 0; i < kNumTraceStages; ++i) {
+    stage_histograms_[i]->Observe(trace.stage_seconds[i]);
+  }
+  const double total = trace.total_seconds();
+  total_histogram_->Observe(total);
+  traces_total_->Increment();
+  if (options_.slow_request_seconds > 0.0 &&
+      total >= options_.slow_request_seconds) {
+    slow_total_->Increment();
+    SRPP_LOG_WARN << "slow request (>= "
+                  << StringPrintf("%.3fms",
+                                  options_.slow_request_seconds * 1e3)
+                  << "): " << trace.Summary();
+  }
+  if (options_.ring_capacity > 0) {
+    MutexLock lock(&mu_);
+    if (ring_.size() < options_.ring_capacity) {
+      ring_.push_back(trace);
+      ring_next_ = ring_.size() % options_.ring_capacity;
+      ring_wrapped_ = ring_.size() == options_.ring_capacity && ring_next_ == 0;
+    } else {
+      ring_[ring_next_] = trace;
+      ring_next_ = (ring_next_ + 1) % options_.ring_capacity;
+      ring_wrapped_ = true;
+    }
+  }
+}
+
+std::vector<RequestTrace> TraceRecorder::RecentTraces() const {
+  MutexLock lock(&mu_);
+  std::vector<RequestTrace> out;
+  out.reserve(ring_.size());
+  if (ring_wrapped_ && ring_.size() == options_.ring_capacity) {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(ring_next_ + i) % ring_.size()]);
+    }
+  } else {
+    out = ring_;
+  }
+  return out;
+}
+
+uint64_t TraceRecorder::slow_count() const { return slow_total_->Value(); }
+
+}  // namespace simrankpp

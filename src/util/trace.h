@@ -1,0 +1,124 @@
+/// @file trace.h
+/// @brief Per-request trace context: contiguous stage spans measured on
+/// one monotonic clock, recorded into per-stage histograms, a bounded
+/// ring of recent traces, and a slow-request warn log
+/// (docs/OBSERVABILITY.md has the stage diagram).
+///
+/// The five stages tile a request's lifetime with no gaps or overlap:
+///
+///   admission : bytes parsed        -> enqueued (or rejected)
+///   queue     : enqueued            -> batch swap picks it up
+///   batch     : batch swap          -> its k-group starts scoring
+///   score     : TopKBatch           (cold rows dominate here)
+///   flush     : scoring done        -> response bytes written
+///
+/// so sum(stage_seconds) == wall time by construction — the daemon e2e
+/// test asserts this, which keeps the instrumentation honest.
+#ifndef SIMRANKPP_UTIL_TRACE_H_
+#define SIMRANKPP_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace simrankpp {
+
+class MetricsRegistry;
+class HistogramMetric;
+class Counter;
+
+enum class TraceStage : int {
+  kAdmission = 0,
+  kQueue = 1,
+  kBatch = 2,
+  kScore = 3,
+  kFlush = 4,
+};
+
+inline constexpr int kNumTraceStages = 5;
+
+/// \brief Lowercase stage token ("admission", "queue", ...): the
+/// `stage` label value and the slow-log key.
+const char* TraceStageName(TraceStage stage);
+
+/// \brief One request's trace. Built incrementally by the serving path:
+/// each layer closes its span with SetStage before handing off.
+struct RequestTrace {
+  std::string tenant;
+  std::string query;
+  uint64_t request_id = 0;
+  uint32_t k = 0;
+  /// True when admission billed this request at the cold-row cost.
+  bool cold = false;
+  /// Steady-clock seconds at admission (for ring-buffer ordering).
+  double start_seconds = 0.0;
+  double stage_seconds[kNumTraceStages] = {0, 0, 0, 0, 0};
+
+  void SetStage(TraceStage stage, double seconds) {
+    stage_seconds[static_cast<int>(stage)] = seconds;
+  }
+  double StageSeconds(TraceStage stage) const {
+    return stage_seconds[static_cast<int>(stage)];
+  }
+  double total_seconds() const {
+    double total = 0.0;
+    for (double s : stage_seconds) total += s;
+    return total;
+  }
+
+  /// \brief One-line rendering: "tenant=a query=q id=3 k=10 cold=0
+  /// total=1.2ms admission=... queue=... batch=... score=... flush=...".
+  std::string Summary() const;
+};
+
+struct TraceRecorderOptions {
+  /// Recent-trace ring capacity (0 disables the ring).
+  size_t ring_capacity = 64;
+  /// Requests slower than this log a SRPP_LOG_WARN with the full stage
+  /// breakdown and increment srpp_slow_requests_total. <= 0 disables.
+  double slow_request_seconds = 0.0;
+};
+
+/// \brief Sink for finished traces. Record() feeds the per-stage
+/// histograms (srpp_stage_duration_seconds{stage=...}) and the total
+/// histogram, appends to the ring, and emits the slow-request log.
+/// Thread-safe; histogram updates are wait-free, the ring takes a
+/// short mutex.
+class TraceRecorder {
+ public:
+  /// Registers its metric families on `registry` (which must outlive
+  /// the recorder).
+  TraceRecorder(MetricsRegistry* registry, TraceRecorderOptions options);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Record(const RequestTrace& trace);
+
+  /// \brief Most-recent-last copy of the trace ring.
+  std::vector<RequestTrace> RecentTraces() const;
+
+  uint64_t slow_count() const;
+
+ private:
+  const TraceRecorderOptions options_;
+  HistogramMetric* stage_histograms_[kNumTraceStages];
+  HistogramMetric* total_histogram_;
+  Counter* traces_total_;
+  Counter* slow_total_;
+
+  mutable Mutex mu_;
+  std::vector<RequestTrace> ring_ SRPP_GUARDED_BY(mu_);
+  size_t ring_next_ SRPP_GUARDED_BY(mu_) = 0;
+  bool ring_wrapped_ SRPP_GUARDED_BY(mu_) = false;
+};
+
+/// \brief Steady-clock seconds (monotonic; the one clock every span in
+/// a trace must use so stages tile exactly).
+double TraceNowSeconds();
+
+}  // namespace simrankpp
+
+#endif  // SIMRANKPP_UTIL_TRACE_H_

@@ -10,7 +10,11 @@
 // snapshots are the expensive part.
 #include "serve/daemon.h"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -657,6 +661,156 @@ TEST(ServeDaemonTest, StartFailsOnUnreadableManifest) {
   options.manifest_path = TempPath("daemon_no_such_manifest.txt");
   Result<std::unique_ptr<ServeDaemon>> daemon = ServeDaemon::Start(options);
   EXPECT_FALSE(daemon.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Observability: metrics frame, HTTP scrape, stage traces
+// ---------------------------------------------------------------------------
+
+// Minimal blocking HTTP GET against the daemon's metrics listener; the
+// server closes after each response, so read-until-EOF.
+std::string HttpGet(uint16_t port, const std::string& target) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  SRPP_CHECK(fd >= 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  SRPP_CHECK(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+             0);
+  std::string request = "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n";
+  SRPP_CHECK(send(fd, request.data(), request.size(), MSG_NOSIGNAL) ==
+             static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+TEST(ServeDaemonTest, MetricsFrameServesPrometheusText) {
+  auto daemon = StartDaemon(World().Options());
+  Client client = ConnectTo(*daemon);
+  ASSERT_TRUE(client.TopK("alpha", World().graph_a.query_label(2), 5, 1).ok());
+  ASSERT_TRUE(client.SendMetrics(2).ok());
+  Result<Reply> reply = client.ReadReply();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, FrameType::kMetricsResponse);
+  EXPECT_EQ(reply->code, WireCode::kOk);
+  EXPECT_EQ(reply->request_id, 2u);
+  EXPECT_NE(reply->text.find("# TYPE srpp_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(reply->text.find(
+                "srpp_requests_total{tenant=\"alpha\",code=\"ok\"} 1"),
+            std::string::npos);
+  EXPECT_NE(reply->text.find("srpp_simd_info{level="), std::string::npos);
+  // The collector bridges per-generation serving stats into the scrape.
+  EXPECT_NE(reply->text.find("srpp_tenant_queries_total{tenant=\"alpha\"}"),
+            std::string::npos);
+  // The frame and the in-process accessor render the same document shape.
+  EXPECT_NE(daemon->MetricsText().find("# TYPE srpp_requests_total counter"),
+            std::string::npos);
+}
+
+TEST(ServeDaemonTest, MetricsHttpEndpointServesScrapeAndHealth) {
+  DaemonOptions options = World().Options();
+  options.metrics_port = 0;  // ephemeral
+  auto daemon = StartDaemon(options);
+  ASSERT_NE(daemon->metrics_port(), 0);
+
+  Client client = ConnectTo(*daemon);
+  ASSERT_TRUE(client.TopK("beta", World().graph_b.query_label(4), 5, 1).ok());
+
+  std::string health = HttpGet(daemon->metrics_port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+
+  std::string scrape = HttpGet(daemon->metrics_port(), "/metrics");
+  EXPECT_NE(scrape.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(scrape.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(
+      scrape.find("srpp_requests_total{tenant=\"beta\",code=\"ok\"} 1"),
+      std::string::npos);
+  // All five stage series appear once a request has been served.
+  std::map<std::string, loadgen::StageSample> stages =
+      loadgen::ParseStageSamples(scrape);
+  EXPECT_EQ(stages.size(), 5u);
+  for (const auto& [stage, sample] : stages) {
+    EXPECT_EQ(sample.count, 1u) << stage;
+  }
+
+  // The default daemon (metrics_port = -1) has no listener.
+  auto plain = StartDaemon(World().Options());
+  EXPECT_EQ(plain->metrics_port(), 0);
+}
+
+TEST(ServeDaemonTest, StageSpansTileTheRequestWallTime) {
+  DaemonOptions options = World().Options();
+  options.debug_batch_delay_ms = 100;  // lands in the batch span
+  auto daemon = StartDaemon(options);
+  Client client = ConnectTo(*daemon);
+  ASSERT_TRUE(client.TopK("alpha", World().graph_a.query_label(6), 5, 1).ok());
+
+  std::vector<RequestTrace> traces = daemon->RecentTraces();
+  ASSERT_EQ(traces.size(), 1u);
+  const RequestTrace& trace = traces[0];
+  EXPECT_EQ(trace.tenant, "alpha");
+  // The artificial batch delay must be attributed to the batch span,
+  // not smeared into queue/score. Relative bounds, not absolute ones:
+  // under TSAN a cold worker wakeup alone can cost tens of ms.
+  EXPECT_GE(trace.StageSeconds(TraceStage::kBatch), 0.09);
+  EXPECT_LT(trace.StageSeconds(TraceStage::kQueue),
+            trace.StageSeconds(TraceStage::kBatch));
+  EXPECT_LT(trace.StageSeconds(TraceStage::kScore),
+            trace.StageSeconds(TraceStage::kBatch));
+  // Spans tile the in-daemon wall time: the whole request took at least
+  // the injected delay, and no span is negative.
+  EXPECT_GE(trace.total_seconds(), 0.1);
+  for (int s = 0; s < kNumTraceStages; ++s) {
+    EXPECT_GE(trace.stage_seconds[s], 0.0) << s;
+  }
+  // The per-stage histograms and the total histogram are fed from the
+  // same traces, so their sums must agree.
+  std::map<std::string, loadgen::StageSample> stages =
+      loadgen::ParseStageSamples(daemon->MetricsText());
+  ASSERT_EQ(stages.size(), 5u);
+  double stage_sum = 0.0;
+  for (const auto& [stage, sample] : stages) stage_sum += sample.sum_seconds;
+  MetricsSnapshot snapshot = daemon->metrics_registry().Snapshot();
+  const MetricPoint* total = snapshot.Find("srpp_request_duration_seconds");
+  ASSERT_NE(total, nullptr);
+  ASSERT_TRUE(total->histogram.has_value());
+  EXPECT_NEAR(stage_sum, total->histogram->sum, 1e-9);
+  EXPECT_NEAR(trace.total_seconds(), total->histogram->sum, 1e-9);
+}
+
+TEST(ServeDaemonTest, SlowRequestsAreCountedAndKeptInRing) {
+  DaemonOptions options = World().Options();
+  options.debug_batch_delay_ms = 50;
+  options.slow_request_seconds = 0.01;  // every request is "slow"
+  auto daemon = StartDaemon(options);
+  Client client = ConnectTo(*daemon);
+  ASSERT_TRUE(client.TopK("alpha", World().graph_a.query_label(8), 5, 1).ok());
+  EXPECT_EQ(
+      daemon->metrics_registry().Snapshot().Value("srpp_slow_requests_total"),
+      1.0);
+  std::vector<RequestTrace> traces = daemon->RecentTraces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_NE(traces[0].Summary().find("tenant=alpha"), std::string::npos);
+
+  // Below the threshold nothing is counted.
+  DaemonOptions fast_options = World().Options();
+  fast_options.slow_request_seconds = 10.0;
+  auto fast = StartDaemon(fast_options);
+  Client fast_client = ConnectTo(*fast);
+  ASSERT_TRUE(
+      fast_client.TopK("alpha", World().graph_a.query_label(8), 5, 1).ok());
+  EXPECT_EQ(
+      fast->metrics_registry().Snapshot().Value("srpp_slow_requests_total"),
+      0.0);
 }
 
 }  // namespace

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition validator for the /metrics endpoint.
+
+    check_metrics_exposition.py [file] [--require FAMILY]...
+
+Reads an exposition document (a file argument or stdin) and checks the
+structural rules a scraper relies on, as produced by the daemon's
+MetricsRegistry (text format 0.0.4):
+
+  * every line is a `# HELP`, `# TYPE`, sample, or blank line;
+  * each family declares HELP then TYPE before its first sample, and is
+    declared at most once;
+  * sample names belong to the family declared above them (`_bucket`,
+    `_sum`, `_count` variants for histograms, the bare name otherwise);
+  * labels parse (`name{k="v",...} value`), values parse as floats;
+  * metric names follow the repo policy: srpp_ prefix, [a-z0-9_];
+  * no duplicate (name, labels) sample;
+  * histogram buckets are cumulative, end with `le="+Inf"`, and the
+    +Inf bucket equals the `_count` sample.
+
+`--require FAMILY` (repeatable) additionally fails unless the named
+family is present with at least one sample — the CI smoke pins the
+families the dashboards depend on.
+
+Exit status: 0 valid, 1 invalid, 2 usage error.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"srpp_[a-z0-9_]+\Z")
+# name{labels} value  |  name value — labels matched non-greedily so a
+# '}' inside a quoted value does not end the block early.
+SAMPLE_RE = re.compile(
+    r"(?P<name>[A-Za-z_:][A-Za-z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)\Z")
+LABEL_RE = re.compile(
+    r'(?P<key>[A-Za-z_][A-Za-z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+TYPES = ("counter", "gauge", "histogram", "untyped", "summary")
+
+
+def parse_labels(text):
+    """Label block body -> ((key, value), ...), or None on bad syntax."""
+    labels = []
+    at = 0
+    while at < len(text):
+        m = LABEL_RE.match(text, at)
+        if m is None:
+            return None
+        labels.append((m.group("key"), m.group("value")))
+        at = m.end()
+        if at < len(text):
+            if text[at] != ",":
+                return None
+            at += 1
+    return tuple(labels)
+
+
+def base_family(name, declared_type):
+    """The family a sample name belongs to under `declared_type`."""
+    if declared_type == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                return name[: -len(suffix)]
+    return name
+
+
+def validate(text, require=()):
+    """Returns a list of error strings; empty means the document is valid."""
+    errors = []
+    helped = set()
+    typed = {}  # family -> declared type
+    current = None  # family whose sample block we are inside
+    seen_samples = set()
+    samples_of = {}  # family -> count
+    # histogram bucket state, keyed by the full label set minus `le`:
+    # list of (upper_bound, cumulative_count) in document order.
+    buckets = {}
+    counts = {}
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        def err(message):
+            errors.append(f"line {line_no}: {message}")
+
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                err(f"unrecognized comment line: {line!r}")
+                continue
+            family = parts[2]
+            if not NAME_RE.match(family):
+                err(f"family name {family!r} breaks the srpp_ naming policy")
+            if parts[1] == "HELP":
+                if family in helped:
+                    err(f"duplicate HELP for {family}")
+                if len(parts) < 4 or not parts[3].strip():
+                    err(f"HELP for {family} has no text")
+                helped.add(family)
+            else:
+                declared = parts[3].strip() if len(parts) == 4 else ""
+                if declared not in TYPES:
+                    err(f"TYPE for {family} is {declared!r}")
+                if family in typed:
+                    err(f"duplicate TYPE for {family}")
+                if family not in helped:
+                    err(f"TYPE for {family} precedes its HELP")
+                typed[family] = declared
+                current = family
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            err(f"unparsable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        label_text = m.group("labels")
+        labels = parse_labels(label_text) if label_text is not None else ()
+        if labels is None:
+            err(f"unparsable label block: {label_text!r}")
+            continue
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            err(f"unparsable value {m.group('value')!r}")
+            continue
+        if current is None:
+            err(f"sample {name} appears before any TYPE declaration")
+            continue
+        family = base_family(name, typed.get(current, ""))
+        if family != current:
+            err(f"sample {name} does not belong to family {current}")
+            continue
+        if not NAME_RE.match(family):
+            err(f"metric name {family!r} breaks the srpp_ naming policy")
+        if (name, labels) in seen_samples:
+            err(f"duplicate sample {name}{dict(labels)}")
+        seen_samples.add((name, labels))
+        samples_of[family] = samples_of.get(family, 0) + 1
+        if typed.get(current) == "counter" and value < 0:
+            err(f"counter {name} has negative value {value}")
+
+        if typed.get(current) == "histogram":
+            series = (family,) + tuple(
+                (k, v) for k, v in labels if k != "le")
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    err(f"bucket sample {name} has no le label")
+                    continue
+                bound = math.inf if le == "+Inf" else float(le)
+                buckets.setdefault(series, []).append((bound, value))
+            elif name.endswith("_count"):
+                counts[series] = value
+
+    for series, rows in buckets.items():
+        family = series[0]
+        where = f"{family}{dict(series[1:])}"
+        bounds = [b for b, _ in rows]
+        values = [v for _, v in rows]
+        if bounds != sorted(bounds):
+            errors.append(f"{where}: bucket bounds out of order")
+        if values != sorted(values):
+            errors.append(f"{where}: bucket counts are not cumulative")
+        if not rows or rows[-1][0] != math.inf:
+            errors.append(f"{where}: bucket series does not end at +Inf")
+        elif series in counts and rows[-1][1] != counts[series]:
+            errors.append(
+                f"{where}: +Inf bucket {rows[-1][1]} != _count "
+                f"{counts[series]}")
+
+    for family in require:
+        if samples_of.get(family, 0) == 0:
+            errors.append(f"required family {family} is missing or empty")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", nargs="?",
+                        help="exposition document (default: stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY",
+                        help="fail unless FAMILY has at least one sample")
+    args = parser.parse_args()
+
+    if args.file:
+        with open(args.file, encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    errors = validate(text, require=args.require)
+    for message in errors:
+        print(message, file=sys.stderr)
+    if errors:
+        print(f"check_metrics_exposition: {len(errors)} error(s)",
+              file=sys.stderr)
+        return 1
+    print("check_metrics_exposition: valid "
+          f"({len(text.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

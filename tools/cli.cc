@@ -91,7 +91,8 @@ int Usage() {
       "  simrankpp serve-daemon --manifest M [--host H] [--port P]\n"
       "            [--port-file F] [--max-queue N] [--qps X] [--burst B]\n"
       "            [--cold-row-cost C] [--poll-interval S] [--no-inotify]\n"
-      "            [--no-watch]\n"
+      "            [--no-watch] [--metrics-port P] [--metrics-port-file F]\n"
+      "            [--slow-request-ms X]\n"
       "  simrankpp extract <graph.tsv> [--subgraphs N] [--out-prefix P]\n"
       "methods: simrank | evidence | weighted (default) | pearson\n"
       "engines: any registered name (dense | sparse (default) | linearized"
@@ -658,7 +659,16 @@ int CmdServeDaemon(int argc, char** argv) {
       FlagValue(argc, argv, "--poll-interval", "0.5"), nullptr);
   options.use_inotify = !HasFlag(argc, argv, "--no-inotify");
   options.enable_watcher = !HasFlag(argc, argv, "--no-watch");
+  // -1 (the default) keeps the HTTP listener off; 0 picks an ephemeral
+  // port, published via --metrics-port-file like --port-file.
+  options.metrics_port = static_cast<int>(std::strtol(
+      FlagValue(argc, argv, "--metrics-port", "-1"), nullptr, 10));
+  options.slow_request_seconds =
+      std::strtod(FlagValue(argc, argv, "--slow-request-ms", "0"), nullptr) /
+      1e3;
   const char* port_file = FlagValue(argc, argv, "--port-file", nullptr);
+  const char* metrics_port_file =
+      FlagValue(argc, argv, "--metrics-port-file", nullptr);
 
   Result<std::unique_ptr<ServeDaemon>> daemon =
       ServeDaemon::Start(std::move(options));
@@ -679,6 +689,16 @@ int CmdServeDaemon(int argc, char** argv) {
     // the moment it appears (the CI smoke does).
     std::ofstream out(port_file, std::ios::trunc);
     out << (*daemon)->port() << "\n";
+  }
+  if ((*daemon)->metrics_port() != 0) {
+    std::printf("serve-daemon metrics on http://%s:%u/metrics\n",
+                FlagValue(argc, argv, "--host", "127.0.0.1"),
+                (*daemon)->metrics_port());
+    std::fflush(stdout);
+    if (metrics_port_file != nullptr) {
+      std::ofstream out(metrics_port_file, std::ios::trunc);
+      out << (*daemon)->metrics_port() << "\n";
+    }
   }
   for (const TenantServeStats& stats : (*daemon)->registry().Stats()) {
     std::fprintf(stderr, "%s\n", stats.ToString().c_str());

@@ -28,6 +28,17 @@ tooling cannot know about this codebase:
                        the scalar fallback, runtime dispatch, and the
                        cross-level determinism contract stay in one
                        place.
+  metric-naming        A metric-name string literal that breaks the
+                       naming policy (docs/OBSERVABILITY.md): srpp_
+                       prefix, [a-z0-9_] charset, and a unit suffix —
+                       _total for counters; _total/_seconds/_bytes/
+                       _ratio for gauges and histograms (gauges may
+                       also end _info); _info for SetInfo. Checked at
+                       MetricsRegistry registration calls (where the
+                       kind is known) and on any standalone "srpp_..."
+                       literal (collector-emitted family names). The
+                       registry SRPP_CHECKs the same policy at runtime;
+                       this catches it before anything runs.
 
 Waivers: a finding is suppressed by a comment on the same line or the
 line directly above it::
@@ -52,6 +63,7 @@ RULES = (
     "naked-new",
     "raw-assert",
     "raw-intrinsics",
+    "metric-naming",
 )
 
 # Files on the export / scoring / serialization path, where iteration
@@ -135,6 +147,53 @@ def strip_comments_and_strings(text):
                     i += 2
                 else:
                     out.append("\n" if text[i] == "\n" else " ")
+                    i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def strip_comments_only(text):
+    """Blanks comments but keeps string/char literals, preserving offsets.
+
+    The metric-naming rule inspects string literals, so it needs the
+    inverse of strip_comments_and_strings: comments gone (metric names
+    quoted in prose must not trigger it), literals intact.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n
+                                 and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out.append(text[i:i + 2])
+                    i += 2
+                else:
+                    out.append(text[i])
                     i += 1
             if i < n:
                 out.append(quote)
@@ -322,6 +381,65 @@ def _raw_intrinsics_findings(path, stripped):
     return findings
 
 
+# Unit suffixes accepted per registration call. SetInfo pins an _info
+# gauge; plain gauges may also be _info (the collector emits them).
+_METRIC_SUFFIXES_BY_KIND = {
+    "GetCounter": ("_total",),
+    "GetGauge": ("_total", "_seconds", "_bytes", "_ratio", "_info"),
+    "GetHistogram": ("_total", "_seconds", "_bytes", "_ratio"),
+    "SetInfo": ("_info",),
+    # Standalone literal: the kind is unknown, any unit suffix passes.
+    None: ("_total", "_seconds", "_bytes", "_ratio", "_info"),
+}
+
+_METRIC_REGISTRATION_RE = re.compile(
+    r'\b(GetCounter|GetGauge|GetHistogram|SetInfo)\s*\(\s*"([^"\n]*)"')
+# A literal that IS a metric name (nothing but the name between the
+# quotes); "srpp_..._sum{..." parser prefixes and prose never match.
+_METRIC_LITERAL_RE = re.compile(r'"(srpp_\w+)"')
+
+
+def _metric_name_problem(name, kind):
+    """Why `name` breaks the naming policy, or None when it is fine."""
+    if not name.startswith("srpp_"):
+        return "must start with 'srpp_'"
+    if not re.fullmatch(r"srpp_[a-z0-9_]+", name):
+        return "may only use [a-z0-9_] after the prefix"
+    suffixes = _METRIC_SUFFIXES_BY_KIND[kind]
+    if not name.endswith(suffixes):
+        listed = "/".join(suffixes)
+        return f"needs a unit suffix ({listed})"
+    return None
+
+
+def _metric_naming_findings(path, text):
+    code = strip_comments_only(text)
+    findings = []
+    checked = set()  # (line, name): registration sites beat the generic scan
+    for m in _METRIC_REGISTRATION_RE.finditer(code):
+        kind, name = m.group(1), m.group(2)
+        line = _line_of(code, m.start(2))
+        checked.add((line, name))
+        problem = _metric_name_problem(name, kind)
+        if problem:
+            findings.append(Finding(
+                path, line, "metric-naming",
+                f"metric name '{name}' {problem}; see the naming policy "
+                "in docs/OBSERVABILITY.md"))
+    for m in _METRIC_LITERAL_RE.finditer(code):
+        name = m.group(1)
+        line = _line_of(code, m.start(1))
+        if (line, name) in checked:
+            continue
+        problem = _metric_name_problem(name, None)
+        if problem:
+            findings.append(Finding(
+                path, line, "metric-naming",
+                f"metric name '{name}' {problem}; see the naming policy "
+                "in docs/OBSERVABILITY.md"))
+    return findings
+
+
 def lint_file(rel_path, text, unordered_names, atomic_sp_names):
     """All findings for one file, before waivers. `rel_path` uses '/'."""
     stripped = strip_comments_and_strings(text)
@@ -336,6 +454,7 @@ def lint_file(rel_path, text, unordered_names, atomic_sp_names):
         findings.extend(_raw_intrinsics_findings(rel_path, stripped))
     findings.extend(_naked_new_findings(rel_path, stripped))
     findings.extend(_raw_assert_findings(rel_path, stripped))
+    findings.extend(_metric_naming_findings(rel_path, text))
     return findings
 
 

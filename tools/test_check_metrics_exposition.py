@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_metrics_exposition.py (run from ctest)."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_metrics_exposition as check  # noqa: E402
+
+VALID = """\
+# HELP srpp_requests_total Requests by tenant and outcome.
+# TYPE srpp_requests_total counter
+srpp_requests_total{tenant="alpha",code="ok"} 41
+srpp_requests_total{tenant="beta",code="shed"} 2
+# HELP srpp_stage_duration_seconds Per-stage serving time.
+# TYPE srpp_stage_duration_seconds histogram
+srpp_stage_duration_seconds_bucket{stage="score",le="0.001"} 3
+srpp_stage_duration_seconds_bucket{stage="score",le="+Inf"} 5
+srpp_stage_duration_seconds_sum{stage="score"} 0.0042
+srpp_stage_duration_seconds_count{stage="score"} 5
+# HELP srpp_simd_info Active SIMD dispatch level.
+# TYPE srpp_simd_info gauge
+srpp_simd_info{level="avx2"} 1
+"""
+
+
+class ValidateTest(unittest.TestCase):
+    def test_valid_document_passes(self):
+        self.assertEqual(check.validate(VALID), [])
+
+    def test_require_present_family_passes(self):
+        self.assertEqual(
+            check.validate(VALID, require=["srpp_requests_total"]), [])
+
+    def test_require_missing_family_fails(self):
+        errors = check.validate(VALID, require=["srpp_rows_computed_total"])
+        self.assertEqual(len(errors), 1)
+        self.assertIn("srpp_rows_computed_total", errors[0])
+
+    def test_sample_without_type_fails(self):
+        errors = check.validate('srpp_requests_total 3\n')
+        self.assertTrue(any("before any TYPE" in e for e in errors))
+
+    def test_type_before_help_fails(self):
+        text = ("# TYPE srpp_requests_total counter\n"
+                "srpp_requests_total 3\n")
+        errors = check.validate(text)
+        self.assertTrue(any("precedes its HELP" in e for e in errors))
+
+    def test_sample_outside_its_family_fails(self):
+        text = ("# HELP srpp_requests_total R.\n"
+                "# TYPE srpp_requests_total counter\n"
+                "srpp_responses_total 3\n")
+        errors = check.validate(text)
+        self.assertTrue(any("does not belong" in e for e in errors))
+
+    def test_bad_name_policy_fails(self):
+        text = ("# HELP http_requests_total R.\n"
+                "# TYPE http_requests_total counter\n"
+                "http_requests_total 3\n")
+        errors = check.validate(text)
+        self.assertTrue(any("naming policy" in e for e in errors))
+
+    def test_duplicate_sample_fails(self):
+        text = ("# HELP srpp_requests_total R.\n"
+                "# TYPE srpp_requests_total counter\n"
+                'srpp_requests_total{tenant="a"} 3\n'
+                'srpp_requests_total{tenant="a"} 4\n')
+        errors = check.validate(text)
+        self.assertTrue(any("duplicate sample" in e for e in errors))
+
+    def test_negative_counter_fails(self):
+        text = ("# HELP srpp_requests_total R.\n"
+                "# TYPE srpp_requests_total counter\n"
+                "srpp_requests_total -1\n")
+        errors = check.validate(text)
+        self.assertTrue(any("negative" in e for e in errors))
+
+    def test_unparsable_value_fails(self):
+        text = ("# HELP srpp_requests_total R.\n"
+                "# TYPE srpp_requests_total counter\n"
+                "srpp_requests_total banana\n")
+        errors = check.validate(text)
+        self.assertTrue(any("unparsable value" in e for e in errors))
+
+    def test_non_cumulative_buckets_fail(self):
+        text = ("# HELP srpp_x_seconds X.\n"
+                "# TYPE srpp_x_seconds histogram\n"
+                'srpp_x_seconds_bucket{le="0.001"} 5\n'
+                'srpp_x_seconds_bucket{le="+Inf"} 3\n'
+                "srpp_x_seconds_sum 0.1\n"
+                "srpp_x_seconds_count 3\n")
+        errors = check.validate(text)
+        self.assertTrue(any("not cumulative" in e for e in errors))
+
+    def test_missing_inf_bucket_fails(self):
+        text = ("# HELP srpp_x_seconds X.\n"
+                "# TYPE srpp_x_seconds histogram\n"
+                'srpp_x_seconds_bucket{le="0.001"} 5\n'
+                "srpp_x_seconds_sum 0.1\n"
+                "srpp_x_seconds_count 5\n")
+        errors = check.validate(text)
+        self.assertTrue(any("end at +Inf" in e for e in errors))
+
+    def test_inf_bucket_count_mismatch_fails(self):
+        text = ("# HELP srpp_x_seconds X.\n"
+                "# TYPE srpp_x_seconds histogram\n"
+                'srpp_x_seconds_bucket{le="+Inf"} 5\n'
+                "srpp_x_seconds_sum 0.1\n"
+                "srpp_x_seconds_count 6\n")
+        errors = check.validate(text)
+        self.assertTrue(any("!= _count" in e for e in errors))
+
+    def test_escaped_label_value_parses(self):
+        text = ("# HELP srpp_tenant_info T.\n"
+                "# TYPE srpp_tenant_info gauge\n"
+                'srpp_tenant_info{tenant="a\\"b\\\\c"} 1\n')
+        self.assertEqual(check.validate(text), [])
+
+    def test_bad_label_block_fails(self):
+        text = ("# HELP srpp_requests_total R.\n"
+                "# TYPE srpp_requests_total counter\n"
+                "srpp_requests_total{tenant=alpha} 3\n")
+        errors = check.validate(text)
+        self.assertTrue(any("unparsable label block" in e for e in errors))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -190,6 +190,68 @@ class RawIntrinsicsTest(unittest.TestCase):
         self.assertEqual(run(OTHER, text), [])
 
 
+class MetricNamingTest(unittest.TestCase):
+    def test_valid_counter_passes(self):
+        text = ('auto* c = registry->GetCounter("srpp_requests_total",\n'
+                '                               "Requests.");\n')
+        self.assertEqual(run(OTHER, text), [])
+
+    def test_counter_without_total_suffix_flagged(self):
+        text = 'auto* c = registry->GetCounter("srpp_requests", "R.");\n'
+        findings = run(OTHER, text)
+        self.assertEqual(rules_of(findings), ["metric-naming"])
+        self.assertIn("unit suffix", findings[0].message)
+
+    def test_missing_prefix_flagged(self):
+        text = 'auto* c = registry->GetCounter("requests_total", "R.");\n'
+        findings = run(OTHER, text)
+        self.assertEqual(rules_of(findings), ["metric-naming"])
+        self.assertIn("srpp_", findings[0].message)
+
+    def test_uppercase_flagged(self):
+        text = ('auto* h = registry->GetHistogram("srpp_Latency_seconds",\n'
+                '                                 "L.", bounds);\n')
+        findings = run(OTHER, text)
+        self.assertEqual(rules_of(findings), ["metric-naming"])
+        self.assertIn("[a-z0-9_]", findings[0].message)
+
+    def test_histogram_rejects_info_suffix(self):
+        text = ('auto* h = registry->GetHistogram("srpp_build_info", "B.",\n'
+                '                                 bounds);\n')
+        self.assertEqual(rules_of(run(OTHER, text)), ["metric-naming"])
+
+    def test_set_info_requires_info_suffix(self):
+        good = 'registry->SetInfo("srpp_simd_info", "S.", {{"level", l}});\n'
+        bad = 'registry->SetInfo("srpp_simd_total", "S.", {{"level", l}});\n'
+        self.assertEqual(run(OTHER, good), [])
+        self.assertEqual(rules_of(run(OTHER, bad)), ["metric-naming"])
+
+    def test_standalone_literal_checked(self):
+        # Collector-emitted family names never pass through Get*, but the
+        # bare literal is still policed.
+        text = 'family.name = "srpp_tenant_queries";\n'
+        self.assertEqual(rules_of(run(OTHER, text)), ["metric-naming"])
+
+    def test_standalone_valid_literal_passes(self):
+        text = 'family.name = "srpp_tenant_queries_total";\n'
+        self.assertEqual(run(OTHER, text), [])
+
+    def test_sample_name_prefix_not_a_metric_literal(self):
+        # Parser prefixes carry extra characters: not a bare metric name.
+        text = ('constexpr std::string_view kSum =\n'
+                '    "srpp_stage_duration_seconds_sum{";\n')
+        self.assertEqual(run(OTHER, text), [])
+
+    def test_name_in_comment_not_flagged(self):
+        text = "// increments srpp_requests (legacy spelling)\nint x = 0;\n"
+        self.assertEqual(run(OTHER, text), [])
+
+    def test_waiver_suppresses(self):
+        text = ('// srpp:allow(metric-naming): grandfathered dashboard name\n'
+                'auto* c = registry->GetCounter("srpp_legacy_count", "L.");\n')
+        self.assertEqual(run(OTHER, text), [])
+
+
 class WaiverTest(unittest.TestCase):
     def test_same_line_waiver_suppresses(self):
         text = ("auto* p = new Foo();  "
